@@ -1,0 +1,12 @@
+"""Benchmark-suite configuration.
+
+Ensures the shared baseline cache is reused across benchmark modules within a
+session (the runner caches by configuration + seeds) and keeps pytest-benchmark
+from repeating the expensive simulation sweeps more than once per benchmark.
+"""
+
+import sys
+from pathlib import Path
+
+# Make the sibling _shared module importable when pytest's rootdir differs.
+sys.path.insert(0, str(Path(__file__).parent))

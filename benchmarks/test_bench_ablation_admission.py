@@ -1,0 +1,49 @@
+"""Ablation — the admission-control filter under a high-rate garbage flood.
+
+DESIGN.md calls out admission control (random drops + refractory periods +
+per-peer consideration rate limits) as the defense that decouples defender
+cost from attacker send rate.  This ablation runs the same garbage-invitation
+flood with the filter enabled and disabled: with it disabled, every garbage
+invitation is considered (session establishment plus effort verification), so
+defender effort scales with the flood rate instead of being capped.
+"""
+
+from _shared import BENCH_SEEDS, bench_configs, print_series
+
+from repro.experiments.ablation import admission_control_ablation
+from repro.experiments.reporting import format_table
+
+COLUMNS = (
+    "admission_control",
+    "coefficient_of_friction",
+    "delay_ratio",
+    "access_failure_probability",
+    "loyal_effort",
+)
+
+
+def _run_ablation():
+    protocol, sim = bench_configs()
+    return admission_control_ablation(
+        attack_duration_days=120.0,
+        coverage=1.0,
+        invitations_per_victim_per_day=96.0,
+        seeds=BENCH_SEEDS,
+        protocol_config=protocol,
+        sim_config=sim,
+    )
+
+
+def test_bench_ablation_admission_control(benchmark):
+    rows = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    print_series(
+        "Ablation - admission control on/off under a 96/day garbage flood",
+        format_table(COLUMNS, [[row.get(c) for c in COLUMNS] for row in rows]),
+    )
+    enabled, disabled = rows
+    assert enabled["admission_control"] is True
+    assert disabled["admission_control"] is False
+    # With the filter disabled the defenders do at least as much total work,
+    # and the filter never makes the attack more effective.
+    assert disabled["loyal_effort"] >= enabled["loyal_effort"]
+    assert enabled["coefficient_of_friction"] <= disabled["coefficient_of_friction"] * 1.5

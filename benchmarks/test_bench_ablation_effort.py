@@ -1,0 +1,47 @@
+"""Ablation — effort balancing (the introductory-effort toll).
+
+DESIGN.md calls out effort balancing as the defense that makes reservation
+attacks expensive: the Poll message must carry introductory effort sized so
+that repeated attempts to get one invitation admitted cost the attacker about
+as much as behaving legitimately.  This ablation mounts the INTRO-defection
+(reservation) attack against the paper's 20% toll and against a near-zero
+toll: with the toll removed, the same attack costs the adversary far less.
+"""
+
+from _shared import BENCH_SEEDS, bench_configs, print_series
+
+from repro.experiments.ablation import effort_balancing_ablation
+from repro.experiments.reporting import format_table
+
+COLUMNS = (
+    "introductory_effort_fraction",
+    "cost_ratio",
+    "coefficient_of_friction",
+    "adversary_effort",
+)
+
+
+def _run_ablation():
+    protocol, sim = bench_configs()
+    return effort_balancing_ablation(
+        introductory_fractions=(0.20, 0.02),
+        seeds=BENCH_SEEDS,
+        protocol_config=protocol,
+        sim_config=sim,
+        attempts_per_victim_au_per_day=5.0,
+    )
+
+
+def test_bench_ablation_effort_balancing(benchmark):
+    rows = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    print_series(
+        "Ablation - introductory-effort toll vs the INTRO-defection attack",
+        format_table(COLUMNS, [[row.get(c) for c in COLUMNS] for row in rows]),
+    )
+    full_toll, tiny_toll = rows
+    assert full_toll["introductory_effort_fraction"] == 0.20
+    assert tiny_toll["introductory_effort_fraction"] == 0.02
+    # Removing the toll makes the same reservation attack much cheaper for
+    # the adversary (lower absolute effort and lower cost ratio).
+    assert tiny_toll["adversary_effort"] < 0.5 * full_toll["adversary_effort"]
+    assert tiny_toll["cost_ratio"] < full_toll["cost_ratio"]

@@ -1,0 +1,41 @@
+"""Figure 3 — access failure probability under pipe-stoppage attacks.
+
+Paper shape: the access failure probability grows with attack coverage and
+duration, but even a 100%-coverage attack sustained for months keeps it
+within the same order of magnitude as the baseline (damage is repaired as
+soon as communication returns).
+"""
+
+from _shared import BENCH_SEEDS, bench_configs, column, print_series
+
+from repro.experiments.pipe_stoppage import format_figures, pipe_stoppage_sweep
+
+
+def _run_sweep():
+    protocol, sim = bench_configs()
+    return pipe_stoppage_sweep(
+        durations_days=(10.0, 60.0, 150.0),
+        coverages=(0.4, 1.0),
+        seeds=BENCH_SEEDS,
+        protocol_config=protocol,
+        sim_config=sim,
+        recuperation_days=30.0,
+    )
+
+
+def test_bench_figure3_pipe_stoppage_access_failure(benchmark):
+    rows = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    print_series(
+        "Figure 3 - access failure probability under pipe stoppage",
+        format_figures(rows),
+    )
+    partial = [row for row in rows if row["coverage"] == 0.4]
+    full = [row for row in rows if row["coverage"] == 1.0]
+    assert len(partial) == len(full) == 3
+    # Shape: full-coverage attacks are at least as damaging as partial ones
+    # for the longest duration, and long attacks at full coverage hurt more
+    # than short ones.
+    assert full[-1]["access_failure_probability"] >= partial[-1][
+        "access_failure_probability"
+    ] * 0.8
+    assert full[-1]["access_failure_probability"] >= full[0]["access_failure_probability"]

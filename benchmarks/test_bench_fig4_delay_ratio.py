@@ -1,0 +1,36 @@
+"""Figure 4 — delay ratio under pipe-stoppage attacks.
+
+Paper shape: the delay ratio (time between successful polls relative to the
+no-attack baseline) stays near 1 for short or narrow attacks and rises
+steeply only for attacks that are intense (high coverage), wide-spread, and
+sustained for a large fraction of the inter-poll interval.
+"""
+
+from _shared import BENCH_SEEDS, bench_configs, print_series
+
+from repro.experiments.pipe_stoppage import format_figures, pipe_stoppage_sweep
+
+
+def _run_sweep():
+    protocol, sim = bench_configs()
+    return pipe_stoppage_sweep(
+        durations_days=(10.0, 120.0),
+        coverages=(1.0,),
+        seeds=BENCH_SEEDS,
+        protocol_config=protocol,
+        sim_config=sim,
+        recuperation_days=20.0,
+    )
+
+
+def test_bench_figure4_pipe_stoppage_delay_ratio(benchmark):
+    rows = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    print_series("Figure 4 - delay ratio under pipe stoppage", format_figures(rows))
+    short, long = rows
+    assert short["attack_duration_days"] == 10.0
+    assert long["attack_duration_days"] == 120.0
+    # Shape: a short attack barely moves the delay ratio; a months-long
+    # full-coverage attack visibly delays successful polls.
+    assert short["delay_ratio"] < 2.0
+    assert long["delay_ratio"] > short["delay_ratio"]
+    assert long["delay_ratio"] > 1.2

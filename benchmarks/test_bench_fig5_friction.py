@@ -1,0 +1,35 @@
+"""Figure 5 — coefficient of friction under pipe-stoppage attacks.
+
+Paper shape: repeated attacks lasting only a few days leave the coefficient
+of friction negligibly above 1; long full-coverage attacks raise the cost of
+every successful poll because effort is wasted on polls that cannot complete.
+"""
+
+from _shared import BENCH_SEEDS, bench_configs, print_series
+
+from repro.experiments.pipe_stoppage import format_figures, pipe_stoppage_sweep
+
+
+def _run_sweep():
+    protocol, sim = bench_configs()
+    return pipe_stoppage_sweep(
+        durations_days=(5.0, 120.0),
+        coverages=(1.0,),
+        seeds=BENCH_SEEDS,
+        protocol_config=protocol,
+        sim_config=sim,
+        recuperation_days=20.0,
+    )
+
+
+def test_bench_figure5_pipe_stoppage_friction(benchmark):
+    rows = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    print_series(
+        "Figure 5 - coefficient of friction under pipe stoppage", format_figures(rows)
+    )
+    short, long = rows
+    # Shape: short attacks cost little extra; sustained full-coverage attacks
+    # make each successful poll more expensive.
+    assert short["coefficient_of_friction"] < 2.0
+    assert long["coefficient_of_friction"] >= short["coefficient_of_friction"] * 0.9
+    assert long["coefficient_of_friction"] > 1.0

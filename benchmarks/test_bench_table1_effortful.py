@@ -1,0 +1,61 @@
+"""Table 1 — the brute-force effortful adversary at three defection points.
+
+Paper shape (Table 1): the coefficient of friction saturates around a small
+constant (≈2.5-2.6 for strategies that extract full votes), the delay ratio
+stays near 1, the access failure probability stays within a small factor of
+the baseline, and the *most cost-effective* strategy for the adversary (the
+lowest cost ratio) is to participate fully (NONE) — i.e. to emulate
+legitimacy — while early defection (INTRO) costs the adversary relatively
+more per unit of damage inflicted.
+"""
+
+from _shared import BENCH_SEEDS, bench_configs, print_series
+
+from repro.adversary.brute_force import DefectionPoint
+from repro.experiments.effortful import effortful_table, format_table1
+
+
+def _run_table():
+    protocol, sim = bench_configs()
+    return effortful_table(
+        defections=(DefectionPoint.INTRO, DefectionPoint.REMAINING, DefectionPoint.NONE),
+        collection_sizes=(1,),
+        seeds=BENCH_SEEDS,
+        protocol_config=protocol,
+        sim_config=sim,
+        attempts_per_victim_au_per_day=5.0,
+    )
+
+
+def test_bench_table1_brute_force_defection_points(benchmark):
+    rows = benchmark.pedantic(_run_table, rounds=1, iterations=1)
+    print_series(
+        "Table 1 - brute-force adversary defecting at INTRO / REMAINING / NONE",
+        format_table1(rows),
+        notes=[
+            "Paper values (50-AU collection): INTRO friction 1.40 / cost 1.93, "
+            "REMAINING 2.61 / 1.55, NONE 2.60 / 1.02.",
+        ],
+    )
+    by_defection = {row["defection"]: row for row in rows}
+    intro = by_defection["intro"]
+    remaining = by_defection["remaining"]
+    none = by_defection["none"]
+
+    # Strategies that extract full votes (REMAINING, NONE) cost the defenders
+    # more per successful poll than the pure reservation attack (INTRO).
+    assert none["coefficient_of_friction"] > intro["coefficient_of_friction"]
+    assert remaining["coefficient_of_friction"] > intro["coefficient_of_friction"]
+
+    # Full participation is the adversary's most cost-effective strategy.
+    assert none["cost_ratio"] <= intro["cost_ratio"]
+
+    # The attack never collapses the audit process: delay ratio stays near 1
+    # and the access failure probability stays within a small factor of the
+    # no-attack baseline.
+    for row in rows:
+        assert row["delay_ratio"] < 2.0
+        assert row["access_failure_probability"] <= max(
+            4.0 * row["baseline_access_failure_probability"],
+            row["baseline_access_failure_probability"] + 0.05,
+        )

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Scenario: a botnet repeatedly blacks out most of the preservation network.
+
+This is the paper's network-level (effortless) attrition attack: the attacker
+floods the victims' links so that no protocol traffic gets through, sustains
+the blackout for weeks to months, pauses for 30 days, and repeats against a
+new random subset of peers.  The example compares a short/narrow attack with
+a long/wide one against the no-attack baseline and prints the three metrics
+of Figures 3-5.
+
+Run:  python examples/pipe_stoppage_attack.py
+"""
+
+from __future__ import annotations
+
+from repro import run_attack_experiment, scaled_config, units
+from repro.experiments.pipe_stoppage import make_pipe_stoppage_factory
+from repro.experiments.reporting import format_table
+
+
+SCENARIOS = (
+    ("brief outage: 10 days, 40% of peers", units.days(10), 0.40),
+    ("serious attack: 60 days, 70% of peers", units.days(60), 0.70),
+    ("worst case: 150 days, every peer", units.days(150), 1.00),
+)
+
+
+def main() -> None:
+    protocol, sim = scaled_config(n_peers=20, n_aus=2, duration=units.years(1), seed=11)
+    rows = []
+    for label, duration, coverage in SCENARIOS:
+        print("Running scenario: %s ..." % label)
+        result = run_attack_experiment(
+            label=label,
+            protocol_config=protocol,
+            sim_config=sim,
+            adversary_factory=make_pipe_stoppage_factory(duration, coverage),
+            seeds=(11,),
+        )
+        assessment = result.assessment
+        rows.append([
+            label,
+            assessment.access_failure_probability,
+            assessment.baseline.access_failure_probability,
+            round(assessment.delay_ratio, 2),
+            round(assessment.coefficient_of_friction, 2),
+            assessment.attacked.successful_polls,
+            assessment.attacked.failed_polls,
+        ])
+
+    print()
+    print(format_table(
+        [
+            "scenario",
+            "access failure (attacked)",
+            "access failure (baseline)",
+            "delay ratio",
+            "friction",
+            "polls ok",
+            "polls failed",
+        ],
+        rows,
+    ))
+    print()
+    print(
+        "Reading the table: pipe stoppage only bites when it is intense, widespread,\n"
+        "and sustained for a large fraction of the 3-month inter-poll interval --\n"
+        "short or narrow attacks leave the audit process essentially untouched,\n"
+        "because untargeted peers keep auditing and targeted peers catch up as soon\n"
+        "as their links return (Section 7.2 of the paper)."
+    )
+
+
+if __name__ == "__main__":
+    main()

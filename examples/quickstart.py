@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: preserve a small collection with the LOCKSS audit protocol.
+
+Builds a laptop-scale population of peers, runs one simulated year of the
+audit-and-repair protocol with no adversary, and prints the headline metrics:
+how often polls succeed, how much compute the defenses cost, and how likely a
+reader is to hit a damaged replica.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import build_world, scaled_config, units
+from repro.experiments.reporting import format_table
+
+
+def main() -> None:
+    protocol, sim = scaled_config(n_peers=20, n_aus=2, duration=units.years(1), seed=7)
+    print("Population      : %d peers" % sim.n_peers)
+    print("Collection      : %d AUs of %s each" % (sim.n_aus, units.format_size(sim.au_size)))
+    print("Poll interval   : %s" % units.format_duration(protocol.poll_interval))
+    print("Quorum          : %d votes (inner circle of %d)" % (
+        protocol.quorum, protocol.inner_circle_size))
+    print("Simulating %s of preservation ..." % units.format_duration(sim.duration))
+    print()
+
+    world = build_world(protocol, sim)
+    metrics = world.run()
+
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["successful polls", metrics.successful_polls],
+            ["failed polls", metrics.failed_polls],
+            ["operator alarms (inconclusive polls)", metrics.inconclusive_polls],
+            ["storage failures injected", int(metrics.extras["storage_failures"])],
+            ["repairs applied", int(metrics.extras["repairs_applied"])],
+            ["access failure probability (raw)", metrics.access_failure_probability],
+            [
+                "access failure probability (normalized)",
+                metrics.access_failure_probability / sim.storage_damage_inflation,
+            ],
+            [
+                "mean time between successful polls",
+                units.format_duration(metrics.mean_time_between_successful_polls),
+            ],
+            ["loyal compute effort (s)", round(metrics.loyal_effort, 1)],
+            [
+                "effort per successful poll (s)",
+                round(metrics.effort_per_successful_poll, 2),
+            ],
+        ],
+    ))
+
+    print()
+    print("Loyal effort by category (seconds of compute):")
+    combined = world.loyal_effort()
+    rows = sorted(combined.by_category.items(), key=lambda item: -item[1])
+    print(format_table(["category", "seconds"], [[name, round(value, 1)] for name, value in rows]))
+
+    print()
+    print(
+        "Note: the storage damage rate is inflated %.0fx at this scale so the small\n"
+        "population sees a useful number of damage/repair episodes; the normalized\n"
+        "access failure probability is the number to compare with the paper's ~5e-4."
+        % sim.storage_damage_inflation
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""repro — a reproduction of "Attrition Defenses for a Peer-to-Peer Digital
+Preservation System" (Giuli, Maniatis, Baker, Rosenthal, Roussopoulos).
+
+The package implements the LOCKSS opinion-poll audit-and-repair protocol with
+the paper's attrition defenses (admission control, desynchronization,
+redundancy), a discrete-event simulation substrate standing in for the Narses
+simulator, the paper's three adversary classes, and the experiment harness
+that regenerates Figures 2–8 and Table 1.
+
+Quickstart::
+
+    from repro import scaled_config, build_world
+
+    protocol, sim = scaled_config()
+    world = build_world(protocol, sim)
+    metrics = world.run()
+    print(metrics.access_failure_probability)
+
+See ``examples/`` for attack scenarios and ``benchmarks/`` for the
+figure/table regeneration harnesses.
+"""
+
+from .config import (
+    ProtocolConfig,
+    SimulationConfig,
+    paper_config,
+    scaled_config,
+    smoke_config,
+)
+from .experiments.runner import (
+    ExperimentResult,
+    run_attack_experiment,
+    run_many,
+    run_single,
+)
+from .experiments.world import World, build_world
+from .metrics.report import AttackAssessment, RunMetrics, compare_runs
+from .adversary import (
+    AdmissionControlAdversary,
+    AttackSchedule,
+    BruteForceAdversary,
+    DefectionPoint,
+    PipeStoppageAdversary,
+)
+from .core.peer import Peer
+from . import units
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ProtocolConfig",
+    "SimulationConfig",
+    "paper_config",
+    "scaled_config",
+    "smoke_config",
+    "World",
+    "build_world",
+    "run_single",
+    "run_many",
+    "run_attack_experiment",
+    "ExperimentResult",
+    "RunMetrics",
+    "AttackAssessment",
+    "compare_runs",
+    "Peer",
+    "PipeStoppageAdversary",
+    "AdmissionControlAdversary",
+    "BruteForceAdversary",
+    "DefectionPoint",
+    "AttackSchedule",
+    "units",
+    "__version__",
+]

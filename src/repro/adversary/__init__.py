@@ -1,0 +1,34 @@
+"""Attrition adversaries.
+
+The paper's adversary model (Section 3.1) grants the attacker pipe stoppage,
+total information awareness, unconstrained identities, insider information,
+masquerading, and unlimited (but polynomially bounded) computational
+resources.  Three concrete attack strategies are evaluated:
+
+* :class:`repro.adversary.pipe_stoppage.PipeStoppageAdversary` — the
+  effortless network-level attack: suppress all communication to and from a
+  randomly chosen fraction of the population for a duration, recuperate for
+  30 days, repeat (targets the bandwidth filter; Figures 3–5).
+* :class:`repro.adversary.admission_flood.AdmissionControlAdversary` — the
+  effortless application-level attack: flood victims with cheap garbage
+  invitations from unknown identities to trigger their refractory periods
+  (targets the admission-control filter; Figures 6–8).
+* :class:`repro.adversary.brute_force.BruteForceAdversary` — the effortful
+  attack: pay full introductory effort from in-debt identities to get past
+  admission control, then defect at INTRO, REMAINING, or not at all
+  (targets the effort-verification filters; Table 1).
+"""
+
+from .admission_flood import AdmissionControlAdversary
+from .base import Adversary, AttackSchedule
+from .brute_force import BruteForceAdversary, DefectionPoint
+from .pipe_stoppage import PipeStoppageAdversary
+
+__all__ = [
+    "Adversary",
+    "AttackSchedule",
+    "PipeStoppageAdversary",
+    "AdmissionControlAdversary",
+    "BruteForceAdversary",
+    "DefectionPoint",
+]

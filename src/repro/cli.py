@@ -1,0 +1,241 @@
+"""Command-line interface for running the reproduction experiments.
+
+Installed as the ``repro-experiments`` console script (also runnable as
+``python -m repro.cli``).  Each subcommand regenerates one of the paper's
+evaluation artifacts at a configurable scale and prints the series as a text
+table:
+
+* ``baseline``        — Figure 2 (access failure vs poll interval, no attack)
+* ``pipe-stoppage``   — Figures 3–5 (network-level blackouts)
+* ``admission-flood`` — Figures 6–8 (garbage-invitation flood)
+* ``table1``          — Table 1 (brute-force adversary defection points)
+* ``ablation``        — the defense ablations described in DESIGN.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from . import units
+from .adversary.brute_force import DefectionPoint
+from .config import ProtocolConfig, SimulationConfig, scaled_config
+from .experiments import ablation as ablation_module
+from .experiments import admission_attack, baseline, effortful, pipe_stoppage
+from .experiments.reporting import format_table
+
+
+def _parse_floats(text: str) -> List[float]:
+    return [float(item) for item in text.split(",") if item.strip()]
+
+
+def _parse_ints(text: str) -> List[int]:
+    return [int(item) for item in text.split(",") if item.strip()]
+
+
+def _configs(args: argparse.Namespace) -> "tuple[ProtocolConfig, SimulationConfig]":
+    protocol, sim = scaled_config(
+        n_peers=args.peers,
+        n_aus=args.aus,
+        duration=units.years(args.years),
+        seed=args.seed,
+    )
+    return protocol, sim
+
+
+def _print_rows(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> None:
+    print(format_table(columns, [[row.get(column) for column in columns] for row in rows]))
+
+
+def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--peers", type=int, default=20, help="number of loyal peers")
+    parser.add_argument("--aus", type=int, default=2, help="AUs preserved by every peer")
+    parser.add_argument(
+        "--years", type=float, default=1.0, help="simulated duration in years"
+    )
+    parser.add_argument("--seed", type=int, default=1, help="master random seed")
+    parser.add_argument(
+        "--seeds",
+        type=_parse_ints,
+        default=[1],
+        help="comma-separated seeds averaged per data point (paper uses 3)",
+    )
+
+
+def _cmd_baseline(args: argparse.Namespace) -> int:
+    protocol, sim = _configs(args)
+    rows = baseline.baseline_sweep(
+        poll_intervals_months=args.intervals,
+        storage_mtbf_years=args.mtbf,
+        collection_sizes=(args.aus,),
+        seeds=args.seeds,
+        protocol_config=protocol,
+        sim_config=sim,
+    )
+    print("Figure 2 — baseline access failure probability (no attack)")
+    _print_rows(
+        rows,
+        list(baseline.FIGURE2_COLUMNS) + ["normalized_access_failure_probability"],
+    )
+    return 0
+
+
+def _cmd_pipe_stoppage(args: argparse.Namespace) -> int:
+    protocol, sim = _configs(args)
+    rows = pipe_stoppage.pipe_stoppage_sweep(
+        durations_days=args.durations,
+        coverages=args.coverages,
+        seeds=args.seeds,
+        protocol_config=protocol,
+        sim_config=sim,
+        recuperation_days=args.recuperation,
+    )
+    print("Figures 3–5 — pipe stoppage (access failure, delay ratio, friction)")
+    _print_rows(rows, pipe_stoppage.FIGURE_COLUMNS)
+    return 0
+
+
+def _cmd_admission(args: argparse.Namespace) -> int:
+    protocol, sim = _configs(args)
+    rows = admission_attack.admission_attack_sweep(
+        durations_days=args.durations,
+        coverages=args.coverages,
+        seeds=args.seeds,
+        protocol_config=protocol,
+        sim_config=sim,
+        recuperation_days=args.recuperation,
+        invitations_per_victim_per_day=args.rate,
+    )
+    print("Figures 6–8 — admission-control attack (access failure, delay ratio, friction)")
+    _print_rows(rows, admission_attack.FIGURE_COLUMNS)
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    protocol, sim = _configs(args)
+    defections = [DefectionPoint(value) for value in args.defections]
+    rows = effortful.effortful_table(
+        defections=defections,
+        collection_sizes=(args.aus,),
+        seeds=args.seeds,
+        protocol_config=protocol,
+        sim_config=sim,
+        attempts_per_victim_au_per_day=args.rate,
+    )
+    print("Table 1 — brute-force effortful adversary")
+    _print_rows(rows, effortful.TABLE1_COLUMNS)
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    protocol, sim = _configs(args)
+    if args.which == "admission":
+        rows = ablation_module.admission_control_ablation(
+            seeds=args.seeds, protocol_config=protocol, sim_config=sim
+        )
+        columns = ["admission_control", "coefficient_of_friction", "loyal_effort"]
+        title = "Ablation — admission control on/off under a garbage flood"
+    elif args.which == "effort":
+        rows = ablation_module.effort_balancing_ablation(
+            seeds=args.seeds, protocol_config=protocol, sim_config=sim
+        )
+        columns = ["introductory_effort_fraction", "cost_ratio", "adversary_effort"]
+        title = "Ablation — introductory-effort toll vs the reservation attack"
+    else:
+        rows = ablation_module.desynchronization_ablation(
+            seeds=args.seeds, protocol_config=protocol, sim_config=sim
+        )
+        columns = ["mode", "success_rate", "refusal_rate", "successful_polls"]
+        title = "Ablation — desynchronized vs compressed solicitation"
+    print(title)
+    _print_rows(rows, columns)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the evaluation of 'Attrition Defenses for a Peer-to-Peer "
+            "Digital Preservation System' (LOCKSS, USENIX 2005) at a configurable scale."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    baseline_parser = subparsers.add_parser("baseline", help="Figure 2 baseline sweep")
+    _add_scale_arguments(baseline_parser)
+    baseline_parser.add_argument(
+        "--intervals", type=_parse_floats, default=[2.0, 3.0, 6.0, 12.0],
+        help="comma-separated inter-poll intervals in months",
+    )
+    baseline_parser.add_argument(
+        "--mtbf", type=_parse_floats, default=[5.0],
+        help="comma-separated storage MTBF values in disk-years",
+    )
+    baseline_parser.set_defaults(func=_cmd_baseline)
+
+    pipe_parser = subparsers.add_parser("pipe-stoppage", help="Figures 3-5 sweep")
+    _add_scale_arguments(pipe_parser)
+    pipe_parser.add_argument(
+        "--durations", type=_parse_floats, default=[10.0, 60.0, 150.0],
+        help="comma-separated attack durations in days",
+    )
+    pipe_parser.add_argument(
+        "--coverages", type=_parse_floats, default=[0.4, 1.0],
+        help="comma-separated fractions of the population attacked",
+    )
+    pipe_parser.add_argument(
+        "--recuperation", type=float, default=30.0, help="recuperation period in days"
+    )
+    pipe_parser.set_defaults(func=_cmd_pipe_stoppage)
+
+    admission_parser = subparsers.add_parser("admission-flood", help="Figures 6-8 sweep")
+    _add_scale_arguments(admission_parser)
+    admission_parser.add_argument(
+        "--durations", type=_parse_floats, default=[30.0, 200.0],
+        help="comma-separated attack durations in days",
+    )
+    admission_parser.add_argument(
+        "--coverages", type=_parse_floats, default=[1.0],
+        help="comma-separated fractions of the population attacked",
+    )
+    admission_parser.add_argument(
+        "--recuperation", type=float, default=30.0, help="recuperation period in days"
+    )
+    admission_parser.add_argument(
+        "--rate", type=float, default=6.0, help="garbage invitations per victim per day"
+    )
+    admission_parser.set_defaults(func=_cmd_admission)
+
+    table1_parser = subparsers.add_parser("table1", help="Table 1 defection comparison")
+    _add_scale_arguments(table1_parser)
+    table1_parser.add_argument(
+        "--defections", nargs="+", default=["intro", "remaining", "none"],
+        choices=["intro", "remaining", "none"],
+        help="which defection points to run",
+    )
+    table1_parser.add_argument(
+        "--rate", type=float, default=5.0,
+        help="adversary invitation attempts per victim per AU per day",
+    )
+    table1_parser.set_defaults(func=_cmd_table1)
+
+    ablation_parser = subparsers.add_parser("ablation", help="defense ablations")
+    _add_scale_arguments(ablation_parser)
+    ablation_parser.add_argument(
+        "which", choices=["admission", "effort", "desync"], help="which defense to ablate"
+    )
+    ablation_parser.set_defaults(func=_cmd_ablation)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

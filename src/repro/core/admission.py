@@ -1,0 +1,198 @@
+"""Admission control filter for inbound poll invitations.
+
+The admission control defense ensures a peer controls the rate at which it
+*considers* poll invitations, favoring peers that operate at roughly its own
+rate and penalizing unknown or in-debt peers (Section 5.1).  The filter
+combines:
+
+* **first-hand reputation** — invitations from peers with an even or credit
+  grade are admitted (at most once per refractory-period-length window per
+  peer, which is what bounds the total consideration rate);
+* **random drops** — invitations from unknown peers and from peers in the
+  debt grade are dropped with high fixed probability (0.90 / 0.80);
+* **refractory period** — after one unknown/in-debt invitation is admitted,
+  all further unknown/in-debt invitations are rejected for a full refractory
+  period (one day);
+* **introductions** — peers vouched for by a recent valid voter bypass random
+  drops and refractory periods exactly once.
+
+Every decision is returned together with the bookkeeping cost the peer paid
+to make it, so the caller can charge the effort account appropriately (a
+rejected invitation must cost almost nothing, an admitted one costs the
+session setup).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..config import ProtocolConfig
+from .reputation import Grade, IntroductionTable, KnownPeers, RefractoryState
+
+
+class AdmissionDecision(enum.Enum):
+    """Outcome of considering one poll invitation."""
+
+    ADMITTED = "admitted"
+    ADMITTED_INTRODUCED = "admitted_introduced"
+    DROPPED_REFRACTORY = "dropped_refractory"
+    DROPPED_RANDOM = "dropped_random"
+    DROPPED_RATE_LIMITED = "dropped_rate_limited"
+
+    @property
+    def admitted(self) -> bool:
+        return self in (AdmissionDecision.ADMITTED, AdmissionDecision.ADMITTED_INTRODUCED)
+
+
+@dataclass
+class AdmissionResult:
+    """Decision plus the effort the peer spent reaching it."""
+
+    decision: AdmissionDecision
+    cost: float
+    grade: Optional[Grade]
+    refractory_triggered: bool = False
+    introduction_consumed: bool = False
+
+
+@dataclass
+class AdmissionStats:
+    """Counters for tests, metrics, and the admission-attack experiments."""
+
+    considered: int = 0
+    admitted: int = 0
+    admitted_introduced: int = 0
+    dropped_refractory: int = 0
+    dropped_random: int = 0
+    dropped_rate_limited: int = 0
+
+    def record(self, decision: AdmissionDecision) -> None:
+        self.considered += 1
+        if decision is AdmissionDecision.ADMITTED:
+            self.admitted += 1
+        elif decision is AdmissionDecision.ADMITTED_INTRODUCED:
+            self.admitted_introduced += 1
+        elif decision is AdmissionDecision.DROPPED_REFRACTORY:
+            self.dropped_refractory += 1
+        elif decision is AdmissionDecision.DROPPED_RANDOM:
+            self.dropped_random += 1
+        elif decision is AdmissionDecision.DROPPED_RATE_LIMITED:
+            self.dropped_rate_limited += 1
+
+
+class AdmissionControl:
+    """Per-AU admission control state for one peer."""
+
+    def __init__(
+        self,
+        config: ProtocolConfig,
+        known_peers: KnownPeers,
+        introductions: IntroductionTable,
+        rng: random.Random,
+        enabled: bool = True,
+    ) -> None:
+        self.config = config
+        self.known_peers = known_peers
+        self.introductions = introductions
+        self.refractory = RefractoryState(config.refractory_period)
+        self.rng = rng
+        self.stats = AdmissionStats()
+        #: Last time an invitation from each known (even/credit) peer was
+        #: admitted; enforces "at most one invitation per refractory period
+        #: per fellow peer", which bounds the total consideration rate.
+        self._last_admission: Dict[str, float] = {}
+        #: When False, every invitation is admitted (ablation experiments).
+        self.enabled = enabled
+
+    def consider(self, poller_id: str, now: float) -> AdmissionResult:
+        """Decide whether to consider the invitation from ``poller_id``.
+
+        The caller is responsible for charging ``result.cost`` to the peer's
+        effort account and for subsequently verifying the introductory effort
+        of admitted invitations.
+        """
+        cfg = self.config
+        if not self.enabled:
+            result = AdmissionResult(
+                decision=AdmissionDecision.ADMITTED,
+                cost=cfg.session_setup_cost,
+                grade=self.known_peers.grade_of(poller_id, now),
+            )
+            self.stats.record(result.decision)
+            return result
+
+        grade = self.known_peers.grade_of(poller_id, now)
+
+        # Introductions bypass random drops and refractory periods: the
+        # invitation is treated as if it came from a known peer with an even
+        # grade, and the introduction is consumed.
+        if self.introductions.has_introduction(poller_id):
+            self.introductions.consume(poller_id)
+            self.known_peers.ensure_known(poller_id, now, Grade.EVEN)
+            self._last_admission[poller_id] = now
+            result = AdmissionResult(
+                decision=AdmissionDecision.ADMITTED_INTRODUCED,
+                cost=cfg.session_setup_cost,
+                grade=Grade.EVEN,
+                introduction_consumed=True,
+            )
+            self.stats.record(result.decision)
+            return result
+
+        if grade in (Grade.EVEN, Grade.CREDIT):
+            # At most one invitation per refractory-period-length window per
+            # fellow even/credit peer; more frequent invitations are not
+            # considered legitimate and are dropped cheaply.
+            last = self._last_admission.get(poller_id)
+            if last is not None and now - last < cfg.refractory_period:
+                result = AdmissionResult(
+                    decision=AdmissionDecision.DROPPED_RATE_LIMITED,
+                    cost=cfg.drop_cost,
+                    grade=grade,
+                )
+                self.stats.record(result.decision)
+                return result
+            self._last_admission[poller_id] = now
+            result = AdmissionResult(
+                decision=AdmissionDecision.ADMITTED,
+                cost=cfg.session_setup_cost,
+                grade=grade,
+            )
+            self.stats.record(result.decision)
+            return result
+
+        # Unknown or in-debt poller.
+        if self.refractory.in_refractory(now):
+            result = AdmissionResult(
+                decision=AdmissionDecision.DROPPED_REFRACTORY,
+                cost=cfg.drop_cost,
+                grade=grade,
+            )
+            self.stats.record(result.decision)
+            return result
+
+        drop_probability = (
+            cfg.drop_probability_debt if grade is Grade.DEBT else cfg.drop_probability_unknown
+        )
+        if self.rng.random() < drop_probability:
+            result = AdmissionResult(
+                decision=AdmissionDecision.DROPPED_RANDOM,
+                cost=cfg.drop_cost,
+                grade=grade,
+            )
+            self.stats.record(result.decision)
+            return result
+
+        # Admit one unknown/in-debt invitation and enter the refractory period.
+        self.refractory.trigger(now)
+        result = AdmissionResult(
+            decision=AdmissionDecision.ADMITTED,
+            cost=cfg.session_setup_cost,
+            grade=grade,
+            refractory_triggered=True,
+        )
+        self.stats.record(result.decision)
+        return result

@@ -1,0 +1,150 @@
+"""Effort-balancing arithmetic.
+
+The effort-balancing defense requires that at every stage of the protocol an
+ostensibly legitimate requester has more invested in the exchange than the
+supplier (Section 5.1).  This module centralizes the arithmetic that sizes the
+proofs of effort carried by each message, derived from the cost model of the
+reference low-cost PC:
+
+* a *vote* costs the voter the time to fetch and hash its AU replica plus the
+  generation of the small proof of effort the Vote itself must carry;
+* the poller's *total provable effort* for one solicitation (split between
+  the Poll and PollProof messages) must exceed the voter's total cost of
+  serving the solicitation, by a configurable safety margin;
+* the *introductory effort* in the Poll message is a configurable fraction of
+  the total (20% in the paper's parametrization), calibrated against the
+  random-drop probability so that an adversary's repeated attempts to get one
+  invitation admitted cost it as much as behaving legitimately would have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import ProtocolConfig
+from ..crypto.hashing import HashCostModel
+from ..storage.au import ArchivalUnit
+
+
+@dataclass(frozen=True)
+class SolicitationEffort:
+    """All effort quantities relevant to one vote solicitation, in seconds."""
+
+    #: Cost for the voter to fetch and hash its AU replica (the vote proper).
+    vote_generation: float
+    #: Cost of generating the proof of effort the Vote message must carry.
+    vote_proof_generation: float
+    #: Cost of verifying the Vote's proof of effort (paid by the poller).
+    vote_proof_verification: float
+    #: The poller's total provable effort for the solicitation.
+    poller_total: float
+    #: Portion of the poller's effort carried by the Poll message.
+    introductory: float
+    #: Portion of the poller's effort carried by the PollProof message.
+    remaining: float
+    #: Cost of verifying the introductory effort (paid by the voter).
+    introductory_verification: float
+    #: Cost of verifying the remaining effort (paid by the voter).
+    remaining_verification: float
+
+    @property
+    def voter_total(self) -> float:
+        """The voter's total cost of serving one solicitation."""
+        return (
+            self.introductory_verification
+            + self.remaining_verification
+            + self.vote_generation
+            + self.vote_proof_generation
+        )
+
+
+class EffortPolicy:
+    """Sizes proofs of effort and compute commitments for one AU geometry."""
+
+    def __init__(self, config: ProtocolConfig, cost_model: HashCostModel) -> None:
+        self.config = config
+        self.cost_model = cost_model
+
+    # -- elementary costs ---------------------------------------------------------
+
+    def au_hash_cost(self, au: ArchivalUnit) -> float:
+        """Time to fetch and hash an entire AU replica."""
+        return self.cost_model.hash_time(au.size_bytes)
+
+    def block_hash_cost(self, au: ArchivalUnit) -> float:
+        """Time to hash a single content block."""
+        return self.cost_model.hash_time(au.block_size)
+
+    def repair_supply_cost(self, au: ArchivalUnit) -> float:
+        """Time for a voter to read and ship one repair block."""
+        return self.cost_model.read_time(au.block_size) + self.block_hash_cost(au)
+
+    def repair_apply_cost(self, au: ArchivalUnit) -> float:
+        """Time for a poller to verify and install one repair block."""
+        return self.block_hash_cost(au) * 2
+
+    # -- solicitation sizing --------------------------------------------------------
+
+    def solicitation(self, au: ArchivalUnit) -> SolicitationEffort:
+        """Compute all effort quantities for one vote solicitation on ``au``."""
+        cfg = self.config
+        verify_fraction = cfg.effort_verification_fraction
+        margin = 1.0 + cfg.effort_balance_margin
+
+        vote_generation = self.au_hash_cost(au)
+        # The Vote's proof must cover the poller's cost of hashing one block
+        # (to detect a bogus vote) plus verifying the proof itself.
+        vote_proof_cost = self.block_hash_cost(au) * margin
+        vote_proof_generation = vote_proof_cost
+        vote_proof_verification = vote_proof_cost * verify_fraction
+
+        # The poller's provable effort must exceed the voter's total cost of
+        # serving the solicitation.  The voter's verification costs depend on
+        # the sizes of the poller's proofs, which depend on the voter's cost —
+        # break the circularity by sizing against the dominant terms and then
+        # applying the safety margin.
+        voter_service_cost = vote_generation + vote_proof_generation
+        poller_total = voter_service_cost * margin / (1.0 - verify_fraction * margin)
+        introductory = poller_total * cfg.introductory_effort_fraction
+        remaining = poller_total - introductory
+
+        return SolicitationEffort(
+            vote_generation=vote_generation,
+            vote_proof_generation=vote_proof_generation,
+            vote_proof_verification=vote_proof_verification,
+            poller_total=poller_total,
+            introductory=introductory,
+            remaining=remaining,
+            introductory_verification=introductory * verify_fraction,
+            remaining_verification=remaining * verify_fraction,
+        )
+
+    # -- voter-side commitments ------------------------------------------------------
+
+    def voter_commitment(self, au: ArchivalUnit) -> float:
+        """Compute time a voter must reserve when accepting an invitation."""
+        effort = self.solicitation(au)
+        return effort.remaining_verification + effort.vote_generation + effort.vote_proof_generation
+
+    # -- poller-side evaluation --------------------------------------------------------
+
+    def evaluation_base_cost(self, au: ArchivalUnit) -> float:
+        """Cost for the poller to hash its own replica once during evaluation.
+
+        The poller computes, in parallel, all block hashes each voter should
+        have produced; the dominant term is a single pass over its own AU.
+        """
+        return self.au_hash_cost(au)
+
+    def per_vote_evaluation_cost(self, au: ArchivalUnit) -> float:
+        """Marginal cost of tallying one additional vote."""
+        effort = self.solicitation(au)
+        return effort.vote_proof_verification + self.block_hash_cost(au)
+
+    def evaluation_receipt_cost(self) -> float:
+        """Cost of assembling and sending one evaluation receipt.
+
+        The receipt is the byproduct of effort already performed, so only a
+        negligible bookkeeping cost remains.
+        """
+        return self.config.session_setup_cost

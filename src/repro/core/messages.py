@@ -1,0 +1,164 @@
+"""Protocol messages.
+
+A poll consists of the message exchange of Figure 1 in the paper:
+
+    Poll -> PollAck -> PollProof -> Vote -> (RepairRequest -> Repair)* ->
+    EvaluationReceipt
+
+Every message is conveyed over a per-(poller, voter) TLS session in the real
+system; the simulation charges the session cost in the admission filter and
+models the messages themselves as sized payloads routed by the network.
+
+The simulation-level Vote carries the voter's per-block damage snapshot in
+place of the running hashes a real vote contains: two replicas produce the
+same hash for a block exactly when their content for that block is identical,
+which is exactly what the damage snapshot encodes (see
+:mod:`repro.storage.replica`).  Unit tests exercise the *real* running-hash
+construction via :class:`repro.crypto.hashing.ContentHasher` on materialized
+AUs to validate this equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..crypto.effort import EffortProof
+
+
+@dataclass(frozen=True)
+class Poll:
+    """Invitation to participate in a poll on an AU.
+
+    Carries the introductory proof of effort that protects voters against
+    reservation attacks (Section 5.1, effort balancing).
+    """
+
+    poll_id: str
+    au_id: str
+    poller_id: str
+    #: Absolute simulated time by which the poller needs the Vote.
+    vote_deadline: float
+    introductory_effort: Optional[EffortProof]
+
+
+@dataclass(frozen=True)
+class PollAck:
+    """Voter's answer to a Poll invitation: acceptance or refusal."""
+
+    poll_id: str
+    au_id: str
+    voter_id: str
+    accepted: bool
+    #: When the voter expects to have computed its vote (absolute time);
+    #: only meaningful when ``accepted``.
+    estimated_completion: float = 0.0
+    #: Human-readable refusal reason, for diagnostics and tests.
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class PollProof:
+    """Balance of the poller's provable effort plus the vote nonce."""
+
+    poll_id: str
+    au_id: str
+    poller_id: str
+    nonce: bytes
+    remaining_effort: Optional[EffortProof]
+
+
+@dataclass(frozen=True)
+class Vote:
+    """A voter's vote: running hashes over (nonce || AU), block by block.
+
+    ``block_tags`` is the simulation stand-in for the hash sequence: a map
+    from damaged block index to that block's damage tag; blocks absent from
+    the map hold canonical content.  ``bogus`` marks adversary votes whose
+    hashes are garbage.
+    """
+
+    poll_id: str
+    au_id: str
+    voter_id: str
+    block_tags: Dict[int, int]
+    nominations: Tuple[str, ...]
+    vote_proof: Optional[EffortProof]
+    bogus: bool = False
+
+
+@dataclass(frozen=True)
+class RepairRequest:
+    """Poller's request for the content of one block from a voter."""
+
+    poll_id: str
+    au_id: str
+    poller_id: str
+    block_index: int
+    #: True when the repair is frivolous (requested despite agreement) to
+    #: deter repair free-riding.
+    frivolous: bool = False
+
+
+@dataclass(frozen=True)
+class Repair:
+    """A voter's repair: the content of one block.
+
+    ``source_tag`` carries the supplier's damage tag for the block (None for
+    canonical content), which is the simulation stand-in for the block bytes.
+    """
+
+    poll_id: str
+    au_id: str
+    voter_id: str
+    block_index: int
+    source_tag: Optional[int]
+    block_size: int
+
+
+@dataclass(frozen=True)
+class EvaluationReceipt:
+    """Unforgeable receipt proving the poller evaluated the voter's vote."""
+
+    poll_id: str
+    au_id: str
+    poller_id: str
+    receipt: bytes
+
+
+#: Fixed per-message overhead (headers, TLS record framing), in bytes.
+_BASE_OVERHEAD = 256
+#: Wire size of one proof of effort.
+_EFFORT_PROOF_SIZE = 1024
+#: Wire size of one block hash inside a Vote.
+_DIGEST_SIZE = 20
+#: Wire size of one peer identity in a nomination list.
+_IDENTITY_SIZE = 64
+
+
+def message_size(message: object, n_blocks: int = 0) -> int:
+    """Estimate the wire size in bytes of ``message``.
+
+    ``n_blocks`` must be supplied for Vote messages (one digest per block of
+    the AU being voted on).
+    """
+    if isinstance(message, Poll):
+        return _BASE_OVERHEAD + _EFFORT_PROOF_SIZE
+    if isinstance(message, PollAck):
+        return _BASE_OVERHEAD
+    if isinstance(message, PollProof):
+        return _BASE_OVERHEAD + _EFFORT_PROOF_SIZE + 20
+    if isinstance(message, Vote):
+        return (
+            _BASE_OVERHEAD
+            + _EFFORT_PROOF_SIZE
+            + n_blocks * _DIGEST_SIZE
+            + len(message.nominations) * _IDENTITY_SIZE
+        )
+    if isinstance(message, RepairRequest):
+        return _BASE_OVERHEAD
+    if isinstance(message, Repair):
+        return _BASE_OVERHEAD + message.block_size
+    if isinstance(message, EvaluationReceipt):
+        return _BASE_OVERHEAD + len(message.receipt)
+    raise TypeError("unknown message type %r" % type(message).__name__)

@@ -1,0 +1,124 @@
+"""Reference list and friends list maintenance.
+
+The outcome of a poll is determined by votes from the *inner circle*, sampled
+from the poller's per-AU *reference list*.  The reference list contains mostly
+peers that agreed with the poller in recent polls, plus a few peers from the
+operator-maintained *friends list* (friend bias).  After each poll the poller
+removes the voters whose votes determined the outcome and inserts the agreeing
+outer-circle voters discovered during the poll together with a few friends —
+continuously churning the sample so an adversary cannot slowly take it over.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence, Set
+
+
+class ReferenceList:
+    """Per-AU reference list with friend bias."""
+
+    def __init__(
+        self,
+        owner: str,
+        friends: Sequence[str] = (),
+        target_size: int = 60,
+    ) -> None:
+        if target_size < 1:
+            raise ValueError("target_size must be at least 1")
+        self.owner = owner
+        self.friends: List[str] = [f for f in friends if f != owner]
+        self.target_size = target_size
+        self._entries: List[str] = []
+        self._members: Set[str] = set()
+
+    # -- basic container behaviour -------------------------------------------------
+
+    def __contains__(self, peer_id: str) -> bool:
+        return peer_id in self._members
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[str]:
+        """Current reference-list entries, oldest first."""
+        return list(self._entries)
+
+    def add(self, peer_id: str) -> bool:
+        """Add ``peer_id`` (ignoring self and duplicates).  Returns True if added."""
+        if peer_id == self.owner or peer_id in self._members:
+            return False
+        self._entries.append(peer_id)
+        self._members.add(peer_id)
+        return True
+
+    def remove(self, peer_id: str) -> bool:
+        """Remove ``peer_id`` if present.  Returns True if removed."""
+        if peer_id not in self._members:
+            return False
+        self._members.discard(peer_id)
+        self._entries.remove(peer_id)
+        return True
+
+    def extend(self, peer_ids: Iterable[str]) -> int:
+        """Add several peers; returns how many were actually added."""
+        return sum(1 for peer_id in peer_ids if self.add(peer_id))
+
+    # -- sampling ---------------------------------------------------------------------
+
+    def sample(self, rng: random.Random, count: int, exclude: Iterable[str] = ()) -> List[str]:
+        """Sample up to ``count`` distinct peers from the list, excluding ``exclude``."""
+        excluded = set(exclude) | {self.owner}
+        candidates = [p for p in self._entries if p not in excluded]
+        if count >= len(candidates):
+            return list(candidates)
+        return rng.sample(candidates, count)
+
+    def sample_inner_circle(self, rng: random.Random, count: int) -> List[str]:
+        """Sample the inner circle for a new poll.
+
+        If the reference list alone cannot fill the circle (e.g. right after
+        bootstrap or after heavy churn), friends are used to top it up — the
+        friends list is the operator-maintained safety net.
+        """
+        circle = self.sample(rng, count)
+        if len(circle) < count:
+            extra = [f for f in self.friends if f not in circle and f != self.owner]
+            rng.shuffle(extra)
+            circle.extend(extra[: count - len(circle)])
+        return circle
+
+    def sample_friends(self, rng: random.Random, count: int) -> List[str]:
+        """Sample ``count`` friends for friend bias during the post-poll update."""
+        candidates = [f for f in self.friends if f != self.owner]
+        if count >= len(candidates):
+            return list(candidates)
+        return rng.sample(candidates, count)
+
+    # -- post-poll update -----------------------------------------------------------------
+
+    def update_after_poll(
+        self,
+        rng: random.Random,
+        voters_used: Iterable[str],
+        agreeing_outer_circle: Iterable[str],
+        friend_bias_count: int,
+    ) -> None:
+        """Apply the paper's post-poll reference-list update (Section 4.3).
+
+        Removes the inner-circle voters whose votes determined the outcome,
+        inserts all agreeing outer-circle voters, mixes in a few friends, and
+        trims the oldest entries beyond the target size.
+        """
+        for voter in voters_used:
+            self.remove(voter)
+        for peer in agreeing_outer_circle:
+            self.add(peer)
+        for friend in self.sample_friends(rng, friend_bias_count):
+            self.add(friend)
+        self._trim()
+
+    def _trim(self) -> None:
+        while len(self._entries) > self.target_size:
+            oldest = self._entries.pop(0)
+            self._members.discard(oldest)

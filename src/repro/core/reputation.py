@@ -1,0 +1,230 @@
+"""First-hand reputation: grades, decay, refractory periods, introductions.
+
+Each peer locally maintains, separately for every AU it preserves, a
+*known-peers list* recording its history of vote exchanges with every peer it
+has encountered (Section 5.1).  The grade is one of three values:
+
+* ``DEBT``   — the peer has supplied fewer votes than it has received;
+* ``EVEN``   — recent exchanges balance out;
+* ``CREDIT`` — the peer has supplied more votes than it has received.
+
+Grades decay toward ``DEBT`` over time, so standing must be continuously
+re-earned by supplying valid votes.  Poll invitations from unknown or in-debt
+pollers are randomly dropped and, once one is admitted, start a *refractory
+period* during which all further unknown/in-debt invitations are rejected.
+*Introductions* let a peer vouch for another, bypassing drops and refractory
+periods exactly once.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+
+class Grade(enum.IntEnum):
+    """Reputation grade; higher is better."""
+
+    DEBT = 0
+    EVEN = 1
+    CREDIT = 2
+
+    def raised(self) -> "Grade":
+        """One step up (CREDIT stays CREDIT)."""
+        return Grade(min(self.value + 1, Grade.CREDIT.value))
+
+    def lowered(self) -> "Grade":
+        """One step down (DEBT stays DEBT)."""
+        return Grade(max(self.value - 1, Grade.DEBT.value))
+
+
+@dataclass
+class PeerRecord:
+    """Reputation record for one known peer."""
+
+    grade: Grade
+    updated_at: float
+
+
+class KnownPeers:
+    """Per-AU known-peers list with time-decaying grades."""
+
+    def __init__(self, decay_interval: float) -> None:
+        if decay_interval <= 0:
+            raise ValueError("decay_interval must be positive")
+        self.decay_interval = decay_interval
+        self._records: Dict[str, PeerRecord] = {}
+
+    def __contains__(self, peer_id: str) -> bool:
+        return peer_id in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def known_peers(self) -> List[str]:
+        return list(self._records)
+
+    def _decayed_grade(self, record: PeerRecord, now: float) -> Grade:
+        """Grade after applying decay since the record was last updated."""
+        elapsed = max(0.0, now - record.updated_at)
+        steps = int(elapsed // self.decay_interval)
+        grade = record.grade
+        for _ in range(min(steps, 2)):
+            grade = grade.lowered()
+        return grade
+
+    def grade_of(self, peer_id: str, now: float) -> Optional[Grade]:
+        """Current (decayed) grade of ``peer_id``; None if unknown."""
+        record = self._records.get(peer_id)
+        if record is None:
+            return None
+        return self._decayed_grade(record, now)
+
+    def is_unknown(self, peer_id: str, now: float) -> bool:
+        return self.grade_of(peer_id, now) is None
+
+    def _set(self, peer_id: str, grade: Grade, now: float) -> None:
+        self._records[peer_id] = PeerRecord(grade=grade, updated_at=now)
+
+    def ensure_known(self, peer_id: str, now: float, grade: Grade = Grade.EVEN) -> None:
+        """Register ``peer_id`` with ``grade`` if not already known."""
+        if peer_id not in self._records:
+            self._set(peer_id, grade, now)
+
+    def record_vote_received(self, voter_id: str, now: float) -> Grade:
+        """The peer received a valid vote (and repairs) from ``voter_id``.
+
+        The receiving poller raises the voter's grade one step (it now owes
+        the voter a vote).  The grade acts as a clamped exchange balance, so
+        a previously unknown peer is treated as starting from EVEN.
+        """
+        current = self.grade_of(voter_id, now)
+        baseline = Grade.EVEN if current is None else current
+        new_grade = baseline.raised()
+        self._set(voter_id, new_grade, now)
+        return new_grade
+
+    def record_vote_supplied(self, poller_id: str, now: float) -> Grade:
+        """The peer supplied a valid vote to ``poller_id``.
+
+        The supplying voter lowers the poller's grade one step (the poller
+        now owes it a vote); an unknown poller starts from the EVEN baseline.
+        """
+        current = self.grade_of(poller_id, now)
+        baseline = Grade.EVEN if current is None else current
+        new_grade = baseline.lowered()
+        self._set(poller_id, new_grade, now)
+        return new_grade
+
+    def penalize(self, peer_id: str, now: float) -> None:
+        """Record misbehaviour: grade drops straight to DEBT."""
+        self._set(peer_id, Grade.DEBT, now)
+
+    def set_grade(self, peer_id: str, grade: Grade, now: float) -> None:
+        """Force a grade (used for bootstrap and for adversary setup)."""
+        self._set(peer_id, grade, now)
+
+
+class RefractoryState:
+    """Per-AU refractory period triggered by admitted unknown/in-debt invitations."""
+
+    def __init__(self, period: float) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.period = period
+        self._until = float("-inf")
+        self.triggers = 0
+
+    def in_refractory(self, now: float) -> bool:
+        return now < self._until
+
+    def remaining(self, now: float) -> float:
+        return max(0.0, self._until - now)
+
+    def trigger(self, now: float) -> None:
+        """Start (or extend) the refractory period from ``now``."""
+        self._until = now + self.period
+        self.triggers += 1
+
+
+class IntroductionTable:
+    """Outstanding introductions for one AU.
+
+    ``add(introducee, introducer)`` records that ``introducer`` vouched for
+    ``introducee``.  Consuming an introduction (because the introducee's
+    invitation was admitted) forgets all other introductions by the same
+    introducer and all other introductions of the same introducee, and unused
+    introductions never accumulate beyond ``cap``.
+    """
+
+    def __init__(self, cap: int) -> None:
+        if cap < 1:
+            raise ValueError("cap must be at least 1")
+        self.cap = cap
+        self._by_introducee: Dict[str, Set[str]] = {}
+        self._by_introducer: Dict[str, Set[str]] = {}
+        #: Insertion order of introducees, for cap eviction (oldest first).
+        self._order: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self._by_introducee)
+
+    def outstanding(self) -> Set[str]:
+        return set(self._by_introducee)
+
+    def has_introduction(self, introducee: str) -> bool:
+        return introducee in self._by_introducee
+
+    def add(self, introducee: str, introducer: str) -> None:
+        """Record an introduction, evicting the oldest if over the cap."""
+        if introducee == introducer:
+            return
+        introducers = self._by_introducee.setdefault(introducee, set())
+        if not introducers:
+            self._order.append(introducee)
+        introducers.add(introducer)
+        self._by_introducer.setdefault(introducer, set()).add(introducee)
+        while len(self._by_introducee) > self.cap:
+            oldest = self._order.pop(0)
+            self._forget_introducee(oldest)
+
+    def _forget_introducee(self, introducee: str) -> None:
+        introducers = self._by_introducee.pop(introducee, set())
+        for introducer in introducers:
+            introducees = self._by_introducer.get(introducer)
+            if introducees is not None:
+                introducees.discard(introducee)
+                if not introducees:
+                    del self._by_introducer[introducer]
+        if introducee in self._order:
+            self._order.remove(introducee)
+
+    def consume(self, introducee: str) -> bool:
+        """Consume the introduction of ``introducee``.
+
+        Removes all introductions of the introducee *and* all other
+        introductions by each of its introducers (at most one introduction is
+        honored per validly-voting introducer).  Returns True if an
+        introduction existed.
+        """
+        introducers = self._by_introducee.get(introducee)
+        if not introducers:
+            return False
+        for introducer in list(introducers):
+            for other in list(self._by_introducer.get(introducer, ())):
+                if other != introducee:
+                    self._forget_introducee(other)
+        self._forget_introducee(introducee)
+        return True
+
+    def remove_introducer(self, introducer: str) -> None:
+        """Forget all introductions made by ``introducer`` (it left the reference list)."""
+        for introducee in list(self._by_introducer.get(introducer, ())):
+            introducers = self._by_introducee.get(introducee)
+            if introducers is None:
+                continue
+            introducers.discard(introducer)
+            if not introducers:
+                self._forget_introducee(introducee)
+        self._by_introducer.pop(introducer, None)

@@ -1,0 +1,158 @@
+"""Per-peer task schedule of compute commitments.
+
+To prevent over-commitment under poll-flood attacks, every peer maintains a
+schedule of the compute effort it has promised to perform — votes to generate
+for others and evaluation work for its own polls (Section 5.1).  If the effort
+of computing a solicited vote cannot be accommodated in the schedule before
+the poller's deadline, the invitation is refused.
+
+The schedule models a single compute resource (the peer's one low-cost PC):
+reservations are half-open intervals ``[start, end)`` that may not overlap.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class Reservation:
+    """One committed slot of compute time."""
+
+    start: float
+    end: float
+    label: str
+    reservation_id: int
+    cancelled: bool = False
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Reservation(%s, %.1f-%.1f)" % (self.label, self.start, self.end)
+
+
+class TaskSchedule:
+    """Non-overlapping reservations of a single compute resource."""
+
+    def __init__(self) -> None:
+        #: Active reservations sorted by start time.
+        self._reservations: List[Reservation] = []
+        self._ids = itertools.count(1)
+        self.refusals = 0
+        self.total_reserved = 0.0
+
+    # -- queries --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._reservations)
+
+    def reservations(self) -> List[Reservation]:
+        """Snapshot of active reservations (sorted by start time)."""
+        return list(self._reservations)
+
+    def busy_time(self, since: float, until: float) -> float:
+        """Total reserved compute time overlapping the window [since, until)."""
+        if until <= since:
+            return 0.0
+        busy = 0.0
+        for reservation in self._reservations:
+            overlap = min(reservation.end, until) - max(reservation.start, since)
+            if overlap > 0:
+                busy += overlap
+        return busy
+
+    def utilization(self, since: float, until: float) -> float:
+        """Fraction of the window [since, until) that is reserved."""
+        if until <= since:
+            return 0.0
+        return self.busy_time(since, until) / (until - since)
+
+    # -- slot finding -------------------------------------------------------------
+
+    def find_slot(self, duration: float, earliest: float, deadline: float) -> Optional[float]:
+        """Earliest start time of a free slot of ``duration`` ending by ``deadline``.
+
+        Returns None when no such slot exists.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if earliest + duration > deadline:
+            return None
+        candidate = earliest
+        for reservation in self._reservations:
+            if reservation.end <= candidate:
+                continue
+            if reservation.start >= candidate + duration:
+                break
+            candidate = reservation.end
+            if candidate + duration > deadline:
+                return None
+        if candidate + duration > deadline:
+            return None
+        return candidate
+
+    # -- mutation -------------------------------------------------------------------
+
+    def reserve(
+        self, duration: float, earliest: float, deadline: float, label: str = ""
+    ) -> Optional[Reservation]:
+        """Reserve the earliest free slot of ``duration`` ending by ``deadline``.
+
+        Returns the reservation, or None (and counts a refusal) if the
+        schedule cannot accommodate the commitment.
+        """
+        start = self.find_slot(duration, earliest, deadline)
+        if start is None:
+            self.refusals += 1
+            return None
+        reservation = Reservation(
+            start=start, end=start + duration, label=label, reservation_id=next(self._ids)
+        )
+        index = bisect.bisect_left([r.start for r in self._reservations], reservation.start)
+        self._reservations.insert(index, reservation)
+        self.total_reserved += duration
+        return reservation
+
+    def reserve_at(
+        self, start: float, duration: float, label: str = ""
+    ) -> Optional[Reservation]:
+        """Reserve exactly [start, start+duration) if it is free."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        end = start + duration
+        for reservation in self._reservations:
+            if reservation.start < end and start < reservation.end:
+                self.refusals += 1
+                return None
+            if reservation.start >= end:
+                break
+        reservation = Reservation(
+            start=start, end=end, label=label, reservation_id=next(self._ids)
+        )
+        index = bisect.bisect_left([r.start for r in self._reservations], start)
+        self._reservations.insert(index, reservation)
+        self.total_reserved += duration
+        return reservation
+
+    def cancel(self, reservation: Reservation) -> bool:
+        """Release a reservation (e.g. the poller never sent its PollProof)."""
+        if reservation.cancelled:
+            return False
+        try:
+            self._reservations.remove(reservation)
+        except ValueError:
+            return False
+        reservation.cancelled = True
+        self.total_reserved -= reservation.duration
+        return True
+
+    def prune(self, now: float) -> int:
+        """Drop reservations that ended before ``now``; returns how many."""
+        before = len(self._reservations)
+        self._reservations = [r for r in self._reservations if r.end > now]
+        return before - len(self._reservations)

@@ -1,0 +1,205 @@
+"""Voter-side session state machine.
+
+Once a poll invitation passes the admission-control filter and the voter
+commits a slot in its task schedule, a :class:`VoterSession` tracks the rest
+of the exchange with that poller:
+
+    (invitation admitted, slot reserved)
+        -> PollAck(accept) sent
+        -> await PollProof          [timeout: penalize poller, release slot]
+        -> verify remaining effort  [invalid: penalize poller, release slot]
+        -> compute vote in the reserved slot
+        -> send Vote (with nominations)
+        -> serve RepairRequests
+        -> await EvaluationReceipt  [timeout or bad receipt: penalize poller]
+
+The reputation consequences implement the reciprocative first-hand-reputation
+scheme: supplying a valid vote lowers the poller's grade at this voter (the
+poller now owes a vote), while poller misbehaviour drops it straight to debt.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..crypto.effort import EffortProof
+from .effort_policy import SolicitationEffort
+from .messages import EvaluationReceipt, Poll, PollAck, PollProof, Repair, RepairRequest, Vote
+from .scheduler import Reservation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .peer import Peer
+
+
+class VoterState:
+    """Session phases (plain strings for cheap comparison and readable repr)."""
+
+    AWAITING_PROOF = "awaiting_proof"
+    COMPUTING = "computing"
+    VOTED = "voted"
+    DONE = "done"
+
+
+class VoterSession:
+    """One voter's participation in one poll."""
+
+    def __init__(
+        self,
+        peer: "Peer",
+        invitation: Poll,
+        reservation: Reservation,
+        effort: SolicitationEffort,
+    ) -> None:
+        self.peer = peer
+        self.poll_id = invitation.poll_id
+        self.au_id = invitation.au_id
+        self.poller_id = invitation.poller_id
+        self.vote_deadline = invitation.vote_deadline
+        self.reservation = reservation
+        self.effort = effort
+        self.state = VoterState.AWAITING_PROOF
+        self.nonce: Optional[bytes] = None
+        self.expected_receipt: Optional[bytes] = None
+        self.repairs_supplied = 0
+        self.vote_sent_at: Optional[float] = None
+        config = peer.config
+        self._proof_timeout = peer.simulator.schedule(
+            config.poll_proof_timeout, self._on_proof_timeout
+        )
+        self._receipt_timeout = None
+
+    # -- message handlers ------------------------------------------------------------
+
+    def on_poll_proof(self, message: PollProof) -> None:
+        """Handle the PollProof carrying the nonce and remaining effort."""
+        if self.state != VoterState.AWAITING_PROOF:
+            return
+        peer = self.peer
+        self._cancel(self._proof_timeout)
+        self._proof_timeout = None
+
+        peer.charge("verify", self.effort.remaining_verification)
+        if not peer.effort_scheme.verify(message.remaining_effort, self.effort.remaining * 0.99):
+            # The poller solicited an expensive vote without paying for it:
+            # a desertion/underpayment attempt.  Release the slot and penalize.
+            self._penalize_poller()
+            self._finish()
+            return
+
+        self.nonce = message.nonce
+        if message.remaining_effort is not None:
+            self.expected_receipt = message.remaining_effort.byproduct
+        self.state = VoterState.COMPUTING
+        completion = max(self.reservation.end, peer.simulator.now)
+        peer.simulator.schedule_at(completion, self._complete_vote)
+
+    def _complete_vote(self) -> None:
+        """The reserved compute slot has elapsed: produce and send the vote."""
+        if self.state != VoterState.COMPUTING:
+            return
+        peer = self.peer
+        au_state = peer.au_state(self.au_id)
+
+        peer.charge("hash", self.effort.vote_generation)
+        peer.charge("proof", self.effort.vote_proof_generation)
+        vote_proof = peer.effort_scheme.generate(peer.peer_id, self.effort.vote_proof_generation)
+
+        nominations = au_state.reference_list.sample(
+            peer.rng, peer.config.nominations_per_vote, exclude=(self.poller_id,)
+        )
+        vote = Vote(
+            poll_id=self.poll_id,
+            au_id=self.au_id,
+            voter_id=peer.peer_id,
+            block_tags=dict(
+                (block, au_state.replica.damage_tag(block))
+                for block in au_state.replica.damaged_blocks
+            ),
+            nominations=tuple(nominations),
+            vote_proof=vote_proof,
+        )
+        peer.send(self.poller_id, vote)
+        peer.collector.record_vote_supplied()
+        self.vote_sent_at = peer.simulator.now
+        self.state = VoterState.VOTED
+
+        # Supplying a vote means the poller now owes this voter: lower the
+        # poller's grade one step (reciprocative first-hand reputation).
+        au_state.known_peers.record_vote_supplied(self.poller_id, peer.simulator.now)
+
+        receipt_deadline = self.vote_deadline + peer.config.receipt_timeout_slack
+        self._receipt_timeout = peer.simulator.schedule_at(
+            max(receipt_deadline, peer.simulator.now + peer.config.receipt_timeout_slack),
+            self._on_receipt_timeout,
+        )
+
+    def on_repair_request(self, message: RepairRequest) -> None:
+        """Serve a repair for one block from this voter's replica."""
+        if self.state not in (VoterState.VOTED, VoterState.COMPUTING):
+            return
+        peer = self.peer
+        au_state = peer.au_state(self.au_id)
+        au = au_state.replica.au
+        if not 0 <= message.block_index < au.n_blocks:
+            return
+        peer.charge("repair", peer.effort_policy.repair_supply_cost(au))
+        repair = Repair(
+            poll_id=self.poll_id,
+            au_id=self.au_id,
+            voter_id=peer.peer_id,
+            block_index=message.block_index,
+            source_tag=au_state.replica.damage_tag(message.block_index),
+            block_size=au.block_size,
+        )
+        peer.send(self.poller_id, repair)
+        peer.collector.record_repair_supplied()
+        self.repairs_supplied += 1
+
+    def on_receipt(self, message: EvaluationReceipt) -> None:
+        """Validate the evaluation receipt closing this session."""
+        if self.state != VoterState.VOTED:
+            return
+        peer = self.peer
+        self._cancel(self._receipt_timeout)
+        self._receipt_timeout = None
+        if self.expected_receipt is not None and message.receipt != self.expected_receipt:
+            # A forged receipt means the poller never evaluated our vote:
+            # a wasteful attack.  Straight to debt.
+            self._penalize_poller()
+        self._finish()
+
+    # -- timeouts ----------------------------------------------------------------------
+
+    def _on_proof_timeout(self) -> None:
+        """The poller never followed up its invitation with a PollProof."""
+        if self.state != VoterState.AWAITING_PROOF:
+            return
+        # Reservation attack: the poller caused us to commit schedule time it
+        # never used.  Release the slot and penalize.
+        self.peer.schedule.cancel(self.reservation)
+        self._penalize_poller()
+        self._finish()
+
+    def _on_receipt_timeout(self) -> None:
+        """The poller never supplied an evaluation receipt for our vote."""
+        if self.state != VoterState.VOTED:
+            return
+        self._penalize_poller()
+        self._finish()
+
+    # -- helpers --------------------------------------------------------------------------
+
+    def _penalize_poller(self) -> None:
+        au_state = self.peer.au_state(self.au_id)
+        au_state.known_peers.penalize(self.poller_id, self.peer.simulator.now)
+
+    def _finish(self) -> None:
+        self.state = VoterState.DONE
+        self._cancel(self._proof_timeout)
+        self._cancel(self._receipt_timeout)
+        self.peer.remove_voter_session(self.poll_id)
+
+    @staticmethod
+    def _cancel(handle) -> None:
+        if handle is not None:
+            handle.cancel()

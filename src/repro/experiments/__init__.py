@@ -1,0 +1,35 @@
+"""Experiment harness reproducing the paper's evaluation.
+
+Each module corresponds to one artifact of Section 7:
+
+* :mod:`repro.experiments.baseline` — Figure 2 (baseline access failure vs
+  inter-poll interval and storage failure rate, no attack).
+* :mod:`repro.experiments.pipe_stoppage` — Figures 3–5 (pipe stoppage:
+  access failure, delay ratio, coefficient of friction vs attack duration and
+  coverage).
+* :mod:`repro.experiments.admission_attack` — Figures 6–8 (admission-control
+  garbage-invitation flood: the same three metrics).
+* :mod:`repro.experiments.effortful` — Table 1 (brute-force effortful
+  adversary defecting at INTRO / REMAINING / NONE).
+* :mod:`repro.experiments.ablation` — ablations of individual defenses
+  (admission control, effort balancing, desynchronization) called out in
+  DESIGN.md.
+
+:mod:`repro.experiments.world` builds a simulated world from configuration;
+:mod:`repro.experiments.runner` runs attacked/baseline pairs over multiple
+seeds; :mod:`repro.experiments.reporting` renders rows as text tables like the
+ones in EXPERIMENTS.md.
+"""
+
+from .runner import ExperimentResult, run_attack_experiment, run_single
+from .world import World, build_world
+from .reporting import format_table
+
+__all__ = [
+    "World",
+    "build_world",
+    "run_single",
+    "run_attack_experiment",
+    "ExperimentResult",
+    "format_table",
+]

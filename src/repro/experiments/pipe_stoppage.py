@@ -1,0 +1,142 @@
+"""Figures 3–5 — pipe-stoppage (network-level) attacks.
+
+The pipe-stoppage adversary suppresses all communication for a fraction of
+the peer population (its coverage, 10–100%) for 1–180 days, recuperates for
+30 days, and repeats with a fresh random victim set.  Figures 3, 4, and 5
+plot, against the attack duration, the access failure probability, the delay
+ratio, and the coefficient of friction respectively — the same simulation
+runs viewed through three metrics, so one sweep regenerates all three.
+
+Shape to reproduce: all three metrics grow with coverage and duration;
+attacks must last on the order of 60+ days at high coverage before the delay
+ratio rises by an order of magnitude, and even a 100%-coverage 180-day attack
+leaves the access failure probability in the low 10^-3 range.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .. import units
+from ..adversary.base import AttackSchedule
+from ..adversary.pipe_stoppage import PipeStoppageAdversary
+from ..config import ProtocolConfig, SimulationConfig, scaled_config
+from .reporting import format_table
+from .runner import ExperimentResult, run_attack_experiment
+from .world import World
+
+
+def make_pipe_stoppage_factory(
+    attack_duration: float,
+    coverage: float,
+    recuperation: float = 30 * units.DAY,
+):
+    """Adversary factory for one (duration, coverage) attack point."""
+
+    def factory(world: World) -> PipeStoppageAdversary:
+        schedule = AttackSchedule(
+            attack_duration=attack_duration,
+            coverage=coverage,
+            recuperation=recuperation,
+        )
+        return PipeStoppageAdversary(
+            simulator=world.simulator,
+            network=world.network,
+            rng=world.streams.stream("adversary/pipe-stoppage"),
+            schedule=schedule,
+            victims_pool=world.peer_ids(),
+            end_time=world.sim_config.duration,
+        )
+
+    return factory
+
+
+def pipe_stoppage_sweep(
+    durations_days: Sequence[float] = (5.0, 30.0, 90.0),
+    coverages: Sequence[float] = (0.4, 1.0),
+    seeds: Sequence[int] = (1,),
+    protocol_config: Optional[ProtocolConfig] = None,
+    sim_config: Optional[SimulationConfig] = None,
+    recuperation_days: float = 30.0,
+) -> List[Dict[str, object]]:
+    """Sweep attack duration x coverage; returns one row per point.
+
+    Each row carries the three paper metrics for Figures 3, 4, and 5.
+    """
+    base_protocol, base_sim = scaled_config()
+    if protocol_config is not None:
+        base_protocol = protocol_config
+    if sim_config is not None:
+        base_sim = sim_config
+
+    rows: List[Dict[str, object]] = []
+    for coverage in coverages:
+        for duration_days in durations_days:
+            factory = make_pipe_stoppage_factory(
+                attack_duration=units.days(duration_days),
+                coverage=coverage,
+                recuperation=units.days(recuperation_days),
+            )
+            result = run_attack_experiment(
+                label="pipe-stoppage d=%gd c=%d%%" % (duration_days, round(coverage * 100)),
+                protocol_config=base_protocol,
+                sim_config=base_sim,
+                adversary_factory=factory,
+                seeds=seeds,
+                parameters={"duration_days": duration_days, "coverage": coverage},
+            )
+            row = _row_from_result(result, duration_days, coverage)
+            inflation = max(base_sim.storage_damage_inflation, 1e-9)
+            row["normalized_access_failure_probability"] = (
+                row["access_failure_probability"] / inflation
+            )
+            rows.append(row)
+    return rows
+
+
+def _row_from_result(
+    result: ExperimentResult, duration_days: float, coverage: float
+) -> Dict[str, object]:
+    assessment = result.assessment
+    return {
+        "attack_duration_days": duration_days,
+        "coverage": coverage,
+        "access_failure_probability": assessment.access_failure_probability,
+        "baseline_access_failure_probability": (
+            assessment.baseline.access_failure_probability
+        ),
+        "delay_ratio": assessment.delay_ratio,
+        "coefficient_of_friction": assessment.coefficient_of_friction,
+        "successful_polls": assessment.attacked.successful_polls,
+        "failed_polls": assessment.attacked.failed_polls,
+    }
+
+
+def paper_scale_parameters() -> Dict[str, object]:
+    """The full Figures 3-5 parameter grid as reported by the paper."""
+    return {
+        "durations_days": (1, 5, 10, 30, 60, 90, 180),
+        "coverages": (0.10, 0.40, 0.70, 1.00),
+        "recuperation_days": 30,
+        "collection_sizes": (50, 600),
+        "n_peers": 100,
+        "duration_years": 2,
+        "runs_per_point": 3,
+    }
+
+
+FIGURE_COLUMNS = (
+    "attack_duration_days",
+    "coverage",
+    "access_failure_probability",
+    "delay_ratio",
+    "coefficient_of_friction",
+)
+
+
+def format_figures(rows: Sequence[Dict[str, object]]) -> str:
+    """Render sweep rows as the Figures 3-5 series table."""
+    return format_table(
+        FIGURE_COLUMNS,
+        [[row.get(column) for column in FIGURE_COLUMNS] for row in rows],
+    )

@@ -1,0 +1,113 @@
+"""Multi-seed experiment execution.
+
+The paper reports every data point as the average of 3 simulation runs; the
+ratio metrics (delay ratio, coefficient of friction, cost ratio) are defined
+against a no-attack baseline with identical parameters.  The runner builds
+attacked and baseline worlds from the same configurations and seeds, runs
+them, and averages before comparing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..config import ProtocolConfig, SimulationConfig
+from ..metrics.report import (
+    AttackAssessment,
+    RunMetrics,
+    average_metrics,
+    compare_runs,
+)
+from .world import AdversaryFactory, World, build_world
+
+
+@dataclass
+class ExperimentResult:
+    """Averaged attacked-vs-baseline comparison for one parameter point."""
+
+    label: str
+    assessment: AttackAssessment
+    attacked_runs: List[RunMetrics] = field(default_factory=list)
+    baseline_runs: List[RunMetrics] = field(default_factory=list)
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+
+def run_single(
+    protocol_config: ProtocolConfig,
+    sim_config: SimulationConfig,
+    adversary_factory: Optional[AdversaryFactory] = None,
+    keep_poll_records: bool = False,
+) -> RunMetrics:
+    """Build and run one world, returning its metrics."""
+    world = build_world(
+        protocol_config,
+        sim_config,
+        adversary_factory=adversary_factory,
+        keep_poll_records=keep_poll_records,
+    )
+    return world.run()
+
+
+def run_many(
+    protocol_config: ProtocolConfig,
+    sim_config: SimulationConfig,
+    seeds: Sequence[int],
+    adversary_factory: Optional[AdversaryFactory] = None,
+) -> List[RunMetrics]:
+    """Run the same configuration once per seed."""
+    results = []
+    for seed in seeds:
+        seeded = sim_config.with_overrides(seed=seed)
+        results.append(run_single(protocol_config, seeded, adversary_factory))
+    return results
+
+
+_BASELINE_CACHE: Dict[tuple, List[RunMetrics]] = {}
+
+
+def baseline_runs(
+    protocol_config: ProtocolConfig,
+    sim_config: SimulationConfig,
+    seeds: Sequence[int],
+    use_cache: bool = True,
+) -> List[RunMetrics]:
+    """Baseline (no-adversary) runs, cached per configuration and seed set.
+
+    Sweeps over attack parameters reuse the same baseline, so caching avoids
+    re-simulating the identical no-attack world for every sweep point.
+    """
+    key = (repr(protocol_config), repr(sim_config), tuple(seeds))
+    if use_cache and key in _BASELINE_CACHE:
+        return _BASELINE_CACHE[key]
+    runs = run_many(protocol_config, sim_config, seeds, adversary_factory=None)
+    if use_cache:
+        _BASELINE_CACHE[key] = runs
+    return runs
+
+
+def clear_baseline_cache() -> None:
+    """Drop all cached baseline runs (used by tests)."""
+    _BASELINE_CACHE.clear()
+
+
+def run_attack_experiment(
+    label: str,
+    protocol_config: ProtocolConfig,
+    sim_config: SimulationConfig,
+    adversary_factory: AdversaryFactory,
+    seeds: Sequence[int] = (1, 2, 3),
+    parameters: Optional[Dict[str, object]] = None,
+    use_baseline_cache: bool = True,
+) -> ExperimentResult:
+    """Run attacked and baseline worlds over ``seeds`` and compare averages."""
+    attacked = run_many(protocol_config, sim_config, seeds, adversary_factory)
+    baseline = baseline_runs(protocol_config, sim_config, seeds, use_cache=use_baseline_cache)
+    assessment = compare_runs(average_metrics(attacked), average_metrics(baseline))
+    return ExperimentResult(
+        label=label,
+        assessment=assessment,
+        attacked_runs=attacked,
+        baseline_runs=baseline,
+        parameters=dict(parameters or {}),
+    )

@@ -1,0 +1,79 @@
+"""Access-failure sampling.
+
+A reader accessing a damaged replica obtains bad data.  The access failure
+probability is therefore measured as the fraction of all replicas in the
+system that are damaged, averaged over all sampling time points of the
+experiment (Section 6.1).  The sampler walks the peer population at a fixed
+interval and records that fraction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..sim.engine import EventHandle, Simulator
+
+
+class AccessFailureSampler:
+    """Periodically samples the fraction of damaged replicas."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        peers: Sequence,
+        interval: float,
+        end_time: float,
+        start_time: float = 0.0,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.simulator = simulator
+        self.peers = list(peers)
+        self.interval = interval
+        self.end_time = end_time
+        self.start_time = start_time
+        self.samples: List[float] = []
+        self.sample_times: List[float] = []
+        self._handle: Optional[EventHandle] = None
+
+    def start(self) -> None:
+        """Begin periodic sampling."""
+        first = max(self.start_time, self.simulator.now) + self.interval
+        self._handle = self.simulator.call_every(
+            self.interval, self.sample_now, start=first, end=self.end_time
+        )
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def sample_now(self) -> float:
+        """Take one sample immediately and record it."""
+        fraction = self.current_fraction()
+        self.samples.append(fraction)
+        self.sample_times.append(self.simulator.now)
+        return fraction
+
+    def current_fraction(self) -> float:
+        """Fraction of replicas currently damaged across the population."""
+        total = 0
+        damaged = 0
+        for peer in self.peers:
+            replicas = peer.replicas
+            total += len(replicas)
+            damaged += replicas.damaged_count()
+        if total == 0:
+            return 0.0
+        return damaged / total
+
+    @property
+    def access_failure_probability(self) -> float:
+        """Mean of all samples taken so far (0 if none)."""
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    def max_fraction(self) -> float:
+        """Worst instantaneous damage fraction observed."""
+        return max(self.samples) if self.samples else 0.0

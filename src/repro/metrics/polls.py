@@ -1,0 +1,130 @@
+"""Per-poll outcome collection.
+
+Every concluded poll (successful, failed, or inconclusive) is reported to a
+shared :class:`PollStatistics` collector.  The collector keeps aggregate
+counters plus, per (peer, AU) series, the completion times of successful
+polls — the raw material of the delay-ratio metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PollRecord:
+    """Summary of one concluded poll."""
+
+    peer_id: str
+    au_id: str
+    started_at: float
+    concluded_at: float
+    success: bool
+    reason: str
+    inner_votes: int
+    agreeing: int
+    disagreeing: int
+    repairs: int
+    alarm: bool = False
+
+
+class PollStatistics:
+    """Aggregates poll outcomes and auxiliary protocol counters."""
+
+    def __init__(self, keep_records: bool = False) -> None:
+        #: Retain full :class:`PollRecord` objects (tests and examples); the
+        #: large experiment sweeps keep only aggregates.
+        self.keep_records = keep_records
+        self.records: List[PollRecord] = []
+        self.successful_polls = 0
+        self.failed_polls = 0
+        self.inconclusive_polls = 0
+        self.alarms = 0
+        self.failure_reasons: Dict[str, int] = {}
+        self.invitations_sent = 0
+        self.invitations_accepted = 0
+        self.invitations_refused = 0
+        self.votes_supplied = 0
+        self.votes_received = 0
+        self.repairs_supplied = 0
+        self.repairs_applied = 0
+        #: Successful poll completion times per (peer, AU) series.
+        self._success_times: Dict[Tuple[str, str], List[float]] = {}
+        #: All (peer, AU) series that called at least one poll.
+        self._series: set = set()
+
+    # -- poll outcomes ---------------------------------------------------------
+
+    def record_poll(self, record: PollRecord) -> None:
+        """Record one concluded poll."""
+        if self.keep_records:
+            self.records.append(record)
+        key = (record.peer_id, record.au_id)
+        self._series.add(key)
+        if record.alarm:
+            self.alarms += 1
+            self.inconclusive_polls += 1
+            self.failure_reasons["inconclusive"] = (
+                self.failure_reasons.get("inconclusive", 0) + 1
+            )
+        elif record.success:
+            self.successful_polls += 1
+            self._success_times.setdefault(key, []).append(record.concluded_at)
+        else:
+            self.failed_polls += 1
+            self.failure_reasons[record.reason] = self.failure_reasons.get(record.reason, 0) + 1
+
+    # -- auxiliary counters -------------------------------------------------------
+
+    def record_invitation(self, accepted: Optional[bool]) -> None:
+        """Record an invitation sent (``accepted`` None means still pending/no answer)."""
+        self.invitations_sent += 1
+        if accepted is True:
+            self.invitations_accepted += 1
+        elif accepted is False:
+            self.invitations_refused += 1
+
+    def record_vote_supplied(self) -> None:
+        self.votes_supplied += 1
+
+    def record_vote_received(self) -> None:
+        self.votes_received += 1
+
+    def record_repair_supplied(self) -> None:
+        self.repairs_supplied += 1
+
+    def record_repair_applied(self) -> None:
+        self.repairs_applied += 1
+
+    # -- derived quantities ----------------------------------------------------------
+
+    @property
+    def total_polls(self) -> int:
+        return self.successful_polls + self.failed_polls + self.inconclusive_polls
+
+    def successes_for(self, peer_id: str, au_id: str) -> List[float]:
+        """Completion times of successful polls for one (peer, AU) series."""
+        return list(self._success_times.get((peer_id, au_id), []))
+
+    def series_count(self) -> int:
+        """Number of (peer, AU) series that called at least one poll."""
+        return len(self._series)
+
+    def mean_time_between_successful_polls(self, observation_window: float) -> float:
+        """Mean time between successful polls across all (peer, AU) series.
+
+        Each series contributes ``observation_window / max(1, successes)``:
+        a series with no successful poll in the window contributes the whole
+        window, so prolonged attrition shows up as a growing mean rather than
+        a division by zero.
+        """
+        if observation_window <= 0:
+            raise ValueError("observation_window must be positive")
+        if not self._series:
+            return observation_window
+        total = 0.0
+        for key in self._series:
+            successes = len(self._success_times.get(key, ()))
+            total += observation_window / max(1, successes)
+        return total / len(self._series)

@@ -1,0 +1,243 @@
+"""Discrete-event simulation engine.
+
+A minimal but complete event-driven simulator: events are ``(time, priority,
+sequence)``-ordered callbacks kept in a binary heap.  Events can be cancelled,
+the clock only moves forward, and helpers exist for periodic processes (used
+by metric samplers and by adversary attack/recuperation cycles).
+
+The engine is deliberately free of any LOCKSS-specific behaviour so it can be
+reused by the network model, the storage-failure injector, the protocol state
+machines, and the adversaries alike.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation is used incorrectly.
+
+    Examples include scheduling an event in the past or running a simulator
+    that has already been stopped.
+    """
+
+
+class EventHandle:
+    """Handle to a scheduled event, allowing cancellation and inspection."""
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Cancel the event; it will be skipped when its time comes."""
+        self.cancelled = True
+        # Drop references eagerly so cancelled events do not pin large
+        # object graphs in the heap until they are popped.
+        self.callback = _noop
+        self.args = ()
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return "EventHandle(t=%.3f, %s)" % (self.time, state)
+
+
+def _noop(*_args: Any) -> None:
+    """Placeholder callback installed on cancelled events."""
+
+
+class RecurringEvent:
+    """Handle to a recurring callback created by :meth:`Simulator.call_every`."""
+
+    __slots__ = ("simulator", "interval", "callback", "args", "end", "cancelled", "_handle")
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        interval: float,
+        callback: Callable[..., None],
+        args: tuple,
+        end: Optional[float],
+    ) -> None:
+        self.simulator = simulator
+        self.interval = interval
+        self.callback = callback
+        self.args = args
+        self.end = end
+        self.cancelled = False
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def time(self) -> Optional[float]:
+        """Time of the next scheduled occurrence (None once finished)."""
+        return self._handle.time if self._handle is not None else None
+
+    def _arm(self, when: float) -> None:
+        self._handle = self.simulator.schedule_at(when, self._fire)
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        self.callback(*self.args)
+        next_time = self.simulator.now + self.interval
+        if self.cancelled or (self.end is not None and next_time > self.end):
+            self._handle = None
+            return
+        self._arm(next_time)
+
+    def cancel(self) -> None:
+        """Stop the recurrence; the pending occurrence (if any) is dropped."""
+        self.cancelled = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+
+class Simulator:
+    """Event queue with a simulated clock.
+
+    The simulator is the single source of simulated time.  All other
+    components hold a reference to it and schedule their work through
+    :meth:`schedule` / :meth:`schedule_at`.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[EventHandle] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError("cannot schedule an event in the past (delay=%r)" % delay)
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                "cannot schedule an event at %.3f before current time %.3f"
+                % (time, self._now)
+            )
+        handle = EventHandle(time, priority, next(self._seq), callback, args)
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def call_every(
+        self,
+        interval: float,
+        callback: Callable[..., None],
+        *args: Any,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> "RecurringEvent":
+        """Schedule ``callback`` to run every ``interval`` seconds.
+
+        Returns a :class:`RecurringEvent` whose ``cancel()`` stops the
+        recurrence.  ``end`` (absolute time) bounds the recurrence.
+        """
+        if interval <= 0:
+            raise SimulationError("interval must be positive")
+        first = self._now + interval if start is None else start
+        recurrence = RecurringEvent(self, interval, callback, args, end)
+        recurrence._arm(first)
+        return recurrence
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, until: float) -> None:
+        """Run the simulation until simulated time ``until`` (inclusive)."""
+        if self._running:
+            raise SimulationError("simulator is already running")
+        if until < self._now:
+            raise SimulationError("cannot run backwards in time")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._queue and not self._stopped:
+                event = self._queue[0]
+                if event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                callback, args = event.callback, event.args
+                # Release references before invoking so exceptions do not pin
+                # the event payload.
+                event.callback, event.args = _noop, ()
+                callback(*args)
+                self.events_processed += 1
+            self._now = max(self._now, until)
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Process a single pending event.  Returns False if none remain."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            callback, args = event.callback, event.args
+            event.callback, event.args = _noop, ()
+            callback(*args)
+            self.events_processed += 1
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Stop a running :meth:`run` loop after the current event."""
+        self._stopped = True
+
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Simulator(now=%.3f, pending=%d)" % (self._now, len(self._queue))

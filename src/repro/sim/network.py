@@ -1,0 +1,231 @@
+"""Delay-based network model with pipe stoppage.
+
+This reproduces the network model the paper uses in Narses: each peer connects
+to the network through a link with a fixed bandwidth (uniformly one of
+1.5/10/100 Mbps) and a fixed propagation latency (uniform in 1–30 ms).  The
+model accounts for serialization and propagation delay but not congestion —
+except for the artificial "congestion" of the pipe-stoppage adversary, which
+simply suppresses all communication to and from its victims.
+
+Identities vs. nodes
+--------------------
+The adversary controls unlimited network identities but only a bounded set of
+physical nodes.  The network therefore routes by *identity*: each identity is
+registered with the node that answers for it.  Loyal peers have exactly one
+identity; the adversary registers as many as its strategy needs, all answered
+by the adversary node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from .. import units
+from .engine import Simulator
+from .randomness import RandomStreams
+
+
+@dataclass
+class Message:
+    """A protocol message in flight.
+
+    ``payload`` is the protocol-level message object (one of the dataclasses
+    in :mod:`repro.core.messages` or an adversary-crafted object); the network
+    only looks at ``size_bytes``.
+    """
+
+    sender: str
+    recipient: str
+    payload: Any
+    size_bytes: int
+    sent_at: float = 0.0
+
+
+@dataclass
+class LinkProperties:
+    """Per-identity access-link characteristics."""
+
+    bandwidth_bps: float
+    latency: float
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic accounting, used by tests and experiment reports."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped_blocked: int = 0
+    messages_dropped_unknown: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+    per_identity_bytes_sent: Dict[str, int] = field(default_factory=dict)
+    per_identity_bytes_received: Dict[str, int] = field(default_factory=dict)
+
+
+class Node:
+    """Base class for anything attached to the network.
+
+    Subclasses (loyal peers, adversary nodes) override :meth:`receive_message`.
+    """
+
+    def __init__(self, node_id: str) -> None:
+        self.node_id = node_id
+
+    def receive_message(self, message: Message) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "%s(%r)" % (type(self).__name__, self.node_id)
+
+
+class Network:
+    """Routes messages between identities with serialization + propagation delay."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        streams: RandomStreams,
+        bandwidth_choices: Tuple[float, ...] = (
+            units.mbps(1.5),
+            units.mbps(10),
+            units.mbps(100),
+        ),
+        latency_range: Tuple[float, float] = (0.001, 0.030),
+    ) -> None:
+        self.simulator = simulator
+        self._rng = streams.stream("network")
+        self._bandwidth_choices = bandwidth_choices
+        self._latency_range = latency_range
+        self._nodes: Dict[str, Node] = {}
+        self._links: Dict[str, LinkProperties] = {}
+        self._blocked: Set[str] = set()
+        self.stats = NetworkStats()
+        #: Optional hook called for every delivered message; used by tests
+        #: and by traffic-tracing examples.
+        self.delivery_hook: Optional[Callable[[Message], None]] = None
+
+    # -- registration ------------------------------------------------------------
+
+    def register(self, node: Node, link: Optional[LinkProperties] = None) -> LinkProperties:
+        """Attach ``node`` under its own ``node_id`` identity."""
+        return self.register_identity(node.node_id, node, link)
+
+    def register_identity(
+        self, identity: str, node: Node, link: Optional[LinkProperties] = None
+    ) -> LinkProperties:
+        """Attach ``identity`` answered by ``node``; assign link properties.
+
+        Identities registered by the same node share that node's link unless
+        an explicit ``link`` is supplied (the adversary's identities all ride
+        its own, well-provisioned link).
+        """
+        if identity in self._nodes:
+            raise ValueError("identity %r already registered" % identity)
+        if link is None:
+            existing = self._links.get(node.node_id)
+            if existing is not None and node.node_id != identity:
+                link = existing
+            else:
+                link = LinkProperties(
+                    bandwidth_bps=self._rng.choice(self._bandwidth_choices),
+                    latency=self._rng.uniform(*self._latency_range),
+                )
+        self._nodes[identity] = node
+        self._links[identity] = link
+        return link
+
+    def is_registered(self, identity: str) -> bool:
+        return identity in self._nodes
+
+    def node_for(self, identity: str) -> Optional[Node]:
+        return self._nodes.get(identity)
+
+    def link_for(self, identity: str) -> Optional[LinkProperties]:
+        return self._links.get(identity)
+
+    # -- pipe stoppage --------------------------------------------------------------
+
+    def block(self, identity: str) -> None:
+        """Suppress all communication to and from ``identity`` (pipe stoppage)."""
+        self._blocked.add(identity)
+
+    def unblock(self, identity: str) -> None:
+        """Restore communication for ``identity``."""
+        self._blocked.discard(identity)
+
+    def is_blocked(self, identity: str) -> bool:
+        return identity in self._blocked
+
+    def blocked_identities(self) -> Set[str]:
+        return set(self._blocked)
+
+    # -- sending ---------------------------------------------------------------------
+
+    def send(self, sender: str, recipient: str, payload: Any, size_bytes: int) -> bool:
+        """Send ``payload`` from ``sender`` to ``recipient``.
+
+        Returns True if the message was put on the wire (it may still be lost
+        to pipe stoppage at the recipient's side), False if it was dropped
+        immediately because the sender is unknown or blocked.  Delivery is
+        silent-failure, matching the UDP-like "no error signal" behaviour the
+        protocol is designed around: peers rely on their own timeouts.
+        """
+        if sender not in self._nodes:
+            raise ValueError("unknown sender identity %r" % sender)
+        if size_bytes < 0:
+            raise ValueError("message size must be non-negative")
+
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += size_bytes
+        self.stats.per_identity_bytes_sent[sender] = (
+            self.stats.per_identity_bytes_sent.get(sender, 0) + size_bytes
+        )
+
+        if recipient not in self._nodes:
+            self.stats.messages_dropped_unknown += 1
+            return False
+        if sender in self._blocked or recipient in self._blocked:
+            self.stats.messages_dropped_blocked += 1
+            return False
+
+        src_link = self._links[sender]
+        dst_link = self._links[recipient]
+        bottleneck = min(src_link.bandwidth_bps, dst_link.bandwidth_bps)
+        delay = (
+            src_link.latency
+            + dst_link.latency
+            + units.transmission_time(size_bytes, bottleneck)
+        )
+        message = Message(
+            sender=sender,
+            recipient=recipient,
+            payload=payload,
+            size_bytes=size_bytes,
+            sent_at=self.simulator.now,
+        )
+        self.simulator.schedule(delay, self._deliver, message)
+        return True
+
+    # -- delivery ---------------------------------------------------------------------
+
+    def _deliver(self, message: Message) -> None:
+        # Pipe stoppage that began while the message was in flight also
+        # suppresses it: the adversary floods the victim's link continuously.
+        if message.sender in self._blocked or message.recipient in self._blocked:
+            self.stats.messages_dropped_blocked += 1
+            return
+        node = self._nodes.get(message.recipient)
+        if node is None:
+            self.stats.messages_dropped_unknown += 1
+            return
+        self.stats.messages_delivered += 1
+        self.stats.bytes_delivered += message.size_bytes
+        self.stats.per_identity_bytes_received[message.recipient] = (
+            self.stats.per_identity_bytes_received.get(message.recipient, 0)
+            + message.size_bytes
+        )
+        if self.delivery_hook is not None:
+            self.delivery_hook(message)
+        node.receive_message(message)

@@ -1,0 +1,87 @@
+"""Deterministic named RNG streams.
+
+Every stochastic subsystem of the simulation (link assignment, storage
+failures, protocol sampling decisions, adversary targeting, ...) draws from
+its own named stream derived from the master seed.  This keeps experiments
+reproducible and — more importantly for the paper's methodology — keeps the
+random decisions of one subsystem independent of how often another subsystem
+consumes randomness, so that e.g. enabling an adversary does not perturb the
+storage-failure sample path of the baseline run it is compared against.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict, Iterator, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def derive_seed(master_seed: int, name: str) -> int:
+    """Derive a child seed from ``master_seed`` and a stream ``name``.
+
+    Uses SHA-256 so that similar names ("peer-1", "peer-11") produce
+    unrelated seeds.
+    """
+    digest = hashlib.sha256(("%d/%s" % (master_seed, name)).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RandomStreams:
+    """A factory of named, independently-seeded :class:`random.Random` streams."""
+
+    def __init__(self, master_seed: int) -> None:
+        self.master_seed = master_seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the RNG stream for ``name``, creating it on first use."""
+        rng = self._streams.get(name)
+        if rng is None:
+            rng = random.Random(derive_seed(self.master_seed, name))
+            self._streams[name] = rng
+        return rng
+
+    def spawn(self, name: str) -> "RandomStreams":
+        """Return a child factory whose streams are independent of this one's."""
+        return RandomStreams(derive_seed(self.master_seed, "spawn/" + name))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams
+
+
+def exponential(rng: random.Random, rate: float) -> float:
+    """Draw an exponential inter-arrival time for a Poisson process."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    return rng.expovariate(rate)
+
+
+def sample_without_replacement(
+    rng: random.Random, population: Sequence[T], k: int
+) -> list:
+    """Sample ``min(k, len(population))`` distinct items from ``population``."""
+    k = min(k, len(population))
+    if k <= 0:
+        return []
+    return rng.sample(list(population), k)
+
+
+def jittered(rng: random.Random, value: float, fraction: float) -> float:
+    """Return ``value`` perturbed uniformly by up to ``±fraction``."""
+    if fraction <= 0:
+        return value
+    return value * (1.0 + rng.uniform(-fraction, fraction))
+
+
+def poisson_process(
+    rng: random.Random, rate: float, start: float, end: float
+) -> Iterator[float]:
+    """Yield event times of a Poisson process with ``rate`` on [start, end)."""
+    t = start
+    while True:
+        t += exponential(rng, rate)
+        if t >= end:
+            return
+        yield t

@@ -1,0 +1,102 @@
+"""Undetected storage failure ("bit rot") injection.
+
+The paper's damage model: each peer suffers undetected storage damage as a
+Poisson process with a mean rate of one damaged block per 1–5 disk-years,
+where a disk holds 50 AUs.  Each failure event corrupts one randomly chosen
+block of one randomly chosen AU at that peer.  The damage is *undetected*:
+nothing happens locally until a subsequent poll reveals the disagreement and
+triggers a repair.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..sim.engine import EventHandle, Simulator
+
+
+class StorageFailureModel:
+    """Schedules Poisson block-damage events at every registered peer."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        rng: random.Random,
+        rate_per_peer: float,
+        end_time: float,
+    ) -> None:
+        """
+        Args:
+            simulator: the simulation engine to schedule damage events on.
+            rng: dedicated random stream for storage failures.
+            rate_per_peer: damage events per second at each peer (already
+                scaled for the peer's collection size; see
+                :meth:`repro.config.SimulationConfig.storage_failure_rate_per_peer`).
+            end_time: no damage is scheduled beyond this simulated time.
+        """
+        if rate_per_peer < 0:
+            raise ValueError("rate_per_peer must be non-negative")
+        self.simulator = simulator
+        self.rng = rng
+        self.rate_per_peer = rate_per_peer
+        self.end_time = end_time
+        self.events_injected = 0
+        self._handles: Dict[str, EventHandle] = {}
+        self._damage_hook: Optional[Callable[[str, str, int], None]] = None
+
+    def set_damage_hook(self, hook: Callable[[str, str, int], None]) -> None:
+        """Install a callback ``hook(peer_id, au_id, block_index)`` for tests/metrics."""
+        self._damage_hook = hook
+
+    def register_peer(self, peer: "DamageablePeer") -> None:
+        """Start the damage process for ``peer``."""
+        if self.rate_per_peer <= 0:
+            return
+        self._schedule_next(peer)
+
+    def _schedule_next(self, peer: "DamageablePeer") -> None:
+        delay = self.rng.expovariate(self.rate_per_peer)
+        when = self.simulator.now + delay
+        if when > self.end_time:
+            return
+        handle = self.simulator.schedule_at(when, self._inject, peer)
+        self._handles[peer.peer_id] = handle
+
+    def _inject(self, peer: "DamageablePeer") -> None:
+        au_ids = list(peer.replicas.au_ids())
+        if au_ids:
+            au_id = self.rng.choice(au_ids)
+            replica = peer.replicas.get(au_id)
+            block_index = self.rng.randrange(replica.au.n_blocks)
+            replica.damage_block(block_index)
+            self.events_injected += 1
+            if self._damage_hook is not None:
+                self._damage_hook(peer.peer_id, au_id, block_index)
+        self._schedule_next(peer)
+
+    def stop(self) -> None:
+        """Cancel all pending damage events (used when tearing down a run)."""
+        for handle in self._handles.values():
+            handle.cancel()
+        self._handles.clear()
+
+
+class DamageablePeer:
+    """Structural interface the failure model needs from a peer.
+
+    Any object with a ``peer_id`` attribute and a ``replicas`` attribute
+    exposing ``au_ids()`` / ``get(au_id)`` works; defined here for
+    documentation and for lightweight test doubles.
+    """
+
+    peer_id: str
+    replicas: "ReplicaSetLike"
+
+
+class ReplicaSetLike:  # pragma: no cover - typing aid only
+    def au_ids(self) -> Sequence[str]:
+        raise NotImplementedError
+
+    def get(self, au_id: str):
+        raise NotImplementedError

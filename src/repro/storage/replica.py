@@ -1,0 +1,138 @@
+"""Block-level replica state.
+
+The experiments track, for every (peer, AU) pair, which blocks currently
+differ from the canonical content.  A replica with at least one damaged block
+is *damaged*; readers accessing it may receive bad data, which is exactly what
+the access-failure-probability metric measures.
+
+Damage is modeled per block with a *damage tag*: two replicas agree on a block
+iff they carry the same tag for it (``None`` meaning the canonical, undamaged
+content).  Independent random damage at two peers yields distinct tags, so
+they disagree with each other as well as with undamaged peers — matching the
+behaviour of real content hashes without materializing gigabytes of content.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+
+from .au import ArchivalUnit
+
+_damage_counter = itertools.count(1)
+
+
+def _fresh_damage_tag() -> int:
+    """Return a process-unique tag identifying one damage event's content."""
+    return next(_damage_counter)
+
+
+class Replica:
+    """One peer's replica of one AU, tracked at block granularity."""
+
+    __slots__ = ("au", "owner", "_damage", "damage_events", "repair_events")
+
+    def __init__(self, au: ArchivalUnit, owner: str) -> None:
+        self.au = au
+        self.owner = owner
+        #: Maps damaged block index -> damage tag.  Absent key == good block.
+        self._damage: Dict[int, int] = {}
+        self.damage_events = 0
+        self.repair_events = 0
+
+    # -- damage state -----------------------------------------------------------
+
+    @property
+    def is_damaged(self) -> bool:
+        """True if any block differs from the canonical content."""
+        return bool(self._damage)
+
+    @property
+    def damaged_blocks(self) -> Set[int]:
+        """Indices of blocks currently damaged."""
+        return set(self._damage)
+
+    def damage_tag(self, block_index: int) -> Optional[int]:
+        """The damage tag of ``block_index`` (None if undamaged)."""
+        return self._damage.get(block_index)
+
+    def damage_block(self, block_index: int, tag: Optional[int] = None) -> int:
+        """Corrupt block ``block_index``; returns the damage tag applied."""
+        if not 0 <= block_index < self.au.n_blocks:
+            raise IndexError("block index %d out of range" % block_index)
+        applied = _fresh_damage_tag() if tag is None else tag
+        self._damage[block_index] = applied
+        self.damage_events += 1
+        return applied
+
+    def repair_block(self, block_index: int, source_tag: Optional[int] = None) -> None:
+        """Install a repair for ``block_index``.
+
+        ``source_tag`` is the damage tag of the supplier's copy of the block:
+        repairing from an undamaged supplier (``None``) restores the canonical
+        content; repairing from a damaged supplier copies its damage.
+        """
+        if not 0 <= block_index < self.au.n_blocks:
+            raise IndexError("block index %d out of range" % block_index)
+        if source_tag is None:
+            self._damage.pop(block_index, None)
+        else:
+            self._damage[block_index] = source_tag
+        self.repair_events += 1
+
+    # -- comparison ---------------------------------------------------------------
+
+    def agrees_on_block(self, other: "Replica", block_index: int) -> bool:
+        """True if this replica and ``other`` hold identical content for the block."""
+        return self._damage.get(block_index) == other._damage.get(block_index)
+
+    def disagreement_blocks(self, other: "Replica") -> Set[int]:
+        """Blocks on which the two replicas differ."""
+        blocks = set(self._damage) | set(other._damage)
+        return {b for b in blocks if self._damage.get(b) != other._damage.get(b)}
+
+    def matches(self, other: "Replica") -> bool:
+        """True if the two replicas are block-for-block identical."""
+        return not self.disagreement_blocks(other)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Replica(au=%s, owner=%s, damaged=%d)" % (
+            self.au.au_id,
+            self.owner,
+            len(self._damage),
+        )
+
+
+class ReplicaSet:
+    """All replicas held by one peer, keyed by AU identifier."""
+
+    def __init__(self, owner: str) -> None:
+        self.owner = owner
+        self._replicas: Dict[str, Replica] = {}
+
+    def add(self, au: ArchivalUnit) -> Replica:
+        if au.au_id in self._replicas:
+            raise ValueError("peer %s already holds AU %s" % (self.owner, au.au_id))
+        replica = Replica(au, self.owner)
+        self._replicas[au.au_id] = replica
+        return replica
+
+    def get(self, au_id: str) -> Replica:
+        return self._replicas[au_id]
+
+    def __contains__(self, au_id: str) -> bool:
+        return au_id in self._replicas
+
+    def __len__(self) -> int:
+        return len(self._replicas)
+
+    def __iter__(self) -> Iterator[Replica]:
+        return iter(self._replicas.values())
+
+    def au_ids(self) -> Iterable[str]:
+        return self._replicas.keys()
+
+    def damaged_count(self) -> int:
+        """Number of this peer's replicas that are currently damaged."""
+        return sum(1 for replica in self._replicas.values() if replica.is_damaged)

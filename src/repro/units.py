@@ -1,0 +1,94 @@
+"""Time, size, and rate units used throughout the simulation.
+
+All simulated time is measured in seconds (floats), all data sizes in bytes
+(ints), and all bandwidths in bits per second, matching the conventions of the
+Narses simulator used in the paper.  This module centralizes the conversion
+constants so experiment configurations can be written in the units the paper
+uses ("3 months", "0.5 GBytes", "1.5 Mbps") without magic numbers scattered
+through the code.
+"""
+
+from __future__ import annotations
+
+# --- Time ------------------------------------------------------------------
+
+SECOND = 1.0
+MINUTE = 60.0 * SECOND
+HOUR = 60.0 * MINUTE
+DAY = 24.0 * HOUR
+WEEK = 7.0 * DAY
+MONTH = 30.0 * DAY
+YEAR = 365.0 * DAY
+
+# --- Data sizes -------------------------------------------------------------
+
+BYTE = 1
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+# --- Bandwidth --------------------------------------------------------------
+
+BPS = 1.0
+KBPS = 1000.0
+MBPS = 1000.0 * KBPS
+
+
+def months(n: float) -> float:
+    """Return ``n`` months expressed in seconds of simulated time."""
+    return n * MONTH
+
+
+def days(n: float) -> float:
+    """Return ``n`` days expressed in seconds of simulated time."""
+    return n * DAY
+
+
+def years(n: float) -> float:
+    """Return ``n`` years expressed in seconds of simulated time."""
+    return n * YEAR
+
+
+def mbps(n: float) -> float:
+    """Return ``n`` megabits per second expressed in bits per second."""
+    return n * MBPS
+
+
+def transmission_time(size_bytes: float, bandwidth_bps: float) -> float:
+    """Return the serialization delay of ``size_bytes`` over ``bandwidth_bps``.
+
+    The network model used by the paper (and reproduced here) accounts for
+    link serialization and propagation delay but not congestion, so the
+    transfer time of a message is simply ``8 * size / bandwidth``.
+    """
+    if bandwidth_bps <= 0:
+        raise ValueError("bandwidth must be positive, got %r" % bandwidth_bps)
+    return (8.0 * size_bytes) / bandwidth_bps
+
+
+def format_duration(seconds: float) -> str:
+    """Render a simulated duration in the most natural human unit.
+
+    Used by experiment reports; keeps tables readable ("90.0d" rather than
+    "7776000.0s").
+    """
+    if seconds >= YEAR:
+        return "%.1fy" % (seconds / YEAR)
+    if seconds >= DAY:
+        return "%.1fd" % (seconds / DAY)
+    if seconds >= HOUR:
+        return "%.1fh" % (seconds / HOUR)
+    if seconds >= MINUTE:
+        return "%.1fm" % (seconds / MINUTE)
+    return "%.1fs" % seconds
+
+
+def format_size(size_bytes: float) -> str:
+    """Render a data size in the most natural human unit."""
+    if size_bytes >= GB:
+        return "%.1fGB" % (size_bytes / GB)
+    if size_bytes >= MB:
+        return "%.1fMB" % (size_bytes / MB)
+    if size_bytes >= KB:
+        return "%.1fKB" % (size_bytes / KB)
+    return "%dB" % int(size_bytes)

@@ -1,0 +1,113 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import units
+from repro.config import ProtocolConfig, SimulationConfig, smoke_config
+from repro.core.peer import Peer
+from repro.crypto.effort import EffortScheme
+from repro.crypto.hashing import HashCostModel
+from repro.metrics.polls import PollStatistics
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.randomness import RandomStreams
+from repro.storage.au import ArchivalUnit
+
+
+@pytest.fixture
+def simulator() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    return RandomStreams(12345)
+
+
+@pytest.fixture
+def network(simulator, streams) -> Network:
+    return Network(simulator, streams)
+
+
+@pytest.fixture
+def protocol_config() -> ProtocolConfig:
+    protocol, _ = smoke_config()
+    return protocol
+
+
+@pytest.fixture
+def sim_config() -> SimulationConfig:
+    _, sim = smoke_config()
+    return sim
+
+
+@pytest.fixture
+def small_au() -> ArchivalUnit:
+    return ArchivalUnit(au_id="au-test", size_bytes=8 * units.MB, block_size=units.MB)
+
+
+@pytest.fixture
+def cost_model() -> HashCostModel:
+    return HashCostModel(hash_rate=40 * units.MB, disk_rate=60 * units.MB)
+
+
+@pytest.fixture
+def effort_scheme(protocol_config) -> EffortScheme:
+    return EffortScheme(verification_fraction=protocol_config.effort_verification_fraction)
+
+
+@pytest.fixture
+def collector() -> PollStatistics:
+    return PollStatistics(keep_records=True)
+
+
+def make_peer(
+    peer_id: str,
+    simulator: Simulator,
+    network: Network,
+    protocol_config: ProtocolConfig,
+    cost_model: HashCostModel,
+    effort_scheme: EffortScheme,
+    collector: PollStatistics,
+    seed: int = 0,
+) -> Peer:
+    """Create and register one peer (helper shared by several test modules)."""
+    peer = Peer(
+        peer_id=peer_id,
+        simulator=simulator,
+        network=network,
+        config=protocol_config,
+        cost_model=cost_model,
+        effort_scheme=effort_scheme,
+        rng=random.Random(seed),
+        collector=collector,
+    )
+    network.register(peer)
+    return peer
+
+
+@pytest.fixture
+def peer_factory(simulator, network, protocol_config, cost_model, effort_scheme, collector):
+    """Factory fixture producing registered peers that share one world."""
+
+    counter = {"n": 0}
+
+    def factory(peer_id: str = None, config: ProtocolConfig = None) -> Peer:
+        counter["n"] += 1
+        pid = peer_id if peer_id is not None else "peer-%02d" % counter["n"]
+        return make_peer(
+            pid,
+            simulator,
+            network,
+            config if config is not None else protocol_config,
+            cost_model,
+            effort_scheme,
+            collector,
+            seed=counter["n"],
+        )
+
+    return factory

@@ -1,0 +1,92 @@
+"""Tests for the repro-experiments command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.runner import clear_baseline_cache
+
+
+@pytest.fixture(autouse=True)
+def _clear_cache():
+    clear_baseline_cache()
+    yield
+    clear_baseline_cache()
+
+
+FAST_SCALE = ["--peers", "8", "--aus", "1", "--years", "0.6", "--seed", "5", "--seeds", "5"]
+
+
+class TestParser:
+    def test_requires_a_subcommand(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_baseline_defaults(self):
+        args = build_parser().parse_args(["baseline"])
+        assert args.command == "baseline"
+        assert args.intervals == [2.0, 3.0, 6.0, 12.0]
+        assert args.mtbf == [5.0]
+        assert args.seeds == [1]
+
+    def test_scale_arguments_are_parsed(self):
+        args = build_parser().parse_args(["pipe-stoppage", *FAST_SCALE])
+        assert args.peers == 8
+        assert args.aus == 1
+        assert args.years == 0.6
+        assert args.seeds == [5]
+
+    def test_comma_separated_lists(self):
+        args = build_parser().parse_args(
+            ["pipe-stoppage", "--durations", "5,30", "--coverages", "0.4,1.0"]
+        )
+        assert args.durations == [5.0, 30.0]
+        assert args.coverages == [0.4, 1.0]
+
+    def test_table1_defection_choices(self):
+        args = build_parser().parse_args(["table1", "--defections", "intro", "none"])
+        assert args.defections == ["intro", "none"]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--defections", "bogus"])
+
+    def test_ablation_requires_a_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ablation"])
+        args = build_parser().parse_args(["ablation", "effort"])
+        assert args.which == "effort"
+
+
+class TestExecution:
+    def test_baseline_command_prints_the_figure2_table(self, capsys):
+        exit_code = main(
+            ["baseline", *FAST_SCALE, "--intervals", "3", "--mtbf", "5"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Figure 2" in output
+        assert "poll_interval_months" in output
+        assert "3.000" in output
+
+    def test_pipe_stoppage_command_prints_the_metrics(self, capsys):
+        exit_code = main(
+            ["pipe-stoppage", *FAST_SCALE, "--durations", "60", "--coverages", "1.0"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "delay_ratio" in output
+        assert "coefficient_of_friction" in output
+
+    def test_table1_command_single_defection(self, capsys):
+        exit_code = main(["table1", *FAST_SCALE, "--defections", "intro"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Table 1" in output
+        assert "intro" in output
+        assert "cost_ratio" in output
+
+    def test_ablation_desync_command(self, capsys):
+        exit_code = main(["ablation", "desync", *FAST_SCALE])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "desynchronized" in output
+        assert "refusal_rate" in output

@@ -1,0 +1,148 @@
+"""Unit tests for the configuration dataclasses."""
+
+import dataclasses
+
+import pytest
+
+from repro import units
+from repro.config import (
+    ProtocolConfig,
+    SimulationConfig,
+    paper_config,
+    scaled_config,
+    smoke_config,
+)
+
+
+class TestProtocolConfig:
+    def test_paper_defaults(self):
+        config = ProtocolConfig()
+        assert config.poll_interval == units.months(3)
+        assert config.quorum == 10
+        assert config.max_disagreeing_votes == 3
+        assert config.drop_probability_unknown == pytest.approx(0.90)
+        assert config.drop_probability_debt == pytest.approx(0.80)
+        assert config.refractory_period == units.DAY
+        assert config.introductory_effort_fraction == pytest.approx(0.20)
+
+    def test_inner_circle_is_twice_quorum_by_default(self):
+        config = ProtocolConfig()
+        assert config.inner_circle_size == 20
+
+    def test_with_overrides_returns_new_object(self):
+        config = ProtocolConfig()
+        other = config.with_overrides(quorum=5)
+        assert other.quorum == 5
+        assert config.quorum == 10
+        assert other is not config
+
+    def test_rejects_zero_quorum(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(quorum=0)
+
+    def test_rejects_bad_drop_probability(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(drop_probability_unknown=1.5)
+
+    def test_rejects_inner_circle_smaller_than_quorum(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(inner_circle_factor=0.5)
+
+    def test_rejects_negative_poll_interval(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(poll_interval=-1.0)
+
+    def test_rejects_bad_introductory_fraction(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(introductory_effort_fraction=0.0)
+        with pytest.raises(ValueError):
+            ProtocolConfig(introductory_effort_fraction=1.0)
+
+    def test_rejects_phases_exceeding_interval(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(solicitation_fraction=0.8, outer_circle_fraction=0.3)
+
+    def test_is_frozen_against_accidental_sharing(self):
+        config = ProtocolConfig()
+        copy = config.with_overrides()
+        assert copy == config
+
+
+class TestSimulationConfig:
+    def test_paper_defaults(self):
+        config = SimulationConfig()
+        assert config.n_peers == 100
+        assert config.n_aus == 50
+        assert config.au_size == units.GB // 2
+        assert config.duration == units.years(2)
+        assert config.storage_mtbf_disk_years == 5.0
+
+    def test_blocks_per_au(self):
+        config = SimulationConfig(au_size=10 * units.MB, block_size=units.MB)
+        assert config.blocks_per_au == 10
+
+    def test_storage_failure_rate_scales_with_collection(self):
+        small = SimulationConfig(n_aus=50)
+        large = SimulationConfig(n_aus=600)
+        ratio = large.storage_failure_rate_per_peer / small.storage_failure_rate_per_peer
+        assert ratio == pytest.approx(12.0)
+
+    def test_storage_failure_rate_matches_paper_definition(self):
+        config = SimulationConfig(n_aus=50, storage_mtbf_disk_years=5.0)
+        expected = 1.0 / (5.0 * units.YEAR)
+        assert config.storage_failure_rate_per_peer == pytest.approx(expected)
+
+    def test_damage_inflation_multiplies_rate(self):
+        base = SimulationConfig(n_aus=50)
+        inflated = SimulationConfig(n_aus=50, storage_damage_inflation=10.0)
+        assert inflated.storage_failure_rate_per_peer == pytest.approx(
+            10.0 * base.storage_failure_rate_per_peer
+        )
+
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(n_peers=1)
+
+    def test_rejects_au_smaller_than_block(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(au_size=10, block_size=100)
+
+    def test_rejects_negative_inflation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(storage_damage_inflation=-1.0)
+
+    def test_rejects_invalid_latency_range(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(link_latency_range=(0.1, 0.01))
+
+    def test_with_overrides(self):
+        config = SimulationConfig()
+        other = config.with_overrides(seed=99, n_aus=7)
+        assert other.seed == 99
+        assert other.n_aus == 7
+        assert config.seed == 1
+
+
+class TestFactories:
+    def test_paper_config_uses_defaults(self):
+        protocol, sim = paper_config()
+        assert protocol.quorum == 10
+        assert sim.n_peers == 100
+
+    def test_scaled_config_preserves_protocol_structure(self):
+        protocol, sim = scaled_config()
+        assert protocol.inner_circle_size == 2 * protocol.quorum
+        assert sim.n_peers > 2 * protocol.inner_circle_size / 2
+        assert sim.initial_reference_list_size <= sim.n_peers - 1
+
+    def test_scaled_config_parametrization(self):
+        protocol, sim = scaled_config(n_peers=10, n_aus=1, seed=7)
+        assert sim.n_peers == 10
+        assert sim.n_aus == 1
+        assert sim.seed == 7
+
+    def test_smoke_config_is_small(self):
+        protocol, sim = smoke_config()
+        assert sim.n_peers <= 12
+        assert sim.duration <= units.years(1)
+        assert protocol.quorum <= 5

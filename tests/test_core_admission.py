@@ -1,0 +1,167 @@
+"""Unit tests for the admission-control filter."""
+
+import random
+
+import pytest
+
+from repro import units
+from repro.config import ProtocolConfig
+from repro.core.admission import AdmissionControl, AdmissionDecision
+from repro.core.reputation import Grade, IntroductionTable, KnownPeers
+
+
+def make_admission(
+    config=None, rng_seed=1, enabled=True
+) -> AdmissionControl:
+    config = config if config is not None else ProtocolConfig()
+    known = KnownPeers(decay_interval=config.grade_decay_interval)
+    intros = IntroductionTable(cap=config.max_outstanding_introductions)
+    return AdmissionControl(
+        config=config,
+        known_peers=known,
+        introductions=intros,
+        rng=random.Random(rng_seed),
+        enabled=enabled,
+    )
+
+
+class TestKnownPeerAdmission:
+    def test_even_peer_is_admitted(self):
+        admission = make_admission()
+        admission.known_peers.set_grade("friend", Grade.EVEN, now=0.0)
+        result = admission.consider("friend", now=1.0)
+        assert result.decision is AdmissionDecision.ADMITTED
+        assert result.cost == admission.config.session_setup_cost
+        assert not result.refractory_triggered
+
+    def test_credit_peer_is_admitted(self):
+        admission = make_admission()
+        admission.known_peers.set_grade("generous", Grade.CREDIT, now=0.0)
+        assert admission.consider("generous", now=1.0).decision.admitted
+
+    def test_known_peer_rate_limited_within_refractory_window(self):
+        admission = make_admission()
+        admission.known_peers.set_grade("friend", Grade.EVEN, now=0.0)
+        assert admission.consider("friend", now=0.0).decision.admitted
+        second = admission.consider("friend", now=units.HOUR)
+        assert second.decision is AdmissionDecision.DROPPED_RATE_LIMITED
+        assert second.cost == admission.config.drop_cost
+
+    def test_known_peer_admitted_again_after_window(self):
+        admission = make_admission()
+        admission.known_peers.set_grade("friend", Grade.EVEN, now=0.0)
+        admission.consider("friend", now=0.0)
+        later = admission.consider("friend", now=2 * units.DAY)
+        assert later.decision.admitted
+
+    def test_known_peer_admission_does_not_trigger_refractory(self):
+        admission = make_admission()
+        admission.known_peers.set_grade("friend", Grade.EVEN, now=0.0)
+        admission.consider("friend", now=0.0)
+        assert not admission.refractory.in_refractory(units.HOUR)
+
+
+class TestUnknownAndDebtAdmission:
+    def test_unknown_peer_dropped_with_high_probability(self):
+        admission = make_admission()
+        decisions = []
+        for attempt in range(300):
+            # Space the attempts beyond the refractory period so drops are
+            # governed purely by the random-drop probability.
+            now = attempt * 2 * units.DAY
+            decisions.append(admission.consider("stranger-%d" % attempt, now).decision)
+        admitted = sum(1 for d in decisions if d.admitted)
+        # Expect roughly 10% admission (0.90 drop probability).
+        assert 0.03 < admitted / len(decisions) < 0.22
+
+    def test_debt_peer_dropped_with_lower_probability_than_unknown(self):
+        config = ProtocolConfig()
+        unknown_admitted = 0
+        debt_admitted = 0
+        trials = 400
+        admission_u = make_admission(config, rng_seed=11)
+        admission_d = make_admission(config, rng_seed=11)
+        for attempt in range(trials):
+            now = attempt * 2 * units.DAY
+            if admission_u.consider("u-%d" % attempt, now).decision.admitted:
+                unknown_admitted += 1
+            admission_d.known_peers.set_grade("d-%d" % attempt, Grade.DEBT, now=now)
+            if admission_d.consider("d-%d" % attempt, now).decision.admitted:
+                debt_admitted += 1
+        assert debt_admitted > unknown_admitted
+
+    def test_admission_triggers_refractory_period(self):
+        admission = make_admission(rng_seed=3)
+        now = 0.0
+        while True:
+            result = admission.consider("stranger", now)
+            if result.decision.admitted:
+                assert result.refractory_triggered
+                break
+            now += 2 * units.DAY
+        # Any unknown/in-debt invitation inside the refractory period is dropped.
+        follow_up = admission.consider("other-stranger", now + units.HOUR)
+        assert follow_up.decision is AdmissionDecision.DROPPED_REFRACTORY
+
+    def test_even_peers_bypass_refractory(self):
+        admission = make_admission(rng_seed=3)
+        admission.known_peers.set_grade("friend", Grade.EVEN, now=0.0)
+        admission.refractory.trigger(now=0.0)
+        assert admission.consider("friend", now=units.HOUR).decision.admitted
+
+
+class TestIntroductions:
+    def test_introduced_peer_bypasses_drops_and_refractory(self):
+        admission = make_admission()
+        admission.refractory.trigger(now=0.0)
+        admission.introductions.add("newcomer", "sponsor")
+        result = admission.consider("newcomer", now=units.HOUR)
+        assert result.decision is AdmissionDecision.ADMITTED_INTRODUCED
+        assert result.introduction_consumed
+
+    def test_introduction_is_consumed_on_use(self):
+        admission = make_admission()
+        admission.introductions.add("newcomer", "sponsor")
+        admission.consider("newcomer", now=0.0)
+        assert not admission.introductions.has_introduction("newcomer")
+
+    def test_introduced_peer_becomes_known_even(self):
+        admission = make_admission()
+        admission.introductions.add("newcomer", "sponsor")
+        admission.consider("newcomer", now=0.0)
+        assert admission.known_peers.grade_of("newcomer", now=0.0) is Grade.EVEN
+
+
+class TestStatsAndAblation:
+    def test_stats_counters(self):
+        admission = make_admission(rng_seed=5)
+        admission.known_peers.set_grade("friend", Grade.EVEN, now=0.0)
+        admission.consider("friend", now=0.0)
+        admission.consider("friend", now=units.HOUR)
+        for attempt in range(20):
+            admission.consider("stranger-%d" % attempt, now=units.HOUR)
+        stats = admission.stats
+        assert stats.considered == 22
+        assert stats.admitted >= 1
+        assert stats.dropped_rate_limited == 1
+        assert (
+            stats.admitted
+            + stats.admitted_introduced
+            + stats.dropped_refractory
+            + stats.dropped_random
+            + stats.dropped_rate_limited
+            == stats.considered
+        )
+
+    def test_disabled_admission_admits_everything(self):
+        admission = make_admission(enabled=False)
+        for attempt in range(50):
+            result = admission.consider("stranger-%d" % attempt, now=0.0)
+            assert result.decision.admitted
+
+    def test_decision_admitted_property(self):
+        assert AdmissionDecision.ADMITTED.admitted
+        assert AdmissionDecision.ADMITTED_INTRODUCED.admitted
+        assert not AdmissionDecision.DROPPED_RANDOM.admitted
+        assert not AdmissionDecision.DROPPED_REFRACTORY.admitted
+        assert not AdmissionDecision.DROPPED_RATE_LIMITED.admitted

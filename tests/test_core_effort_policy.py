@@ -1,0 +1,95 @@
+"""Unit tests for the effort-balancing arithmetic."""
+
+import pytest
+
+from repro import units
+from repro.config import ProtocolConfig
+from repro.core.effort_policy import EffortPolicy
+from repro.crypto.hashing import HashCostModel
+from repro.storage.au import ArchivalUnit
+
+
+@pytest.fixture
+def au():
+    return ArchivalUnit("au", size_bytes=64 * units.MB, block_size=units.MB)
+
+
+@pytest.fixture
+def policy():
+    return EffortPolicy(ProtocolConfig(), HashCostModel(hash_rate=40 * units.MB))
+
+
+class TestElementaryCosts:
+    def test_au_hash_cost_matches_cost_model(self, policy, au):
+        assert policy.au_hash_cost(au) == pytest.approx(64 / 40)
+
+    def test_block_hash_cost(self, policy, au):
+        assert policy.block_hash_cost(au) == pytest.approx(1 / 40)
+
+    def test_repair_costs_are_positive_and_small(self, policy, au):
+        assert 0 < policy.repair_supply_cost(au) < policy.au_hash_cost(au)
+        assert 0 < policy.repair_apply_cost(au) < policy.au_hash_cost(au)
+
+
+class TestSolicitationBalance:
+    def test_poller_invests_more_than_the_voter(self, policy, au):
+        """The core effort-balancing invariant (Section 5.1)."""
+        effort = policy.solicitation(au)
+        assert effort.poller_total > effort.voter_total
+
+    def test_split_between_poll_and_pollproof(self, policy, au):
+        effort = policy.solicitation(au)
+        assert effort.introductory + effort.remaining == pytest.approx(effort.poller_total)
+        fraction = effort.introductory / effort.poller_total
+        assert fraction == pytest.approx(0.20)
+
+    def test_vote_proof_covers_single_block_hash(self, policy, au):
+        effort = policy.solicitation(au)
+        assert effort.vote_proof_generation >= policy.block_hash_cost(au)
+
+    def test_verification_much_cheaper_than_generation(self, policy, au):
+        effort = policy.solicitation(au)
+        assert effort.introductory_verification < 0.1 * effort.introductory
+        assert effort.remaining_verification < 0.1 * effort.remaining
+        assert effort.vote_proof_verification < 0.1 * effort.vote_generation
+
+    def test_vote_generation_dominates_voter_cost(self, policy, au):
+        effort = policy.solicitation(au)
+        assert effort.vote_generation > 0.8 * effort.voter_total
+
+    def test_bigger_au_costs_more(self, policy):
+        small = ArchivalUnit("s", size_bytes=16 * units.MB, block_size=units.MB)
+        big = ArchivalUnit("b", size_bytes=256 * units.MB, block_size=units.MB)
+        assert policy.solicitation(big).poller_total > policy.solicitation(small).poller_total
+        assert policy.solicitation(big).vote_generation > policy.solicitation(small).vote_generation
+
+    def test_intro_fraction_config_is_respected(self, au):
+        config = ProtocolConfig(introductory_effort_fraction=0.5)
+        policy = EffortPolicy(config, HashCostModel())
+        effort = policy.solicitation(au)
+        assert effort.introductory == pytest.approx(effort.remaining)
+
+    def test_adversary_repeat_attempts_cost_as_much_as_legitimacy(self, policy, au):
+        """Section 6.3's calibration: ~5 dropped attempts cost ~100% of the
+        legitimate poller effort (with the 0.2 in-debt admission probability
+        and 20% introductory fraction)."""
+        effort = policy.solicitation(au)
+        expected_attempts = 1.0 / 0.2
+        assert expected_attempts * effort.introductory == pytest.approx(
+            effort.poller_total, rel=0.01
+        )
+
+
+class TestCommitmentsAndEvaluation:
+    def test_voter_commitment_covers_vote_generation(self, policy, au):
+        effort = policy.solicitation(au)
+        assert policy.voter_commitment(au) >= effort.vote_generation
+
+    def test_evaluation_base_cost_is_one_au_pass(self, policy, au):
+        assert policy.evaluation_base_cost(au) == pytest.approx(policy.au_hash_cost(au))
+
+    def test_per_vote_evaluation_cost_is_marginal(self, policy, au):
+        assert policy.per_vote_evaluation_cost(au) < 0.1 * policy.evaluation_base_cost(au)
+
+    def test_receipt_cost_is_negligible(self, policy, au):
+        assert policy.evaluation_receipt_cost() < 1.0

@@ -1,0 +1,128 @@
+"""Unit tests for protocol messages and wire-size estimation."""
+
+import pytest
+
+from repro.core.messages import (
+    EvaluationReceipt,
+    Poll,
+    PollAck,
+    PollProof,
+    Repair,
+    RepairRequest,
+    Vote,
+    message_size,
+)
+from repro.crypto.effort import EffortScheme
+
+
+@pytest.fixture
+def scheme():
+    return EffortScheme()
+
+
+def make_poll(scheme):
+    return Poll(
+        poll_id="p1",
+        au_id="au",
+        poller_id="poller",
+        vote_deadline=1000.0,
+        introductory_effort=scheme.generate("poller", 1.0),
+    )
+
+
+class TestMessageConstruction:
+    def test_poll_fields(self, scheme):
+        poll = make_poll(scheme)
+        assert poll.poller_id == "poller"
+        assert poll.introductory_effort.valid
+
+    def test_poll_ack_refusal_carries_reason(self):
+        ack = PollAck(poll_id="p1", au_id="au", voter_id="v", accepted=False, reason="busy")
+        assert not ack.accepted
+        assert ack.reason == "busy"
+
+    def test_vote_defaults_not_bogus(self):
+        vote = Vote(
+            poll_id="p1",
+            au_id="au",
+            voter_id="v",
+            block_tags={3: 17},
+            nominations=("a", "b"),
+            vote_proof=None,
+        )
+        assert not vote.bogus
+        assert vote.block_tags == {3: 17}
+
+    def test_messages_are_immutable(self, scheme):
+        poll = make_poll(scheme)
+        with pytest.raises(Exception):
+            poll.poller_id = "other"  # type: ignore[misc]
+
+    def test_repair_carries_source_tag(self):
+        repair = Repair(
+            poll_id="p", au_id="au", voter_id="v", block_index=2, source_tag=None, block_size=1024
+        )
+        assert repair.source_tag is None
+        assert repair.block_index == 2
+
+
+class TestMessageSize:
+    def test_every_message_type_has_a_size(self, scheme):
+        poll = make_poll(scheme)
+        messages = [
+            poll,
+            PollAck(poll_id="p", au_id="au", voter_id="v", accepted=True),
+            PollProof(
+                poll_id="p", au_id="au", poller_id="x", nonce=b"n" * 20,
+                remaining_effort=scheme.generate("x", 1.0),
+            ),
+            Vote(
+                poll_id="p", au_id="au", voter_id="v", block_tags={}, nominations=(),
+                vote_proof=None,
+            ),
+            RepairRequest(poll_id="p", au_id="au", poller_id="x", block_index=0),
+            Repair(
+                poll_id="p", au_id="au", voter_id="v", block_index=0, source_tag=None,
+                block_size=4096,
+            ),
+            EvaluationReceipt(poll_id="p", au_id="au", poller_id="x", receipt=b"r" * 20),
+        ]
+        for message in messages:
+            assert message_size(message, n_blocks=8) > 0
+
+    def test_vote_size_scales_with_blocks(self):
+        vote = Vote(
+            poll_id="p", au_id="au", voter_id="v", block_tags={}, nominations=(),
+            vote_proof=None,
+        )
+        assert message_size(vote, n_blocks=512) > message_size(vote, n_blocks=8)
+
+    def test_vote_size_includes_nominations(self):
+        few = Vote(
+            poll_id="p", au_id="au", voter_id="v", block_tags={}, nominations=("a",),
+            vote_proof=None,
+        )
+        many = Vote(
+            poll_id="p", au_id="au", voter_id="v", block_tags={},
+            nominations=tuple("p%d" % i for i in range(10)), vote_proof=None,
+        )
+        assert message_size(many, n_blocks=8) > message_size(few, n_blocks=8)
+
+    def test_repair_is_dominated_by_block_size(self):
+        repair = Repair(
+            poll_id="p", au_id="au", voter_id="v", block_index=0, source_tag=None,
+            block_size=1024 * 1024,
+        )
+        assert message_size(repair) >= 1024 * 1024
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            message_size(object())
+
+    def test_poll_is_small_relative_to_repair(self, scheme):
+        poll = make_poll(scheme)
+        repair = Repair(
+            poll_id="p", au_id="au", voter_id="v", block_index=0, source_tag=None,
+            block_size=1024 * 1024,
+        )
+        assert message_size(poll) < message_size(repair) / 100

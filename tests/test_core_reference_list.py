@@ -1,0 +1,141 @@
+"""Unit tests for reference list and friends list maintenance."""
+
+import random
+
+import pytest
+
+from repro.core.reference_list import ReferenceList
+
+
+@pytest.fixture
+def rng():
+    return random.Random(42)
+
+
+class TestBasicContainer:
+    def test_add_and_contains(self):
+        ref = ReferenceList(owner="me")
+        assert ref.add("p1")
+        assert "p1" in ref
+        assert len(ref) == 1
+
+    def test_add_self_is_ignored(self):
+        ref = ReferenceList(owner="me")
+        assert not ref.add("me")
+        assert len(ref) == 0
+
+    def test_add_duplicate_is_ignored(self):
+        ref = ReferenceList(owner="me")
+        ref.add("p1")
+        assert not ref.add("p1")
+        assert len(ref) == 1
+
+    def test_remove(self):
+        ref = ReferenceList(owner="me")
+        ref.add("p1")
+        assert ref.remove("p1")
+        assert not ref.remove("p1")
+        assert "p1" not in ref
+
+    def test_extend_counts_added(self):
+        ref = ReferenceList(owner="me")
+        added = ref.extend(["p1", "p2", "p1", "me"])
+        assert added == 2
+
+    def test_friends_exclude_owner(self):
+        ref = ReferenceList(owner="me", friends=["me", "f1", "f2"])
+        assert ref.friends == ["f1", "f2"]
+
+    def test_rejects_bad_target_size(self):
+        with pytest.raises(ValueError):
+            ReferenceList(owner="me", target_size=0)
+
+
+class TestSampling:
+    def test_sample_returns_distinct_members(self, rng):
+        ref = ReferenceList(owner="me")
+        ref.extend("p%d" % i for i in range(20))
+        sample = ref.sample(rng, 10)
+        assert len(sample) == 10
+        assert len(set(sample)) == 10
+        assert all(peer in ref for peer in sample)
+
+    def test_sample_caps_at_population(self, rng):
+        ref = ReferenceList(owner="me")
+        ref.extend(["p1", "p2"])
+        assert sorted(ref.sample(rng, 10)) == ["p1", "p2"]
+
+    def test_sample_respects_exclusions(self, rng):
+        ref = ReferenceList(owner="me")
+        ref.extend(["p1", "p2", "p3"])
+        sample = ref.sample(rng, 3, exclude=["p2"])
+        assert "p2" not in sample
+
+    def test_inner_circle_topped_up_with_friends(self, rng):
+        ref = ReferenceList(owner="me", friends=["f1", "f2", "f3"])
+        ref.extend(["p1"])
+        circle = ref.sample_inner_circle(rng, 3)
+        assert len(circle) == 3
+        assert "p1" in circle
+        assert len([p for p in circle if p.startswith("f")]) == 2
+
+    def test_inner_circle_without_enough_candidates(self, rng):
+        ref = ReferenceList(owner="me", friends=["f1"])
+        circle = ref.sample_inner_circle(rng, 5)
+        assert circle == ["f1"]
+
+    def test_sample_friends(self, rng):
+        ref = ReferenceList(owner="me", friends=["f1", "f2", "f3"])
+        assert len(ref.sample_friends(rng, 2)) == 2
+        assert sorted(ref.sample_friends(rng, 10)) == ["f1", "f2", "f3"]
+
+
+class TestPostPollUpdate:
+    def test_update_removes_used_voters_and_adds_outer(self, rng):
+        ref = ReferenceList(owner="me", friends=["f1"])
+        ref.extend(["v1", "v2", "v3", "keep"])
+        ref.update_after_poll(
+            rng,
+            voters_used=["v1", "v2", "v3"],
+            agreeing_outer_circle=["new1", "new2"],
+            friend_bias_count=1,
+        )
+        assert "v1" not in ref and "v2" not in ref and "v3" not in ref
+        assert "new1" in ref and "new2" in ref
+        assert "keep" in ref
+        assert "f1" in ref
+
+    def test_update_trims_to_target_size(self, rng):
+        ref = ReferenceList(owner="me", target_size=5)
+        ref.extend("old%d" % i for i in range(5))
+        ref.update_after_poll(
+            rng,
+            voters_used=[],
+            agreeing_outer_circle=["new%d" % i for i in range(3)],
+            friend_bias_count=0,
+        )
+        assert len(ref) == 5
+        # The oldest entries are the ones trimmed.
+        assert "old0" not in ref
+        assert "new2" in ref
+
+    def test_update_with_no_discovery_keeps_list(self, rng):
+        ref = ReferenceList(owner="me")
+        ref.extend(["a", "b"])
+        ref.update_after_poll(rng, voters_used=[], agreeing_outer_circle=[], friend_bias_count=0)
+        assert sorted(ref.entries()) == ["a", "b"]
+
+    def test_churn_over_many_polls_keeps_list_bounded(self, rng):
+        ref = ReferenceList(owner="me", friends=["f1", "f2"], target_size=20)
+        ref.extend("p%d" % i for i in range(20))
+        for round_index in range(50):
+            circle = ref.sample(rng, 5)
+            newcomers = ["n%d-%d" % (round_index, i) for i in range(3)]
+            ref.update_after_poll(
+                rng,
+                voters_used=circle,
+                agreeing_outer_circle=newcomers,
+                friend_bias_count=1,
+            )
+            assert len(ref) <= 20
+        assert len(ref) > 0

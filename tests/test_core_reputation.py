@@ -1,0 +1,196 @@
+"""Unit tests for first-hand reputation, refractory periods, and introductions."""
+
+import pytest
+
+from repro import units
+from repro.core.reputation import Grade, IntroductionTable, KnownPeers, RefractoryState
+
+
+class TestGrade:
+    def test_ordering(self):
+        assert Grade.DEBT < Grade.EVEN < Grade.CREDIT
+
+    def test_raised_saturates_at_credit(self):
+        assert Grade.DEBT.raised() is Grade.EVEN
+        assert Grade.EVEN.raised() is Grade.CREDIT
+        assert Grade.CREDIT.raised() is Grade.CREDIT
+
+    def test_lowered_saturates_at_debt(self):
+        assert Grade.CREDIT.lowered() is Grade.EVEN
+        assert Grade.EVEN.lowered() is Grade.DEBT
+        assert Grade.DEBT.lowered() is Grade.DEBT
+
+
+class TestKnownPeers:
+    def setup_method(self):
+        self.known = KnownPeers(decay_interval=units.months(6))
+
+    def test_unknown_peer_has_no_grade(self):
+        assert self.known.grade_of("stranger", now=0.0) is None
+        assert self.known.is_unknown("stranger", now=0.0)
+
+    def test_vote_received_raises_grade(self):
+        self.known.set_grade("voter", Grade.DEBT, now=0.0)
+        self.known.record_vote_received("voter", now=0.0)
+        assert self.known.grade_of("voter", now=0.0) is Grade.EVEN
+        self.known.record_vote_received("voter", now=1.0)
+        assert self.known.grade_of("voter", now=1.0) is Grade.CREDIT
+
+    def test_vote_received_from_unknown_starts_at_credit(self):
+        # The grade is a clamped exchange balance: one vote received from a
+        # previously unknown peer puts that peer one step above even.
+        self.known.record_vote_received("voter", now=0.0)
+        assert self.known.grade_of("voter", now=0.0) is Grade.CREDIT
+
+    def test_vote_supplied_lowers_grade(self):
+        self.known.set_grade("poller", Grade.CREDIT, now=0.0)
+        self.known.record_vote_supplied("poller", now=1.0)
+        assert self.known.grade_of("poller", now=1.0) is Grade.EVEN
+        self.known.record_vote_supplied("poller", now=2.0)
+        assert self.known.grade_of("poller", now=2.0) is Grade.DEBT
+
+    def test_vote_supplied_to_unknown_starts_in_debt(self):
+        self.known.record_vote_supplied("poller", now=0.0)
+        assert self.known.grade_of("poller", now=0.0) is Grade.DEBT
+
+    def test_penalize_goes_straight_to_debt(self):
+        self.known.set_grade("cheat", Grade.CREDIT, now=0.0)
+        self.known.penalize("cheat", now=1.0)
+        assert self.known.grade_of("cheat", now=1.0) is Grade.DEBT
+
+    def test_grades_decay_toward_debt(self):
+        self.known.set_grade("idle", Grade.CREDIT, now=0.0)
+        assert self.known.grade_of("idle", now=units.months(3)) is Grade.CREDIT
+        assert self.known.grade_of("idle", now=units.months(7)) is Grade.EVEN
+        assert self.known.grade_of("idle", now=units.months(13)) is Grade.DEBT
+
+    def test_decay_never_forgets_the_peer(self):
+        self.known.set_grade("idle", Grade.EVEN, now=0.0)
+        assert self.known.grade_of("idle", now=units.years(10)) is Grade.DEBT
+        assert not self.known.is_unknown("idle", now=units.years(10))
+
+    def test_ensure_known_does_not_overwrite(self):
+        self.known.set_grade("p", Grade.CREDIT, now=0.0)
+        self.known.ensure_known("p", now=1.0, grade=Grade.EVEN)
+        assert self.known.grade_of("p", now=1.0) is Grade.CREDIT
+
+    def test_reciprocity_cycle(self):
+        """A supplies to B, B supplies back: both end up even or better."""
+        a_view = KnownPeers(decay_interval=units.months(6))
+        b_view = KnownPeers(decay_interval=units.months(6))
+        # B votes for A: A raises B, B lowers A.
+        a_view.record_vote_received("B", now=0.0)
+        b_view.record_vote_supplied("A", now=0.0)
+        # A votes for B: B raises A, A lowers B.
+        b_view.record_vote_received("A", now=1.0)
+        a_view.record_vote_supplied("B", now=1.0)
+        assert a_view.grade_of("B", now=1.0) in (Grade.EVEN, Grade.CREDIT)
+        assert b_view.grade_of("A", now=1.0) in (Grade.EVEN, Grade.CREDIT)
+
+    def test_rejects_bad_decay_interval(self):
+        with pytest.raises(ValueError):
+            KnownPeers(decay_interval=0.0)
+
+    def test_known_peers_listing(self):
+        self.known.set_grade("a", Grade.EVEN, now=0.0)
+        self.known.set_grade("b", Grade.DEBT, now=0.0)
+        assert sorted(self.known.known_peers()) == ["a", "b"]
+        assert len(self.known) == 2
+        assert "a" in self.known
+
+
+class TestRefractoryState:
+    def test_initially_not_refractory(self):
+        state = RefractoryState(period=units.DAY)
+        assert not state.in_refractory(0.0)
+
+    def test_trigger_starts_period(self):
+        state = RefractoryState(period=units.DAY)
+        state.trigger(now=100.0)
+        assert state.in_refractory(100.0 + units.HOUR)
+        assert not state.in_refractory(100.0 + units.DAY + 1)
+        assert state.triggers == 1
+
+    def test_remaining(self):
+        state = RefractoryState(period=units.DAY)
+        state.trigger(now=0.0)
+        assert state.remaining(now=units.HOUR) == pytest.approx(23 * units.HOUR)
+        assert state.remaining(now=2 * units.DAY) == 0.0
+
+    def test_retrigger_extends(self):
+        state = RefractoryState(period=units.DAY)
+        state.trigger(now=0.0)
+        state.trigger(now=0.5 * units.DAY)
+        assert state.in_refractory(1.2 * units.DAY)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            RefractoryState(period=0.0)
+
+
+class TestIntroductionTable:
+    def test_add_and_has(self):
+        table = IntroductionTable(cap=10)
+        table.add("newcomer", "sponsor")
+        assert table.has_introduction("newcomer")
+        assert not table.has_introduction("sponsor")
+        assert len(table) == 1
+
+    def test_self_introduction_ignored(self):
+        table = IntroductionTable(cap=10)
+        table.add("peer", "peer")
+        assert len(table) == 0
+
+    def test_consume_removes_introducee(self):
+        table = IntroductionTable(cap=10)
+        table.add("newcomer", "sponsor")
+        assert table.consume("newcomer")
+        assert not table.has_introduction("newcomer")
+        assert not table.consume("newcomer")
+
+    def test_consume_forgets_other_introductions_by_same_sponsor(self):
+        table = IntroductionTable(cap=10)
+        table.add("a", "sponsor")
+        table.add("b", "sponsor")
+        table.consume("a")
+        assert not table.has_introduction("b")
+
+    def test_consume_forgets_other_sponsors_of_same_introducee(self):
+        table = IntroductionTable(cap=10)
+        table.add("a", "sponsor1")
+        table.add("a", "sponsor2")
+        table.add("c", "sponsor2")
+        table.consume("a")
+        assert not table.has_introduction("a")
+        # sponsor2's other introduction is also forgotten (one honored per
+        # introducer).
+        assert not table.has_introduction("c")
+
+    def test_cap_evicts_oldest(self):
+        table = IntroductionTable(cap=2)
+        table.add("a", "s1")
+        table.add("b", "s2")
+        table.add("c", "s3")
+        assert not table.has_introduction("a")
+        assert table.has_introduction("b")
+        assert table.has_introduction("c")
+        assert len(table) == 2
+
+    def test_remove_introducer_drops_its_introductions(self):
+        table = IntroductionTable(cap=10)
+        table.add("a", "leaving")
+        table.add("b", "leaving")
+        table.add("b", "staying")
+        table.remove_introducer("leaving")
+        assert not table.has_introduction("a")
+        assert table.has_introduction("b")
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ValueError):
+            IntroductionTable(cap=0)
+
+    def test_outstanding_listing(self):
+        table = IntroductionTable(cap=10)
+        table.add("a", "s")
+        table.add("b", "s")
+        assert table.outstanding() == {"a", "b"}

@@ -1,0 +1,117 @@
+"""Unit tests for the per-peer task schedule."""
+
+import pytest
+
+from repro.core.scheduler import TaskSchedule
+
+
+class TestFindSlot:
+    def test_empty_schedule_starts_at_earliest(self):
+        schedule = TaskSchedule()
+        assert schedule.find_slot(10.0, earliest=5.0, deadline=100.0) == 5.0
+
+    def test_slot_must_fit_before_deadline(self):
+        schedule = TaskSchedule()
+        assert schedule.find_slot(10.0, earliest=95.0, deadline=100.0) is None
+
+    def test_slot_after_existing_reservation(self):
+        schedule = TaskSchedule()
+        schedule.reserve(10.0, earliest=0.0, deadline=100.0)
+        assert schedule.find_slot(5.0, earliest=0.0, deadline=100.0) == 10.0
+
+    def test_slot_in_gap_between_reservations(self):
+        schedule = TaskSchedule()
+        schedule.reserve_at(0.0, 10.0)
+        schedule.reserve_at(30.0, 10.0)
+        assert schedule.find_slot(5.0, earliest=0.0, deadline=100.0) == 10.0
+        assert schedule.find_slot(25.0, earliest=0.0, deadline=100.0) == 40.0
+
+    def test_rejects_non_positive_duration(self):
+        schedule = TaskSchedule()
+        with pytest.raises(ValueError):
+            schedule.find_slot(0.0, 0.0, 10.0)
+
+
+class TestReserve:
+    def test_reservations_never_overlap(self):
+        schedule = TaskSchedule()
+        reservations = [schedule.reserve(7.0, 0.0, 1000.0) for _ in range(20)]
+        assert all(r is not None for r in reservations)
+        ordered = sorted(reservations, key=lambda r: r.start)
+        for earlier, later in zip(ordered, ordered[1:]):
+            assert earlier.end <= later.start
+
+    def test_reserve_returns_none_when_full(self):
+        schedule = TaskSchedule()
+        assert schedule.reserve(50.0, 0.0, 100.0) is not None
+        assert schedule.reserve(60.0, 0.0, 100.0) is None
+        assert schedule.refusals == 1
+
+    def test_reserve_at_rejects_overlap(self):
+        schedule = TaskSchedule()
+        assert schedule.reserve_at(10.0, 10.0) is not None
+        assert schedule.reserve_at(15.0, 10.0) is None
+        assert schedule.reserve_at(20.0, 5.0) is not None
+
+    def test_reserve_at_rejects_bad_duration(self):
+        schedule = TaskSchedule()
+        with pytest.raises(ValueError):
+            schedule.reserve_at(0.0, 0.0)
+
+    def test_total_reserved_tracks_durations(self):
+        schedule = TaskSchedule()
+        schedule.reserve(5.0, 0.0, 100.0)
+        schedule.reserve(7.0, 0.0, 100.0)
+        assert schedule.total_reserved == pytest.approx(12.0)
+
+    def test_labels_are_preserved(self):
+        schedule = TaskSchedule()
+        reservation = schedule.reserve(5.0, 0.0, 100.0, label="vote:poll-1")
+        assert reservation.label == "vote:poll-1"
+
+
+class TestCancelAndPrune:
+    def test_cancel_releases_the_slot(self):
+        schedule = TaskSchedule()
+        reservation = schedule.reserve(50.0, 0.0, 100.0)
+        assert schedule.reserve(60.0, 0.0, 100.0) is None
+        assert schedule.cancel(reservation)
+        assert schedule.reserve(60.0, 0.0, 100.0) is not None
+
+    def test_cancel_twice_returns_false(self):
+        schedule = TaskSchedule()
+        reservation = schedule.reserve(5.0, 0.0, 100.0)
+        assert schedule.cancel(reservation)
+        assert not schedule.cancel(reservation)
+
+    def test_prune_drops_finished_reservations(self):
+        schedule = TaskSchedule()
+        schedule.reserve_at(0.0, 10.0)
+        schedule.reserve_at(20.0, 10.0)
+        schedule.reserve_at(100.0, 10.0)
+        dropped = schedule.prune(now=50.0)
+        assert dropped == 2
+        assert len(schedule) == 1
+
+    def test_prune_keeps_in_progress_reservations(self):
+        schedule = TaskSchedule()
+        schedule.reserve_at(0.0, 100.0)
+        assert schedule.prune(now=50.0) == 0
+
+
+class TestUtilization:
+    def test_busy_time_counts_overlap_only(self):
+        schedule = TaskSchedule()
+        schedule.reserve_at(0.0, 10.0)
+        schedule.reserve_at(20.0, 10.0)
+        assert schedule.busy_time(5.0, 25.0) == pytest.approx(10.0)
+
+    def test_utilization_fraction(self):
+        schedule = TaskSchedule()
+        schedule.reserve_at(0.0, 50.0)
+        assert schedule.utilization(0.0, 100.0) == pytest.approx(0.5)
+
+    def test_empty_window(self):
+        schedule = TaskSchedule()
+        assert schedule.busy_time(10.0, 10.0) == 0.0
+        assert schedule.utilization(10.0, 5.0) == 0.0

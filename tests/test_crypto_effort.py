@@ -1,0 +1,137 @@
+"""Unit tests for proofs of effort and effort accounting."""
+
+import pytest
+
+from repro.crypto.effort import (
+    EffortAccount,
+    EffortProof,
+    EffortScheme,
+    MemoryBoundFunction,
+    verification_cost,
+)
+
+
+class TestEffortProof:
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValueError):
+            EffortProof(claimed_cost=-1.0, valid=True, byproduct=b"", producer="p")
+
+    def test_is_frozen(self):
+        proof = EffortProof(claimed_cost=1.0, valid=True, byproduct=b"x", producer="p")
+        with pytest.raises(Exception):
+            proof.claimed_cost = 2.0  # type: ignore[misc]
+
+
+class TestEffortScheme:
+    def test_generate_produces_valid_proof(self):
+        scheme = EffortScheme()
+        proof = scheme.generate("alice", 5.0)
+        assert proof.valid
+        assert proof.claimed_cost == 5.0
+        assert proof.producer == "alice"
+        assert len(proof.byproduct) == 20
+
+    def test_byproducts_are_unique(self):
+        scheme = EffortScheme()
+        a = scheme.generate("alice", 1.0)
+        b = scheme.generate("alice", 1.0)
+        assert a.byproduct != b.byproduct
+
+    def test_forge_produces_invalid_proof_at_no_cost(self):
+        scheme = EffortScheme()
+        proof = scheme.forge("mallory", claimed_cost=100.0)
+        assert not proof.valid
+        assert not scheme.verify(proof, 1.0)
+
+    def test_verify_checks_validity_and_cost(self):
+        scheme = EffortScheme()
+        proof = scheme.generate("alice", 5.0)
+        assert scheme.verify(proof, 5.0)
+        assert scheme.verify(proof, 4.0)
+        assert not scheme.verify(proof, 6.0)
+
+    def test_verify_rejects_none(self):
+        scheme = EffortScheme()
+        assert not scheme.verify(None, 0.0)
+
+    def test_verification_is_cheaper_than_generation(self):
+        scheme = EffortScheme(verification_fraction=0.02)
+        proof = scheme.generate("alice", 10.0)
+        assert scheme.verification_cost(proof) == pytest.approx(0.2)
+        assert scheme.verification_cost(proof) < proof.claimed_cost
+
+    def test_rejects_bad_verification_fraction(self):
+        with pytest.raises(ValueError):
+            EffortScheme(verification_fraction=0.0)
+        with pytest.raises(ValueError):
+            EffortScheme(verification_fraction=1.0)
+
+    def test_module_level_verification_cost(self):
+        assert verification_cost(100.0, 0.05) == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            verification_cost(-1.0)
+
+
+class TestEffortAccount:
+    def test_charges_accumulate_by_category(self):
+        account = EffortAccount()
+        account.charge("hash", 2.0)
+        account.charge("hash", 3.0)
+        account.charge("verify", 1.0)
+        assert account.total == pytest.approx(6.0)
+        assert account.category("hash") == pytest.approx(5.0)
+        assert account.category("verify") == pytest.approx(1.0)
+        assert account.category("missing") == 0.0
+
+    def test_rejects_negative_charge(self):
+        account = EffortAccount()
+        with pytest.raises(ValueError):
+            account.charge("hash", -1.0)
+
+    def test_merge_combines_accounts(self):
+        a = EffortAccount()
+        b = EffortAccount()
+        a.charge("hash", 1.0)
+        b.charge("hash", 2.0)
+        b.charge("repair", 4.0)
+        a.merge(b)
+        assert a.total == pytest.approx(7.0)
+        assert a.category("hash") == pytest.approx(3.0)
+        assert a.category("repair") == pytest.approx(4.0)
+
+
+class TestMemoryBoundFunction:
+    def test_prove_and_verify_roundtrip(self):
+        mbf = MemoryBoundFunction(table_size=256, walk_length=16)
+        proof = mbf.prove(b"challenge", iterations=8)
+        assert mbf.verify(b"challenge", proof)
+
+    def test_wrong_challenge_fails(self):
+        mbf = MemoryBoundFunction(table_size=256, walk_length=16)
+        proof = mbf.prove(b"challenge", iterations=8)
+        assert not mbf.verify(b"other", proof)
+
+    def test_tampered_endpoints_fail(self):
+        mbf = MemoryBoundFunction(table_size=256, walk_length=16)
+        proof = mbf.prove(b"challenge", iterations=8)
+        proof["endpoints"][0] = (proof["endpoints"][0] + 1) % 256
+        assert not mbf.verify(b"challenge", proof)
+
+    def test_malformed_proof_fails(self):
+        mbf = MemoryBoundFunction()
+        assert not mbf.verify(b"c", {"endpoints": "nope", "iterations": 1, "binding": b""})
+        assert not mbf.verify(b"c", {"endpoints": [], "iterations": 0, "binding": b""})
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            MemoryBoundFunction(table_size=1)
+        mbf = MemoryBoundFunction()
+        with pytest.raises(ValueError):
+            mbf.prove(b"c", iterations=0)
+
+    def test_more_iterations_cost_more_work(self):
+        # Structural check: the proof size scales with the requested effort.
+        mbf = MemoryBoundFunction(table_size=128, walk_length=8)
+        small = mbf.prove(b"c", iterations=4)
+        large = mbf.prove(b"c", iterations=32)
+        assert len(large["endpoints"]) > len(small["endpoints"])

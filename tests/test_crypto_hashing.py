@@ -1,0 +1,97 @@
+"""Unit tests for content hashing and the hash cost model."""
+
+import random
+
+import pytest
+
+from repro import units
+from repro.crypto.hashing import ContentHasher, HashCostModel, make_nonce, vote_size_bytes
+from repro.storage.au import ArchivalUnit, synthetic_content
+
+
+class TestHashCostModel:
+    def test_hash_time_is_linear_in_size(self):
+        model = HashCostModel(hash_rate=40 * units.MB)
+        assert model.hash_time(40 * units.MB) == pytest.approx(1.0)
+        assert model.hash_time(80 * units.MB) == pytest.approx(2.0)
+
+    def test_read_time_uses_disk_rate(self):
+        model = HashCostModel(disk_rate=60 * units.MB)
+        assert model.read_time(60 * units.MB) == pytest.approx(1.0)
+
+    def test_rejects_negative_sizes(self):
+        model = HashCostModel()
+        with pytest.raises(ValueError):
+            model.hash_time(-1)
+        with pytest.raises(ValueError):
+            model.read_time(-1)
+
+    def test_paper_au_hash_time_is_reasonable(self):
+        # A 0.5 GB AU at 40 MB/s takes about 13 seconds on the reference PC.
+        model = HashCostModel(hash_rate=40 * units.MB)
+        assert 10.0 < model.hash_time(units.GB // 2) < 20.0
+
+
+class TestMakeNonce:
+    def test_nonce_length(self):
+        nonce = make_nonce(random.Random(1))
+        assert len(nonce) == 20
+
+    def test_nonces_differ(self):
+        rng = random.Random(1)
+        assert make_nonce(rng) != make_nonce(rng)
+
+    def test_nonce_is_deterministic_per_seed(self):
+        assert make_nonce(random.Random(5)) == make_nonce(random.Random(5))
+
+
+class TestContentHasher:
+    def setup_method(self):
+        self.hasher = ContentHasher()
+        self.au = ArchivalUnit("au-x", size_bytes=4 * units.KB, block_size=units.KB)
+        self.blocks = synthetic_content(self.au)
+
+    def test_running_hashes_one_per_block(self):
+        hashes = self.hasher.running_hashes(b"nonce", self.blocks)
+        assert len(hashes) == self.au.n_blocks
+
+    def test_identical_content_yields_identical_hashes(self):
+        a = self.hasher.running_hashes(b"nonce", self.blocks)
+        b = self.hasher.running_hashes(b"nonce", list(self.blocks))
+        assert a == b
+
+    def test_different_nonce_changes_every_hash(self):
+        a = self.hasher.running_hashes(b"nonce-1", self.blocks)
+        b = self.hasher.running_hashes(b"nonce-2", self.blocks)
+        assert all(x != y for x, y in zip(a, b))
+
+    def test_damage_in_block_k_changes_hashes_from_k_onwards(self):
+        damaged = list(self.blocks)
+        damaged[2] = b"\x00" * len(damaged[2])
+        good = self.hasher.running_hashes(b"n", self.blocks)
+        bad = self.hasher.running_hashes(b"n", damaged)
+        assert good[0] == bad[0]
+        assert good[1] == bad[1]
+        assert good[2] != bad[2]
+        assert good[3] != bad[3]
+
+    def test_block_proof_binds_nonce_index_and_content(self):
+        proof = self.hasher.block_proof(b"n", 1, self.blocks[1])
+        assert proof != self.hasher.block_proof(b"m", 1, self.blocks[1])
+        assert proof != self.hasher.block_proof(b"n", 2, self.blocks[1])
+        assert proof != self.hasher.block_proof(b"n", 1, self.blocks[2])
+
+    def test_digest_is_stable(self):
+        assert self.hasher.digest(b"abc") == self.hasher.digest(b"abc")
+
+
+class TestVoteSize:
+    def test_vote_size_grows_with_blocks(self):
+        assert vote_size_bytes(100) > vote_size_bytes(10)
+
+    def test_vote_size_counts_twenty_bytes_per_block(self):
+        assert vote_size_bytes(10, digest_size=20, overhead=0) == 200
+
+    def test_rejects_negative_blocks(self):
+        with pytest.raises(ValueError):
+            vote_size_bytes(-1)

@@ -1,0 +1,238 @@
+"""Integration tests for the experiment harness (runner, sweeps, reporting)."""
+
+import pytest
+
+from repro import units
+from repro.adversary.brute_force import DefectionPoint
+from repro.config import smoke_config
+from repro.experiments import ablation, admission_attack, baseline, effortful, pipe_stoppage
+from repro.experiments.reporting import format_table, format_value, rows_from_dicts
+from repro.experiments.runner import (
+    baseline_runs,
+    clear_baseline_cache,
+    run_attack_experiment,
+    run_many,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clear_cache():
+    clear_baseline_cache()
+    yield
+    clear_baseline_cache()
+
+
+@pytest.fixture
+def smoke():
+    protocol, sim = smoke_config()
+    # Shorten further so each harness test runs in a couple of seconds.
+    return protocol, sim.with_overrides(duration=units.months(7))
+
+
+class TestRunner:
+    def test_run_many_produces_one_result_per_seed(self, smoke):
+        protocol, sim = smoke
+        results = run_many(protocol, sim, seeds=(1, 2))
+        assert len(results) == 2
+
+    def test_baseline_cache_reuses_runs(self, smoke):
+        protocol, sim = smoke
+        first = baseline_runs(protocol, sim, seeds=(1,))
+        second = baseline_runs(protocol, sim, seeds=(1,))
+        assert first is second
+        clear_baseline_cache()
+        third = baseline_runs(protocol, sim, seeds=(1,))
+        assert third is not first
+
+    def test_run_attack_experiment_compares_against_baseline(self, smoke):
+        protocol, sim = smoke
+        factory = pipe_stoppage.make_pipe_stoppage_factory(
+            attack_duration=units.days(90), coverage=1.0, recuperation=units.days(15)
+        )
+        result = run_attack_experiment(
+            "pipe", protocol, sim, factory, seeds=(1,), parameters={"coverage": 1.0}
+        )
+        assert result.assessment.delay_ratio >= 1.0
+        assert result.assessment.cost_ratio is None
+        assert result.parameters == {"coverage": 1.0}
+        assert len(result.attacked_runs) == 1
+        assert len(result.baseline_runs) == 1
+
+
+class TestSweeps:
+    def test_baseline_sweep_rows_have_expected_columns(self, smoke):
+        protocol, sim = smoke
+        rows = baseline.baseline_sweep(
+            poll_intervals_months=(2.0, 4.0),
+            storage_mtbf_years=(1.0,),
+            collection_sizes=(1,),
+            seeds=(1,),
+            protocol_config=protocol,
+            sim_config=sim,
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert set(baseline.FIGURE2_COLUMNS) <= set(row)
+            assert row["normalized_access_failure_probability"] <= row[
+                "access_failure_probability"
+            ]
+        assert rows[0]["poll_interval_months"] == 2.0
+        assert rows[1]["poll_interval_months"] == 4.0
+
+    def test_baseline_reference_point(self, smoke):
+        protocol, sim = smoke
+        row = baseline.baseline_reference_point(
+            seeds=(1,), protocol_config=protocol, sim_config=sim
+        )
+        assert row["poll_interval_months"] == 3.0
+        assert row["storage_mtbf_years"] == 5.0
+
+    def test_pipe_stoppage_sweep_structure(self, smoke):
+        protocol, sim = smoke
+        rows = pipe_stoppage.pipe_stoppage_sweep(
+            durations_days=(60.0,),
+            coverages=(1.0,),
+            seeds=(1,),
+            protocol_config=protocol,
+            sim_config=sim,
+            recuperation_days=15.0,
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["coverage"] == 1.0
+        assert row["delay_ratio"] >= 1.0
+        assert row["coefficient_of_friction"] > 0
+        assert "normalized_access_failure_probability" in row
+
+    def test_admission_sweep_structure(self, smoke):
+        protocol, sim = smoke
+        rows = admission_attack.admission_attack_sweep(
+            durations_days=(60.0,),
+            coverages=(1.0,),
+            seeds=(1,),
+            protocol_config=protocol,
+            sim_config=sim,
+            invitations_per_victim_per_day=6.0,
+        )
+        assert len(rows) == 1
+        assert rows[0]["attack_duration_days"] == 60.0
+        assert rows[0]["delay_ratio"] > 0
+
+    def test_effortful_table_structure(self, smoke):
+        protocol, sim = smoke
+        rows = effortful.effortful_table(
+            defections=(DefectionPoint.INTRO, DefectionPoint.NONE),
+            collection_sizes=(1,),
+            seeds=(1,),
+            protocol_config=protocol,
+            sim_config=sim,
+        )
+        assert [row["defection"] for row in rows] == ["intro", "none"]
+        for row in rows:
+            assert row["cost_ratio"] is not None and row["cost_ratio"] > 0
+            assert row["coefficient_of_friction"] > 0
+            assert set(effortful.TABLE1_COLUMNS) <= set(row)
+
+    def test_paper_scale_parameter_documentation(self):
+        assert baseline.paper_scale_parameters()["runs_per_point"] == 3
+        assert 180 in pipe_stoppage.paper_scale_parameters()["durations_days"]
+        assert 720 in admission_attack.paper_scale_parameters()["durations_days"]
+        table1 = effortful.paper_scale_parameters()
+        assert ("NONE", 600) in table1["paper_values"]
+
+
+class TestAblation:
+    def test_admission_control_ablation_shows_the_defense_helps(self, smoke):
+        protocol, sim = smoke
+        rows = ablation.admission_control_ablation(
+            attack_duration_days=60.0,
+            coverage=1.0,
+            invitations_per_victim_per_day=48.0,
+            seeds=(1,),
+            protocol_config=protocol,
+            sim_config=sim,
+        )
+        assert [row["admission_control"] for row in rows] == [True, False]
+        enabled, disabled = rows
+        # With the filter disabled, every garbage invitation is considered,
+        # so the defenders do at least as much work per successful poll.
+        assert disabled["loyal_effort"] >= enabled["loyal_effort"]
+
+    def test_effort_balancing_ablation_cheapens_the_attack(self, smoke):
+        protocol, sim = smoke
+        rows = ablation.effort_balancing_ablation(
+            introductory_fractions=(0.20, 0.02),
+            seeds=(1,),
+            protocol_config=protocol,
+            sim_config=sim,
+        )
+        assert len(rows) == 2
+        full_toll, tiny_toll = rows
+        assert tiny_toll["adversary_effort"] < full_toll["adversary_effort"]
+
+    def test_desynchronization_ablation_reports_both_modes(self, smoke):
+        protocol, sim = smoke
+        rows = ablation.desynchronization_ablation(
+            seeds=(1,), protocol_config=protocol, sim_config=sim
+        )
+        assert [row["mode"] for row in rows] == ["desynchronized", "synchronized"]
+        for row in rows:
+            assert 0.0 <= row["success_rate"] <= 1.0
+
+
+class TestReporting:
+    def test_format_value_styles(self):
+        assert format_value(None) == "-"
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+        assert format_value(3) == "3"
+        assert format_value(0.5) == "0.500"
+        assert format_value(5.9e-4) == "5.90e-04"
+        assert format_value("x") == "x"
+
+    def test_format_table_alignment_and_rows(self):
+        table = format_table(["name", "value"], [["a", 1], ["long-name", 2.5]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("| name")
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+        assert "long-name" in lines[3]
+
+    def test_rows_from_dicts_projects_columns(self):
+        records = [{"a": 1, "b": 2}, {"a": 3}]
+        assert rows_from_dicts(records, ["a", "b"]) == [[1, 2], [3, None]]
+
+    def test_figure_formatters_render(self):
+        rows = [
+            {
+                "poll_interval_months": 3,
+                "storage_mtbf_years": 5,
+                "n_aus": 1,
+                "access_failure_probability": 1e-3,
+                "successful_polls": 10,
+                "failed_polls": 1,
+            }
+        ]
+        assert "poll_interval_months" in baseline.format_figure2(rows)
+        attack_rows = [
+            {
+                "attack_duration_days": 30,
+                "coverage": 1.0,
+                "access_failure_probability": 2e-3,
+                "delay_ratio": 1.5,
+                "coefficient_of_friction": 1.2,
+            }
+        ]
+        assert "delay_ratio" in pipe_stoppage.format_figures(attack_rows)
+        assert "delay_ratio" in admission_attack.format_figures(attack_rows)
+        table1_rows = [
+            {
+                "defection": "none",
+                "n_aus": 1,
+                "coefficient_of_friction": 2.5,
+                "cost_ratio": 1.0,
+                "delay_ratio": 1.1,
+                "access_failure_probability": 5e-4,
+            }
+        ]
+        assert "cost_ratio" in effortful.format_table1(table1_rows)

@@ -1,0 +1,195 @@
+"""Integration tests for the three adversary classes against real worlds."""
+
+import pytest
+
+from repro import units
+from repro.adversary.base import AttackSchedule
+from repro.adversary.brute_force import DefectionPoint
+from repro.config import smoke_config
+from repro.experiments.admission_attack import make_admission_flood_factory
+from repro.experiments.effortful import make_brute_force_factory
+from repro.experiments.pipe_stoppage import make_pipe_stoppage_factory
+from repro.experiments.world import build_world
+
+
+def run_world(adversary_factory=None, seed=3, **sim_overrides):
+    protocol, sim = smoke_config(seed=seed)
+    sim = sim.with_overrides(**sim_overrides) if sim_overrides else sim
+    world = build_world(protocol, sim, adversary_factory=adversary_factory)
+    metrics = world.run()
+    return world, metrics
+
+
+class TestAttackSchedule:
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AttackSchedule(attack_duration=0.0, coverage=0.5)
+        with pytest.raises(ValueError):
+            AttackSchedule(attack_duration=1.0, coverage=0.0)
+        with pytest.raises(ValueError):
+            AttackSchedule(attack_duration=1.0, coverage=1.5)
+        with pytest.raises(ValueError):
+            AttackSchedule(attack_duration=1.0, coverage=0.5, recuperation=-1.0)
+
+    def test_pick_victims_respects_coverage(self):
+        import random
+
+        schedule = AttackSchedule(attack_duration=units.DAY, coverage=0.5)
+        population = ["p%d" % i for i in range(10)]
+        victims = schedule.pick_victims(random.Random(1), population)
+        assert len(victims) == 5
+        assert set(victims) <= set(population)
+
+    def test_cycle_length(self):
+        schedule = AttackSchedule(
+            attack_duration=10 * units.DAY, coverage=1.0, recuperation=30 * units.DAY
+        )
+        assert schedule.cycle_length == 40 * units.DAY
+
+
+class TestPipeStoppage:
+    def test_full_coverage_long_attack_suppresses_polls(self):
+        baseline_world, baseline = run_world()
+        factory = make_pipe_stoppage_factory(
+            attack_duration=units.days(120), coverage=1.0, recuperation=units.days(15)
+        )
+        attacked_world, attacked = run_world(adversary_factory=factory)
+        assert attacked.successful_polls < baseline.successful_polls
+        assert attacked.failed_polls > baseline.failed_polls
+        assert (
+            attacked.mean_time_between_successful_polls
+            > baseline.mean_time_between_successful_polls
+        )
+
+    def test_attack_is_effortless(self):
+        factory = make_pipe_stoppage_factory(attack_duration=units.days(30), coverage=0.5)
+        _, attacked = run_world(adversary_factory=factory)
+        assert attacked.adversary_effort == 0.0
+
+    def test_blackout_is_released_during_recuperation(self):
+        factory = make_pipe_stoppage_factory(
+            attack_duration=units.days(10), coverage=1.0, recuperation=units.days(30)
+        )
+        world, _ = run_world(adversary_factory=factory)
+        # By the end of the run every blackout has been lifted or will be
+        # lifted; the network must not stay permanently blocked.
+        assert world.adversary.cycles_started >= 2
+        assert len(world.network.blocked_identities()) <= world.sim_config.n_peers
+
+    def test_partial_coverage_hurts_less_than_full(self):
+        small_factory = make_pipe_stoppage_factory(
+            attack_duration=units.days(120), coverage=0.2, recuperation=units.days(15)
+        )
+        full_factory = make_pipe_stoppage_factory(
+            attack_duration=units.days(120), coverage=1.0, recuperation=units.days(15)
+        )
+        _, small = run_world(adversary_factory=small_factory)
+        _, full = run_world(adversary_factory=full_factory)
+        assert full.successful_polls < small.successful_polls
+
+
+class TestAdmissionFlood:
+    def test_flood_triggers_refractory_periods(self):
+        factory = make_admission_flood_factory(
+            attack_duration=units.days(200),
+            coverage=1.0,
+            invitations_per_victim_per_day=8.0,
+        )
+        world, _ = run_world(adversary_factory=factory)
+        triggers = sum(
+            peer.au_state(au.au_id).admission.refractory.triggers
+            for peer in world.peers
+            for au in world.aus
+        )
+        assert triggers > 0
+        assert world.adversary.invitations_sent > 0
+
+    def test_flood_barely_moves_poll_success(self):
+        _, baseline = run_world()
+        factory = make_admission_flood_factory(
+            attack_duration=units.days(200),
+            coverage=1.0,
+            invitations_per_victim_per_day=8.0,
+        )
+        _, attacked = run_world(adversary_factory=factory)
+        assert attacked.successful_polls >= 0.8 * baseline.successful_polls
+
+    def test_flood_is_effortless_for_the_adversary(self):
+        factory = make_admission_flood_factory(
+            attack_duration=units.days(60), coverage=0.5
+        )
+        _, attacked = run_world(adversary_factory=factory)
+        assert attacked.adversary_effort == 0.0
+
+    def test_garbage_invitations_never_earn_good_grades(self):
+        factory = make_admission_flood_factory(
+            attack_duration=units.days(200),
+            coverage=1.0,
+            invitations_per_victim_per_day=8.0,
+        )
+        world, _ = run_world(adversary_factory=factory)
+        from repro.core.reputation import Grade
+
+        adversary_ids = set(world.adversary.identities)
+        now = world.simulator.now
+        for peer in world.peers:
+            for au in world.aus:
+                known = peer.au_state(au.au_id).known_peers
+                for identity in adversary_ids & set(known.known_peers()):
+                    assert known.grade_of(identity, now) is Grade.DEBT
+
+
+class TestBruteForce:
+    def test_full_participation_raises_friction(self):
+        _, baseline = run_world()
+        factory = make_brute_force_factory(
+            DefectionPoint.NONE, attempts_per_victim_au_per_day=5.0
+        )
+        world, attacked = run_world(adversary_factory=factory)
+        baseline_friction = baseline.loyal_effort / max(1, baseline.successful_polls)
+        attacked_friction = attacked.loyal_effort / max(1, attacked.successful_polls)
+        assert attacked_friction > 1.2 * baseline_friction
+        assert attacked.adversary_effort > 0
+        assert world.adversary.votes_received > 0
+
+    def test_intro_defection_never_sends_poll_proof(self):
+        factory = make_brute_force_factory(DefectionPoint.INTRO)
+        world, attacked = run_world(adversary_factory=factory)
+        assert world.adversary.invitations_admitted > 0
+        assert world.adversary.votes_received == 0
+
+    def test_remaining_defection_receives_votes_but_wastes_them(self):
+        factory = make_brute_force_factory(DefectionPoint.REMAINING)
+        world, _ = run_world(adversary_factory=factory)
+        assert world.adversary.votes_received > 0
+
+    def test_attack_barely_moves_poll_success(self):
+        _, baseline = run_world()
+        factory = make_brute_force_factory(DefectionPoint.NONE)
+        _, attacked = run_world(adversary_factory=factory)
+        assert attacked.successful_polls >= 0.75 * baseline.successful_polls
+
+    def test_adversary_identities_start_in_debt(self):
+        factory = make_brute_force_factory(DefectionPoint.INTRO)
+        protocol, sim = smoke_config(seed=3)
+        world = build_world(protocol, sim, adversary_factory=factory)
+        world.start()
+        from repro.core.reputation import Grade
+
+        peer = world.peers[0]
+        au = world.aus[0]
+        known = peer.au_state(au.au_id).known_peers
+        for identity in world.adversary.identities[:10]:
+            assert known.grade_of(identity, world.simulator.now) is Grade.DEBT
+
+    def test_oracle_skips_busy_victims(self):
+        factory = make_brute_force_factory(DefectionPoint.INTRO)
+        protocol, sim = smoke_config(seed=3)
+        world = build_world(protocol, sim, adversary_factory=factory)
+        # Saturate every victim's schedule so the oracle skips all attempts.
+        for peer in world.peers:
+            peer.schedule.reserve_at(0.0, sim.duration * 2, label="saturated")
+        world.start()
+        world.simulator.run(until=units.days(30))
+        assert world.adversary.oracle_skips > 0
+        assert world.adversary.invitations_sent == 0

@@ -1,0 +1,274 @@
+"""Integration tests of the voter-side filters and session state machine.
+
+A scripted "poller" node crafts individual protocol messages so each defense
+can be exercised in isolation: bogus introductory effort, desertion after the
+Poll, desertion after the PollProof, forged receipts, repair service, and
+schedule-driven refusals.
+"""
+
+import pytest
+
+from repro import units
+from repro.core.messages import (
+    EvaluationReceipt,
+    Poll,
+    PollAck,
+    PollProof,
+    RepairRequest,
+    Vote,
+    message_size,
+)
+from repro.core.reputation import Grade
+from repro.core.voter import VoterState
+from repro.sim.network import Node
+
+
+class ScriptedPoller(Node):
+    """A network node that records replies and sends hand-crafted messages."""
+
+    def __init__(self, node_id, network):
+        super().__init__(node_id)
+        self.network = network
+        self.received = []
+        network.register(self)
+
+    def receive_message(self, message):
+        self.received.append(message.payload)
+
+    def send(self, recipient, payload):
+        self.network.send(self.node_id, recipient, payload, message_size(payload, n_blocks=8))
+
+    def payloads(self, cls):
+        return [p for p in self.received if isinstance(p, cls)]
+
+
+@pytest.fixture
+def victim(peer_factory, small_au):
+    """A single loyal peer preserving one AU, with an empty reference list."""
+    peer = peer_factory("victim")
+    peer.add_au(small_au, friends=(), initial_reference_list=())
+    return peer
+
+
+@pytest.fixture
+def scripted(network):
+    return ScriptedPoller("scripted-poller", network)
+
+
+def admitted_invitation(victim, scripted, small_au, simulator, effort_scheme, poll_id="poll-1"):
+    """Send a valid invitation, marking the scripted poller EVEN so it is admitted."""
+    state = victim.au_state(small_au.au_id)
+    state.known_peers.set_grade(scripted.node_id, Grade.EVEN, simulator.now)
+    effort = victim.effort_policy.solicitation(small_au)
+    invitation = Poll(
+        poll_id=poll_id,
+        au_id=small_au.au_id,
+        poller_id=scripted.node_id,
+        vote_deadline=simulator.now + 20 * units.DAY,
+        introductory_effort=effort_scheme.generate(scripted.node_id, effort.introductory),
+    )
+    scripted.send(victim.peer_id, invitation)
+    return invitation, effort
+
+
+class TestInvitationFiltering:
+    def test_valid_invitation_from_known_peer_is_accepted(
+        self, simulator, victim, scripted, small_au, effort_scheme
+    ):
+        admitted_invitation(victim, scripted, small_au, simulator, effort_scheme)
+        simulator.run(until=units.HOUR)
+        acks = scripted.payloads(PollAck)
+        assert len(acks) == 1
+        assert acks[0].accepted
+        assert victim.active_voter_sessions() == 1
+
+    def test_bogus_introductory_effort_is_rejected_and_penalized(
+        self, simulator, victim, scripted, small_au, effort_scheme
+    ):
+        state = victim.au_state(small_au.au_id)
+        state.known_peers.set_grade(scripted.node_id, Grade.EVEN, 0.0)
+        invitation = Poll(
+            poll_id="bogus-1",
+            au_id=small_au.au_id,
+            poller_id=scripted.node_id,
+            vote_deadline=simulator.now + 20 * units.DAY,
+            introductory_effort=effort_scheme.forge(scripted.node_id, claimed_cost=100.0),
+        )
+        scripted.send(victim.peer_id, invitation)
+        simulator.run(until=units.HOUR)
+        assert scripted.payloads(PollAck) == []
+        assert victim.active_voter_sessions() == 0
+        assert state.known_peers.grade_of(scripted.node_id, simulator.now) is Grade.DEBT
+
+    def test_unknown_au_is_ignored(self, simulator, victim, scripted, small_au, effort_scheme):
+        invitation = Poll(
+            poll_id="x",
+            au_id="not-preserved-here",
+            poller_id=scripted.node_id,
+            vote_deadline=simulator.now + units.DAY,
+            introductory_effort=effort_scheme.generate(scripted.node_id, 1.0),
+        )
+        scripted.send(victim.peer_id, invitation)
+        simulator.run(until=units.HOUR)
+        assert scripted.received == []
+        assert victim.effort.total == 0.0
+
+    def test_busy_schedule_leads_to_refusal(
+        self, simulator, victim, scripted, small_au, effort_scheme
+    ):
+        # Fill the victim's schedule for the next 30 days.
+        victim.schedule.reserve_at(0.0, 30 * units.DAY, label="busy")
+        admitted_invitation(victim, scripted, small_au, simulator, effort_scheme)
+        simulator.run(until=units.HOUR)
+        acks = scripted.payloads(PollAck)
+        assert len(acks) == 1
+        assert not acks[0].accepted
+        assert acks[0].reason == "busy"
+        assert victim.active_voter_sessions() == 0
+
+    def test_duplicate_poll_id_is_ignored(
+        self, simulator, victim, scripted, small_au, effort_scheme
+    ):
+        admitted_invitation(victim, scripted, small_au, simulator, effort_scheme)
+        simulator.run(until=units.HOUR)
+        # Re-sending the same invitation must not open a second session.
+        admitted_invitation(victim, scripted, small_au, simulator, effort_scheme)
+        simulator.run(until=2 * units.HOUR)
+        assert victim.active_voter_sessions() == 1
+
+
+class TestDesertionAndWastefulAttacks:
+    def test_poller_desertion_after_poll_penalizes_and_frees_slot(
+        self, simulator, victim, scripted, small_au, effort_scheme
+    ):
+        """INTRO desertion: no PollProof ever arrives (reservation attack)."""
+        admitted_invitation(victim, scripted, small_au, simulator, effort_scheme)
+        simulator.run(until=units.HOUR)
+        assert victim.active_voter_sessions() == 1
+        reserved_before = victim.schedule.total_reserved
+        simulator.run(until=victim.config.poll_proof_timeout + 2 * units.HOUR)
+        assert victim.active_voter_sessions() == 0
+        assert victim.schedule.total_reserved < reserved_before
+        state = victim.au_state(small_au.au_id)
+        assert state.known_peers.grade_of(scripted.node_id, simulator.now) is Grade.DEBT
+
+    def test_underpaid_poll_proof_is_rejected(
+        self, simulator, victim, scripted, small_au, effort_scheme
+    ):
+        invitation, effort = admitted_invitation(
+            victim, scripted, small_au, simulator, effort_scheme
+        )
+        simulator.run(until=units.HOUR)
+        proof = PollProof(
+            poll_id=invitation.poll_id,
+            au_id=small_au.au_id,
+            poller_id=scripted.node_id,
+            nonce=b"n" * 20,
+            remaining_effort=effort_scheme.generate(scripted.node_id, effort.remaining * 0.1),
+        )
+        scripted.send(victim.peer_id, proof)
+        simulator.run(until=units.DAY)
+        assert scripted.payloads(Vote) == []
+        assert victim.active_voter_sessions() == 0
+        state = victim.au_state(small_au.au_id)
+        assert state.known_peers.grade_of(scripted.node_id, simulator.now) is Grade.DEBT
+
+    def _drive_to_vote(self, simulator, victim, scripted, small_au, effort_scheme):
+        invitation, effort = admitted_invitation(
+            victim, scripted, small_au, simulator, effort_scheme
+        )
+        simulator.run(until=units.HOUR)
+        remaining_proof = effort_scheme.generate(scripted.node_id, effort.remaining)
+        proof = PollProof(
+            poll_id=invitation.poll_id,
+            au_id=small_au.au_id,
+            poller_id=scripted.node_id,
+            nonce=b"n" * 20,
+            remaining_effort=remaining_proof,
+        )
+        scripted.send(victim.peer_id, proof)
+        ack = scripted.payloads(PollAck)[0]
+        simulator.run(until=ack.estimated_completion + units.HOUR)
+        return invitation, remaining_proof
+
+    def test_valid_exchange_produces_a_vote_with_nominations_capability(
+        self, simulator, victim, scripted, small_au, effort_scheme
+    ):
+        invitation, _ = self._drive_to_vote(simulator, victim, scripted, small_au, effort_scheme)
+        votes = scripted.payloads(Vote)
+        assert len(votes) == 1
+        assert votes[0].poll_id == invitation.poll_id
+        assert not votes[0].bogus
+        assert votes[0].vote_proof is not None and votes[0].vote_proof.valid
+        # The victim's reference list is empty, so no nominations; the vote
+        # is still valid.
+        assert votes[0].nominations == ()
+        # Supplying a vote puts the poller in this voter's debt.
+        state = victim.au_state(small_au.au_id)
+        assert state.known_peers.grade_of(scripted.node_id, simulator.now) is Grade.DEBT
+
+    def test_voter_serves_repair_requests_after_voting(
+        self, simulator, victim, scripted, small_au, effort_scheme
+    ):
+        invitation, _ = self._drive_to_vote(simulator, victim, scripted, small_au, effort_scheme)
+        request = RepairRequest(
+            poll_id=invitation.poll_id,
+            au_id=small_au.au_id,
+            poller_id=scripted.node_id,
+            block_index=3,
+        )
+        scripted.send(victim.peer_id, request)
+        simulator.run(until=simulator.now + units.HOUR)
+        from repro.core.messages import Repair
+
+        repairs = scripted.payloads(Repair)
+        assert len(repairs) == 1
+        assert repairs[0].block_index == 3
+        assert repairs[0].source_tag is None  # victim's replica is undamaged
+
+    def test_valid_receipt_closes_the_session_without_penalty(
+        self, simulator, victim, scripted, small_au, effort_scheme
+    ):
+        invitation, remaining_proof = self._drive_to_vote(
+            simulator, victim, scripted, small_au, effort_scheme
+        )
+        receipt = EvaluationReceipt(
+            poll_id=invitation.poll_id,
+            au_id=small_au.au_id,
+            poller_id=scripted.node_id,
+            receipt=remaining_proof.byproduct,
+        )
+        scripted.send(victim.peer_id, receipt)
+        simulator.run(until=simulator.now + units.HOUR)
+        assert victim.active_voter_sessions() == 0
+        state = victim.au_state(small_au.au_id)
+        # Supplying the vote lowered the scripted poller to DEBT; a valid
+        # receipt must not penalize further (it stays DEBT, not worse), and
+        # the session is cleanly closed.
+        assert state.known_peers.grade_of(scripted.node_id, simulator.now) is Grade.DEBT
+
+    def test_forged_receipt_is_detected(self, simulator, victim, scripted, small_au, effort_scheme):
+        invitation, _ = self._drive_to_vote(simulator, victim, scripted, small_au, effort_scheme)
+        receipt = EvaluationReceipt(
+            poll_id=invitation.poll_id,
+            au_id=small_au.au_id,
+            poller_id=scripted.node_id,
+            receipt=b"forged-receipt-bytes",
+        )
+        scripted.send(victim.peer_id, receipt)
+        simulator.run(until=simulator.now + units.HOUR)
+        assert victim.active_voter_sessions() == 0
+        state = victim.au_state(small_au.au_id)
+        assert state.known_peers.grade_of(scripted.node_id, simulator.now) is Grade.DEBT
+
+    def test_missing_receipt_times_out_and_penalizes(
+        self, simulator, victim, scripted, small_au, effort_scheme
+    ):
+        invitation, _ = self._drive_to_vote(simulator, victim, scripted, small_au, effort_scheme)
+        session = victim.voter_session(invitation.poll_id)
+        assert session is not None and session.state == VoterState.VOTED
+        # Never send a receipt; wait past the receipt deadline.
+        simulator.run(until=invitation.vote_deadline + victim.config.receipt_timeout_slack + units.DAY)
+        assert victim.active_voter_sessions() == 0
+        state = victim.au_state(small_au.au_id)
+        assert state.known_peers.grade_of(scripted.node_id, simulator.now) is Grade.DEBT

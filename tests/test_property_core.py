@@ -1,0 +1,240 @@
+"""Property-based tests (hypothesis) for the core data structures."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.config import ProtocolConfig
+from repro.core.effort_policy import EffortPolicy
+from repro.core.reference_list import ReferenceList
+from repro.core.reputation import Grade, IntroductionTable, KnownPeers
+from repro.core.scheduler import TaskSchedule
+from repro.crypto.hashing import HashCostModel
+from repro.storage.au import ArchivalUnit
+from repro.storage.replica import Replica
+
+
+# --- Task schedule -----------------------------------------------------------------
+
+reservation_requests = st.lists(
+    st.tuples(
+        st.floats(min_value=0.1, max_value=50.0),   # duration
+        st.floats(min_value=0.0, max_value=500.0),  # earliest
+        st.floats(min_value=0.0, max_value=500.0),  # deadline slack beyond earliest
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(reservation_requests)
+def test_schedule_reservations_never_overlap(requests):
+    schedule = TaskSchedule()
+    for duration, earliest, slack in requests:
+        schedule.reserve(duration, earliest, earliest + slack)
+    reservations = sorted(schedule.reservations(), key=lambda r: r.start)
+    for earlier, later in zip(reservations, reservations[1:]):
+        assert earlier.end <= later.start + 1e-9
+
+
+@given(reservation_requests)
+def test_schedule_reservations_respect_their_deadlines(requests):
+    schedule = TaskSchedule()
+    granted = []
+    for duration, earliest, slack in requests:
+        reservation = schedule.reserve(duration, earliest, earliest + slack)
+        if reservation is not None:
+            granted.append((reservation, earliest, earliest + slack))
+    for reservation, earliest, deadline in granted:
+        assert reservation.start >= earliest - 1e-9
+        assert reservation.end <= deadline + 1e-9
+
+
+@given(reservation_requests, st.data())
+def test_schedule_cancellation_releases_capacity(requests, data):
+    schedule = TaskSchedule()
+    granted = [r for r in (schedule.reserve(d, e, e + s) for d, e, s in requests) if r]
+    if not granted:
+        return
+    victim = data.draw(st.sampled_from(granted))
+    before = schedule.total_reserved
+    assert schedule.cancel(victim)
+    assert schedule.total_reserved < before + 1e-9
+    # The freed slot can be re-reserved.
+    again = schedule.reserve_at(victim.start, victim.duration)
+    assert again is not None
+
+
+# --- Replica damage tracking ----------------------------------------------------------
+
+damage_ops = st.lists(
+    st.tuples(st.sampled_from(["damage", "repair_good", "repair_copy"]), st.integers(0, 7)),
+    max_size=60,
+)
+
+
+@given(damage_ops)
+def test_replica_damage_state_is_consistent(ops):
+    au = ArchivalUnit("au", size_bytes=8 * units.MB, block_size=units.MB)
+    replica = Replica(au, owner="p")
+    reference = Replica(au, owner="canonical")
+    for op, block in ops:
+        if op == "damage":
+            replica.damage_block(block)
+        elif op == "repair_good":
+            replica.repair_block(block, source_tag=None)
+        else:
+            tag = reference.damage_tag(block)
+            replica.repair_block(block, source_tag=tag)
+    assert replica.damaged_blocks <= set(range(au.n_blocks))
+    assert replica.is_damaged == bool(replica.damaged_blocks)
+    # Repairing every damaged block from an undamaged source always restores
+    # a canonical replica.
+    for block in list(replica.damaged_blocks):
+        replica.repair_block(block, source_tag=None)
+    assert not replica.is_damaged
+    assert replica.matches(Replica(au, owner="fresh"))
+
+
+@given(damage_ops, damage_ops)
+def test_replica_disagreement_is_symmetric_and_grounded(ops_a, ops_b):
+    au = ArchivalUnit("au", size_bytes=8 * units.MB, block_size=units.MB)
+    a = Replica(au, owner="a")
+    b = Replica(au, owner="b")
+    for replica, ops in ((a, ops_a), (b, ops_b)):
+        for op, block in ops:
+            if op == "damage":
+                replica.damage_block(block)
+            elif op == "repair_good":
+                replica.repair_block(block, source_tag=None)
+    assert a.disagreement_blocks(b) == b.disagreement_blocks(a)
+    assert a.disagreement_blocks(b) <= (a.damaged_blocks | b.damaged_blocks)
+    assert a.matches(b) == (not a.disagreement_blocks(b))
+
+
+# --- Reputation -------------------------------------------------------------------------
+
+reputation_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["received", "supplied", "penalize", "set_even", "set_credit"]),
+        st.integers(0, 4),        # peer index
+        st.floats(0, units.years(3)),  # time of the operation
+    ),
+    max_size=50,
+)
+
+
+@given(reputation_ops, st.floats(0, units.years(5)))
+def test_reputation_grades_stay_in_range_and_decay_monotonically(ops, query_offset):
+    known = KnownPeers(decay_interval=units.months(6))
+    latest = 0.0
+    for op, peer_index, when in sorted(ops, key=lambda item: item[2]):
+        peer = "peer-%d" % peer_index
+        latest = max(latest, when)
+        if op == "received":
+            known.record_vote_received(peer, when)
+        elif op == "supplied":
+            known.record_vote_supplied(peer, when)
+        elif op == "penalize":
+            known.penalize(peer, when)
+        elif op == "set_even":
+            known.set_grade(peer, Grade.EVEN, when)
+        else:
+            known.set_grade(peer, Grade.CREDIT, when)
+    for peer in known.known_peers():
+        grade_now = known.grade_of(peer, latest)
+        grade_later = known.grade_of(peer, latest + query_offset)
+        assert grade_now in (Grade.DEBT, Grade.EVEN, Grade.CREDIT)
+        assert grade_later is not None
+        # Decay only ever lowers a grade.
+        assert grade_later <= grade_now
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=60),
+    st.integers(min_value=1, max_value=5),
+)
+def test_introduction_table_never_exceeds_cap(pairs, cap):
+    table = IntroductionTable(cap=cap)
+    for introducee, introducer in pairs:
+        table.add("peer-%d" % introducee, "peer-%d" % introducer)
+        assert len(table) <= cap
+    for introducee, _ in pairs:
+        table.consume("peer-%d" % introducee)
+    assert len(table) <= cap
+
+
+# --- Reference list ------------------------------------------------------------------------
+
+@given(
+    st.lists(st.integers(0, 30), max_size=60),
+    st.lists(st.integers(0, 30), max_size=10),
+    st.integers(min_value=1, max_value=15),
+)
+def test_reference_list_invariants(additions, removals, target_size):
+    rng = random.Random(0)
+    ref = ReferenceList(owner="owner", friends=["friend-1"], target_size=target_size)
+    for index in additions:
+        ref.add("peer-%d" % index)
+    for index in removals:
+        ref.remove("peer-%d" % index)
+    ref.update_after_poll(
+        rng,
+        voters_used=["peer-%d" % i for i in additions[:3]],
+        agreeing_outer_circle=["outer-%d" % i for i in additions[:5]],
+        friend_bias_count=1,
+    )
+    entries = ref.entries()
+    assert "owner" not in entries
+    assert len(entries) == len(set(entries))
+    assert len(entries) <= target_size
+
+
+@given(st.integers(min_value=0, max_value=25), st.integers(min_value=1, max_value=30))
+def test_reference_list_sampling_properties(population, sample_size):
+    rng = random.Random(1)
+    ref = ReferenceList(owner="owner", target_size=100)
+    ref.extend("peer-%d" % i for i in range(population))
+    sample = ref.sample(rng, sample_size)
+    assert len(sample) == min(sample_size, population)
+    assert len(set(sample)) == len(sample)
+    assert all(peer in ref for peer in sample)
+
+
+# --- Effort balancing ----------------------------------------------------------------------
+
+@given(
+    st.integers(min_value=2, max_value=1024),   # AU size in MB
+    st.floats(min_value=0.05, max_value=0.8),   # introductory fraction
+    st.floats(min_value=0.01, max_value=0.3),   # margin
+    st.floats(min_value=0.005, max_value=0.1),  # verification fraction
+)
+@settings(max_examples=60)
+def test_effort_balance_holds_for_any_geometry(au_mb, intro_fraction, margin, verify_fraction):
+    config = ProtocolConfig(
+        introductory_effort_fraction=intro_fraction,
+        effort_balance_margin=margin,
+        effort_verification_fraction=verify_fraction,
+    )
+    policy = EffortPolicy(config, HashCostModel())
+    au = ArchivalUnit("au", size_bytes=au_mb * units.MB, block_size=units.MB)
+    effort = policy.solicitation(au)
+    # The requester always has more invested than the supplier.
+    assert effort.poller_total > effort.voter_total
+    # The split across Poll and PollProof is exact.
+    assert abs(effort.introductory + effort.remaining - effort.poller_total) < 1e-9
+    # Verification is always cheaper than generation.
+    assert effort.introductory_verification < effort.introductory
+    assert effort.remaining_verification < effort.remaining
+    assert effort.vote_proof_verification < effort.vote_generation
+    # All quantities are positive.
+    for value in (
+        effort.vote_generation,
+        effort.vote_proof_generation,
+        effort.poller_total,
+        effort.introductory,
+        effort.remaining,
+    ):
+        assert value > 0

@@ -1,0 +1,139 @@
+"""Property-based tests (hypothesis) for the simulation substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.sim.engine import Simulator
+from repro.sim.network import LinkProperties, Network, Node
+from repro.sim.randomness import RandomStreams
+
+
+# --- Event engine ------------------------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=1, max_size=100))
+def test_events_fire_in_nondecreasing_time_order(delays):
+    simulator = Simulator()
+    fired = []
+    for delay in delays:
+        simulator.schedule(delay, lambda d=delay: fired.append(simulator.now))
+    simulator.run(until=2000.0)
+    assert len(fired) == len(delays)
+    assert fired == sorted(fired)
+    assert simulator.events_processed == len(delays)
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=1, max_size=80),
+    st.data(),
+)
+def test_cancelled_events_never_fire(delays, data):
+    simulator = Simulator()
+    fired = []
+    handles = [
+        simulator.schedule(delay, lambda index=index: fired.append(index))
+        for index, delay in enumerate(delays)
+    ]
+    to_cancel = data.draw(
+        st.sets(st.integers(min_value=0, max_value=len(handles) - 1), max_size=len(handles))
+    )
+    for index in to_cancel:
+        handles[index].cancel()
+    simulator.run(until=2000.0)
+    assert set(fired) == set(range(len(delays))) - to_cancel
+
+
+@given(
+    st.floats(min_value=0.5, max_value=50.0),
+    st.floats(min_value=51.0, max_value=500.0),
+)
+def test_recurring_events_fire_expected_number_of_times(interval, horizon):
+    simulator = Simulator()
+    count = [0]
+    simulator.call_every(interval, lambda: count.__setitem__(0, count[0] + 1))
+    simulator.run(until=horizon)
+    expected = int(horizon // interval)
+    # Allow one tick of slack for floating-point accumulation at the exact
+    # horizon boundary (e.g. 50 * 1.04 vs 52.0).
+    assert expected - 1 <= count[0] <= expected + 1
+
+
+# --- Random streams ------------------------------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=2**31), st.text(min_size=1, max_size=20))
+def test_named_streams_are_reproducible(seed, name):
+    a = RandomStreams(seed).stream(name).random()
+    b = RandomStreams(seed).stream(name).random()
+    assert a == b
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+def test_distinct_names_give_distinct_sequences(seed):
+    streams = RandomStreams(seed)
+    a = [streams.stream("alpha").random() for _ in range(3)]
+    b = [streams.stream("beta").random() for _ in range(3)]
+    assert a != b
+
+
+# --- Network ----------------------------------------------------------------------------------
+
+class _Sink(Node):
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.received = []
+
+    def receive_message(self, message):
+        self.received.append(message)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 4), st.integers(0, 10_000_000)),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=50)
+def test_network_conserves_messages(sends):
+    simulator = Simulator()
+    network = Network(simulator, RandomStreams(1))
+    nodes = [_Sink("n%d" % i) for i in range(5)]
+    for node in nodes:
+        network.register(node, LinkProperties(bandwidth_bps=units.mbps(10), latency=0.01))
+    for sender, recipient, size in sends:
+        network.send("n%d" % sender, "n%d" % recipient, payload="x", size_bytes=size)
+    simulator.run(until=units.DAY)
+    delivered = sum(len(node.received) for node in nodes)
+    stats = network.stats
+    assert stats.messages_sent == len(sends)
+    assert delivered == stats.messages_delivered
+    assert (
+        stats.messages_delivered
+        + stats.messages_dropped_blocked
+        + stats.messages_dropped_unknown
+        == stats.messages_sent
+    )
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 3), st.booleans()),
+        min_size=1,
+        max_size=40,
+    ),
+    st.sets(st.integers(0, 3)),
+)
+@settings(max_examples=50)
+def test_blocked_identities_never_receive(sends, blocked):
+    simulator = Simulator()
+    network = Network(simulator, RandomStreams(2))
+    nodes = [_Sink("n%d" % i) for i in range(4)]
+    for node in nodes:
+        network.register(node, LinkProperties(bandwidth_bps=units.mbps(10), latency=0.01))
+    for index in blocked:
+        network.block("n%d" % index)
+    for sender, recipient, _ in sends:
+        network.send("n%d" % sender, "n%d" % recipient, payload="x", size_bytes=100)
+    simulator.run(until=units.DAY)
+    for index in blocked:
+        assert nodes[index].received == []

@@ -1,0 +1,153 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_time_starts_at_zero(self, simulator):
+        assert simulator.now == 0.0
+
+    def test_events_run_in_time_order(self, simulator):
+        order = []
+        simulator.schedule(5.0, order.append, "b")
+        simulator.schedule(1.0, order.append, "a")
+        simulator.schedule(10.0, order.append, "c")
+        simulator.run(until=20.0)
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_run_in_scheduling_order(self, simulator):
+        order = []
+        simulator.schedule(1.0, order.append, 1)
+        simulator.schedule(1.0, order.append, 2)
+        simulator.schedule(1.0, order.append, 3)
+        simulator.run(until=2.0)
+        assert order == [1, 2, 3]
+
+    def test_priority_breaks_ties(self, simulator):
+        order = []
+        simulator.schedule(1.0, order.append, "low", priority=5)
+        simulator.schedule(1.0, order.append, "high", priority=-5)
+        simulator.run(until=2.0)
+        assert order == ["high", "low"]
+
+    def test_clock_advances_to_event_times(self, simulator):
+        seen = []
+        simulator.schedule(3.5, lambda: seen.append(simulator.now))
+        simulator.run(until=10.0)
+        assert seen == [3.5]
+        assert simulator.now == 10.0
+
+    def test_run_does_not_execute_events_beyond_horizon(self, simulator):
+        fired = []
+        simulator.schedule(5.0, fired.append, "early")
+        simulator.schedule(50.0, fired.append, "late")
+        simulator.run(until=10.0)
+        assert fired == ["early"]
+        assert simulator.pending_events() == 1
+
+    def test_cannot_schedule_in_the_past(self, simulator):
+        simulator.schedule(1.0, lambda: None)
+        simulator.run(until=5.0)
+        with pytest.raises(SimulationError):
+            simulator.schedule_at(2.0, lambda: None)
+        with pytest.raises(SimulationError):
+            simulator.schedule(-1.0, lambda: None)
+
+    def test_events_scheduled_during_run_are_processed(self, simulator):
+        order = []
+
+        def chain(depth):
+            order.append(depth)
+            if depth < 3:
+                simulator.schedule(1.0, chain, depth + 1)
+
+        simulator.schedule(0.0, chain, 0)
+        simulator.run(until=10.0)
+        assert order == [0, 1, 2, 3]
+
+    def test_events_processed_counter(self, simulator):
+        for _ in range(5):
+            simulator.schedule(1.0, lambda: None)
+        simulator.run(until=2.0)
+        assert simulator.events_processed == 5
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, simulator):
+        fired = []
+        handle = simulator.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        simulator.run(until=5.0)
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, simulator):
+        handle = simulator.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        simulator.run(until=5.0)
+        assert simulator.events_processed == 0
+
+    def test_pending_events_ignores_cancelled(self, simulator):
+        keep = simulator.schedule(1.0, lambda: None)
+        drop = simulator.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert simulator.pending_events() == 1
+        assert not keep.cancelled
+
+
+class TestStepAndStop:
+    def test_step_processes_exactly_one_event(self, simulator):
+        fired = []
+        simulator.schedule(1.0, fired.append, 1)
+        simulator.schedule(2.0, fired.append, 2)
+        assert simulator.step() is True
+        assert fired == [1]
+        assert simulator.step() is True
+        assert fired == [1, 2]
+        assert simulator.step() is False
+
+    def test_stop_halts_the_run(self, simulator):
+        fired = []
+        simulator.schedule(1.0, fired.append, 1)
+        simulator.schedule(2.0, lambda: simulator.stop())
+        simulator.schedule(3.0, fired.append, 3)
+        simulator.run(until=10.0)
+        assert fired == [1]
+
+    def test_cannot_run_backwards(self, simulator):
+        simulator.run(until=10.0)
+        with pytest.raises(SimulationError):
+            simulator.run(until=5.0)
+
+
+class TestRecurringEvents:
+    def test_call_every_fires_repeatedly(self, simulator):
+        ticks = []
+        simulator.call_every(2.0, lambda: ticks.append(simulator.now))
+        simulator.run(until=10.0)
+        assert ticks == [2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_call_every_respects_start_and_end(self, simulator):
+        ticks = []
+        simulator.call_every(1.0, lambda: ticks.append(simulator.now), start=5.0, end=7.0)
+        simulator.run(until=20.0)
+        assert ticks == [5.0, 6.0, 7.0]
+
+    def test_call_every_cancel_stops_recurrence(self, simulator):
+        ticks = []
+        handle = simulator.call_every(1.0, lambda: ticks.append(simulator.now))
+        simulator.schedule(3.5, handle.cancel)
+        simulator.run(until=10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_call_every_rejects_non_positive_interval(self, simulator):
+        with pytest.raises(SimulationError):
+            simulator.call_every(0.0, lambda: None)
+
+    def test_recurring_event_reports_next_time(self, simulator):
+        handle = simulator.call_every(2.0, lambda: None)
+        assert handle.time == 2.0
+        simulator.run(until=3.0)
+        assert handle.time == 4.0

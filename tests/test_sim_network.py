@@ -1,0 +1,157 @@
+"""Unit tests for the delay-based network model and pipe stoppage."""
+
+import pytest
+
+from repro import units
+from repro.sim.network import LinkProperties, Message, Network, Node
+
+
+class RecordingNode(Node):
+    """Test double that records every delivered message."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.received = []
+
+    def receive_message(self, message):
+        self.received.append(message)
+
+
+@pytest.fixture
+def two_nodes(simulator, network):
+    a = RecordingNode("a")
+    b = RecordingNode("b")
+    network.register(a, LinkProperties(bandwidth_bps=units.mbps(10), latency=0.010))
+    network.register(b, LinkProperties(bandwidth_bps=units.mbps(10), latency=0.010))
+    return a, b
+
+
+class TestRegistration:
+    def test_register_assigns_link_from_configured_choices(self, simulator, streams):
+        network = Network(
+            simulator,
+            streams,
+            bandwidth_choices=(units.mbps(1.5), units.mbps(10)),
+            latency_range=(0.001, 0.030),
+        )
+        node = RecordingNode("n")
+        link = network.register(node)
+        assert link.bandwidth_bps in (units.mbps(1.5), units.mbps(10))
+        assert 0.001 <= link.latency <= 0.030
+
+    def test_duplicate_identity_rejected(self, network):
+        node = RecordingNode("dup")
+        network.register(node)
+        with pytest.raises(ValueError):
+            network.register(node)
+
+    def test_alias_identity_routes_to_same_node(self, simulator, network):
+        node = RecordingNode("owner")
+        network.register(node)
+        network.register_identity("alias-1", node)
+        assert network.node_for("alias-1") is node
+
+    def test_alias_shares_owner_link(self, network):
+        node = RecordingNode("owner")
+        owner_link = network.register(node)
+        alias_link = network.register_identity("alias-1", node)
+        assert alias_link is owner_link
+
+    def test_is_registered(self, network, two_nodes):
+        assert network.is_registered("a")
+        assert not network.is_registered("nope")
+
+
+class TestDelivery:
+    def test_message_is_delivered_with_payload(self, simulator, network, two_nodes):
+        a, b = two_nodes
+        assert network.send("a", "b", {"hello": 1}, 1000)
+        simulator.run(until=1.0)
+        assert len(b.received) == 1
+        assert b.received[0].payload == {"hello": 1}
+        assert b.received[0].sender == "a"
+
+    def test_delivery_delay_includes_latency_and_serialization(
+        self, simulator, network, two_nodes
+    ):
+        a, b = two_nodes
+        size = units.MB
+        network.send("a", "b", "payload", size)
+        expected = 0.020 + units.transmission_time(size, units.mbps(10))
+        # Not yet delivered just before the expected time.
+        simulator.run(until=expected * 0.99)
+        assert b.received == []
+        simulator.run(until=expected * 1.01)
+        assert len(b.received) == 1
+
+    def test_send_to_unknown_identity_is_dropped(self, simulator, network, two_nodes):
+        assert network.send("a", "ghost", "x", 10) is False
+        assert network.stats.messages_dropped_unknown == 1
+
+    def test_send_from_unknown_identity_raises(self, network, two_nodes):
+        with pytest.raises(ValueError):
+            network.send("ghost", "a", "x", 10)
+
+    def test_negative_size_rejected(self, network, two_nodes):
+        with pytest.raises(ValueError):
+            network.send("a", "b", "x", -1)
+
+    def test_traffic_accounting(self, simulator, network, two_nodes):
+        a, b = two_nodes
+        network.send("a", "b", "x", 100)
+        network.send("b", "a", "y", 200)
+        simulator.run(until=1.0)
+        stats = network.stats
+        assert stats.messages_sent == 2
+        assert stats.messages_delivered == 2
+        assert stats.bytes_sent == 300
+        assert stats.per_identity_bytes_sent["a"] == 100
+        assert stats.per_identity_bytes_received["a"] == 200
+
+    def test_delivery_hook_sees_messages(self, simulator, network, two_nodes):
+        seen = []
+        network.delivery_hook = seen.append
+        network.send("a", "b", "x", 10)
+        simulator.run(until=1.0)
+        assert len(seen) == 1
+        assert isinstance(seen[0], Message)
+
+
+class TestPipeStoppage:
+    def test_blocked_recipient_never_receives(self, simulator, network, two_nodes):
+        a, b = two_nodes
+        network.block("b")
+        network.send("a", "b", "x", 10)
+        simulator.run(until=1.0)
+        assert b.received == []
+        assert network.stats.messages_dropped_blocked == 1
+
+    def test_blocked_sender_cannot_send(self, simulator, network, two_nodes):
+        a, b = two_nodes
+        network.block("a")
+        assert network.send("a", "b", "x", 10) is False
+        simulator.run(until=1.0)
+        assert b.received == []
+
+    def test_block_while_in_flight_suppresses_delivery(self, simulator, network, two_nodes):
+        a, b = two_nodes
+        network.send("a", "b", "x", units.MB)
+        network.block("b")
+        simulator.run(until=5.0)
+        assert b.received == []
+
+    def test_unblock_restores_communication(self, simulator, network, two_nodes):
+        a, b = two_nodes
+        network.block("b")
+        network.unblock("b")
+        network.send("a", "b", "x", 10)
+        simulator.run(until=1.0)
+        assert len(b.received) == 1
+
+    def test_is_blocked_and_listing(self, network, two_nodes):
+        network.block("a")
+        assert network.is_blocked("a")
+        assert network.blocked_identities() == {"a"}
+        network.unblock("a")
+        assert not network.is_blocked("a")
+        assert network.blocked_identities() == set()

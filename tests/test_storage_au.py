@@ -1,0 +1,94 @@
+"""Unit tests for archival units and the materialized content store."""
+
+import pytest
+
+from repro import units
+from repro.storage.au import ArchivalUnit, ContentStore, synthetic_content
+
+
+class TestArchivalUnit:
+    def test_block_count_exact_division(self):
+        au = ArchivalUnit("a", size_bytes=10 * units.MB, block_size=units.MB)
+        assert au.n_blocks == 10
+
+    def test_block_count_with_partial_last_block(self):
+        au = ArchivalUnit("a", size_bytes=units.MB + 1, block_size=units.MB)
+        assert au.n_blocks == 2
+        assert au.block_length(0) == units.MB
+        assert au.block_length(1) == 1
+
+    def test_block_length_out_of_range(self):
+        au = ArchivalUnit("a", size_bytes=2 * units.MB, block_size=units.MB)
+        with pytest.raises(IndexError):
+            au.block_length(2)
+        with pytest.raises(IndexError):
+            au.block_length(-1)
+
+    def test_rejects_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            ArchivalUnit("a", size_bytes=0, block_size=1)
+        with pytest.raises(ValueError):
+            ArchivalUnit("a", size_bytes=10, block_size=0)
+        with pytest.raises(ValueError):
+            ArchivalUnit("a", size_bytes=10, block_size=20)
+
+    def test_paper_au_geometry(self):
+        au = ArchivalUnit("journal-2004", size_bytes=units.GB // 2, block_size=units.MB)
+        assert au.n_blocks == 512
+
+
+class TestSyntheticContent:
+    def test_content_is_deterministic(self):
+        au = ArchivalUnit("a", size_bytes=4 * units.KB, block_size=units.KB)
+        assert synthetic_content(au) == synthetic_content(au)
+
+    def test_content_differs_across_aus(self):
+        a = ArchivalUnit("a", size_bytes=2 * units.KB, block_size=units.KB)
+        b = ArchivalUnit("b", size_bytes=2 * units.KB, block_size=units.KB)
+        assert synthetic_content(a) != synthetic_content(b)
+
+    def test_content_differs_across_versions(self):
+        au = ArchivalUnit("a", size_bytes=2 * units.KB, block_size=units.KB)
+        assert synthetic_content(au, version=0) != synthetic_content(au, version=1)
+
+    def test_block_lengths_match_geometry(self):
+        au = ArchivalUnit("a", size_bytes=units.KB * 3 + 100, block_size=units.KB)
+        blocks = synthetic_content(au)
+        assert [len(b) for b in blocks] == [1024, 1024, 1024, 100]
+
+
+class TestContentStore:
+    def setup_method(self):
+        self.au = ArchivalUnit("a", size_bytes=4 * units.KB, block_size=units.KB)
+        self.store = ContentStore(self.au)
+
+    def test_roundtrip_blocks(self):
+        assert len(self.store.blocks()) == 4
+        assert self.store.block(0) == synthetic_content(self.au)[0]
+
+    def test_corrupt_block_changes_content_but_not_length(self):
+        original = self.store.block(1)
+        self.store.corrupt_block(1)
+        assert self.store.block(1) != original
+        assert len(self.store.block(1)) == len(original)
+
+    def test_write_block_installs_repair(self):
+        good = self.store.block(2)
+        self.store.corrupt_block(2)
+        self.store.write_block(2, good)
+        assert self.store.block(2) == good
+
+    def test_write_block_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            self.store.write_block(0, b"short")
+
+    def test_digest_map_detects_corruption(self):
+        before = self.store.digest_map()
+        self.store.corrupt_block(3)
+        after = self.store.digest_map()
+        assert before[3] != after[3]
+        assert before[0] == after[0]
+
+    def test_rejects_wrong_block_count(self):
+        with pytest.raises(ValueError):
+            ContentStore(self.au, blocks=[b"only-one"])

@@ -1,0 +1,109 @@
+"""Unit tests for the Poisson storage-failure injector."""
+
+import random
+
+import pytest
+
+from repro import units
+from repro.sim.engine import Simulator
+from repro.storage.au import ArchivalUnit
+from repro.storage.failure import StorageFailureModel
+from repro.storage.replica import ReplicaSet
+
+
+class FakePeer:
+    """Minimal structural stand-in for a peer."""
+
+    def __init__(self, peer_id, n_aus=2):
+        self.peer_id = peer_id
+        self.replicas = ReplicaSet(peer_id)
+        for index in range(n_aus):
+            self.replicas.add(
+                ArchivalUnit("au-%d" % index, size_bytes=4 * units.MB, block_size=units.MB)
+            )
+
+
+class TestStorageFailureModel:
+    def test_zero_rate_injects_nothing(self):
+        simulator = Simulator()
+        model = StorageFailureModel(simulator, random.Random(1), 0.0, end_time=units.YEAR)
+        peer = FakePeer("p1")
+        model.register_peer(peer)
+        simulator.run(until=units.YEAR)
+        assert model.events_injected == 0
+        assert peer.replicas.damaged_count() == 0
+
+    def test_negative_rate_rejected(self):
+        simulator = Simulator()
+        with pytest.raises(ValueError):
+            StorageFailureModel(simulator, random.Random(1), -1.0, end_time=1.0)
+
+    def test_damage_events_are_injected_at_roughly_the_configured_rate(self):
+        simulator = Simulator()
+        rate = 20.0 / units.YEAR
+        model = StorageFailureModel(simulator, random.Random(2), rate, end_time=units.YEAR)
+        peer = FakePeer("p1")
+        model.register_peer(peer)
+        simulator.run(until=units.YEAR)
+        assert 5 <= model.events_injected <= 45
+
+    def test_each_event_damages_one_block_of_one_replica(self):
+        simulator = Simulator()
+        rate = 5.0 / units.YEAR
+        model = StorageFailureModel(simulator, random.Random(3), rate, end_time=units.YEAR)
+        peer = FakePeer("p1")
+        model.register_peer(peer)
+        simulator.run(until=units.YEAR)
+        total_damaged_blocks = sum(
+            len(replica.damaged_blocks) for replica in peer.replicas
+        )
+        # Some events may hit the same block twice; damaged blocks never
+        # exceed the number of injected events.
+        assert total_damaged_blocks <= model.events_injected
+        assert model.events_injected > 0
+
+    def test_no_damage_after_end_time(self):
+        simulator = Simulator()
+        rate = 50.0 / units.YEAR
+        model = StorageFailureModel(
+            simulator, random.Random(4), rate, end_time=units.MONTH
+        )
+        peer = FakePeer("p1")
+        model.register_peer(peer)
+        simulator.run(until=units.MONTH)
+        injected_at_end = model.events_injected
+        simulator.run(until=units.YEAR)
+        assert model.events_injected == injected_at_end
+
+    def test_damage_hook_reports_every_event(self):
+        simulator = Simulator()
+        rate = 30.0 / units.YEAR
+        model = StorageFailureModel(simulator, random.Random(5), rate, end_time=units.YEAR)
+        peer = FakePeer("p1")
+        events = []
+        model.set_damage_hook(lambda pid, au, block: events.append((pid, au, block)))
+        model.register_peer(peer)
+        simulator.run(until=units.YEAR)
+        assert len(events) == model.events_injected
+        assert all(pid == "p1" for pid, _, _ in events)
+
+    def test_multiple_peers_fail_independently(self):
+        simulator = Simulator()
+        rate = 40.0 / units.YEAR
+        model = StorageFailureModel(simulator, random.Random(6), rate, end_time=units.YEAR)
+        peers = [FakePeer("p%d" % i) for i in range(3)]
+        for peer in peers:
+            model.register_peer(peer)
+        simulator.run(until=units.YEAR)
+        damaged_peers = [p for p in peers if p.replicas.damaged_count() > 0]
+        assert len(damaged_peers) >= 2
+
+    def test_stop_cancels_future_events(self):
+        simulator = Simulator()
+        rate = 100.0 / units.YEAR
+        model = StorageFailureModel(simulator, random.Random(7), rate, end_time=units.YEAR)
+        peer = FakePeer("p1")
+        model.register_peer(peer)
+        model.stop()
+        simulator.run(until=units.YEAR)
+        assert model.events_injected == 0

@@ -1,0 +1,122 @@
+"""Unit tests for block-level replica damage tracking."""
+
+import pytest
+
+from repro import units
+from repro.storage.au import ArchivalUnit
+from repro.storage.replica import Replica, ReplicaSet
+
+
+@pytest.fixture
+def au():
+    return ArchivalUnit("au-1", size_bytes=8 * units.MB, block_size=units.MB)
+
+
+class TestReplicaDamage:
+    def test_new_replica_is_undamaged(self, au):
+        replica = Replica(au, owner="p1")
+        assert not replica.is_damaged
+        assert replica.damaged_blocks == set()
+
+    def test_damage_block_marks_replica_damaged(self, au):
+        replica = Replica(au, owner="p1")
+        replica.damage_block(3)
+        assert replica.is_damaged
+        assert replica.damaged_blocks == {3}
+        assert replica.damage_events == 1
+
+    def test_damage_out_of_range_rejected(self, au):
+        replica = Replica(au, owner="p1")
+        with pytest.raises(IndexError):
+            replica.damage_block(99)
+
+    def test_independent_damage_gets_distinct_tags(self, au):
+        a = Replica(au, owner="p1")
+        b = Replica(au, owner="p2")
+        a.damage_block(0)
+        b.damage_block(0)
+        assert a.damage_tag(0) != b.damage_tag(0)
+
+    def test_repair_from_good_source_restores_canonical(self, au):
+        replica = Replica(au, owner="p1")
+        replica.damage_block(2)
+        replica.repair_block(2, source_tag=None)
+        assert not replica.is_damaged
+        assert replica.repair_events == 1
+
+    def test_repair_from_damaged_source_copies_damage(self, au):
+        good = Replica(au, owner="good")
+        bad_source = Replica(au, owner="bad")
+        tag = bad_source.damage_block(1)
+        good.damage_block(1)
+        good.repair_block(1, source_tag=tag)
+        assert good.is_damaged
+        assert good.damage_tag(1) == tag
+        assert good.agrees_on_block(bad_source, 1)
+
+    def test_repair_out_of_range_rejected(self, au):
+        replica = Replica(au, owner="p1")
+        with pytest.raises(IndexError):
+            replica.repair_block(99)
+
+
+class TestReplicaComparison:
+    def test_undamaged_replicas_match(self, au):
+        a = Replica(au, owner="p1")
+        b = Replica(au, owner="p2")
+        assert a.matches(b)
+        assert a.disagreement_blocks(b) == set()
+
+    def test_damage_creates_disagreement(self, au):
+        a = Replica(au, owner="p1")
+        b = Replica(au, owner="p2")
+        a.damage_block(5)
+        assert not a.matches(b)
+        assert a.disagreement_blocks(b) == {5}
+        assert not a.agrees_on_block(b, 5)
+        assert a.agrees_on_block(b, 0)
+
+    def test_disagreement_is_symmetric(self, au):
+        a = Replica(au, owner="p1")
+        b = Replica(au, owner="p2")
+        a.damage_block(1)
+        b.damage_block(2)
+        assert a.disagreement_blocks(b) == b.disagreement_blocks(a) == {1, 2}
+
+    def test_same_tag_means_agreement(self, au):
+        a = Replica(au, owner="p1")
+        b = Replica(au, owner="p2")
+        tag = a.damage_block(4)
+        b.damage_block(4, tag=tag)
+        assert a.agrees_on_block(b, 4)
+        assert a.matches(b)
+
+
+class TestReplicaSet:
+    def test_add_and_get(self, au):
+        replicas = ReplicaSet("p1")
+        replica = replicas.add(au)
+        assert replicas.get("au-1") is replica
+        assert "au-1" in replicas
+        assert len(replicas) == 1
+        assert list(replicas.au_ids()) == ["au-1"]
+
+    def test_duplicate_add_rejected(self, au):
+        replicas = ReplicaSet("p1")
+        replicas.add(au)
+        with pytest.raises(ValueError):
+            replicas.add(au)
+
+    def test_damaged_count(self, au):
+        replicas = ReplicaSet("p1")
+        other = ArchivalUnit("au-2", size_bytes=2 * units.MB, block_size=units.MB)
+        replicas.add(au)
+        replicas.add(other)
+        assert replicas.damaged_count() == 0
+        replicas.get("au-1").damage_block(0)
+        assert replicas.damaged_count() == 1
+
+    def test_iteration(self, au):
+        replicas = ReplicaSet("p1")
+        replicas.add(au)
+        assert [r.au.au_id for r in replicas] == ["au-1"]

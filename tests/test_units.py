@@ -1,0 +1,72 @@
+"""Unit tests for repro.units."""
+
+import pytest
+
+from repro import units
+
+
+class TestTimeConstants:
+    def test_minute_hour_day_relations(self):
+        assert units.MINUTE == 60 * units.SECOND
+        assert units.HOUR == 60 * units.MINUTE
+        assert units.DAY == 24 * units.HOUR
+        assert units.WEEK == 7 * units.DAY
+
+    def test_month_is_thirty_days(self):
+        assert units.MONTH == 30 * units.DAY
+
+    def test_year_is_365_days(self):
+        assert units.YEAR == 365 * units.DAY
+
+    def test_months_helper(self):
+        assert units.months(3) == 3 * units.MONTH
+
+    def test_days_helper(self):
+        assert units.days(1.5) == pytest.approx(1.5 * units.DAY)
+
+    def test_years_helper(self):
+        assert units.years(2) == 2 * units.YEAR
+
+
+class TestSizesAndBandwidth:
+    def test_size_constants(self):
+        assert units.KB == 1024
+        assert units.MB == 1024 * 1024
+        assert units.GB == 1024 ** 3
+
+    def test_mbps_helper(self):
+        assert units.mbps(1.5) == pytest.approx(1.5e6)
+
+
+class TestTransmissionTime:
+    def test_one_megabyte_over_8mbps_takes_one_second(self):
+        assert units.transmission_time(1_000_000, 8_000_000) == pytest.approx(1.0)
+
+    def test_zero_bytes_takes_zero_time(self):
+        assert units.transmission_time(0, units.mbps(10)) == 0.0
+
+    def test_rejects_non_positive_bandwidth(self):
+        with pytest.raises(ValueError):
+            units.transmission_time(100, 0)
+        with pytest.raises(ValueError):
+            units.transmission_time(100, -5)
+
+    def test_faster_link_is_faster(self):
+        slow = units.transmission_time(units.MB, units.mbps(1.5))
+        fast = units.transmission_time(units.MB, units.mbps(100))
+        assert fast < slow
+
+
+class TestFormatting:
+    def test_format_duration_picks_natural_unit(self):
+        assert units.format_duration(30) == "30.0s"
+        assert units.format_duration(120) == "2.0m"
+        assert units.format_duration(2 * units.HOUR) == "2.0h"
+        assert units.format_duration(3 * units.DAY) == "3.0d"
+        assert units.format_duration(2 * units.YEAR) == "2.0y"
+
+    def test_format_size_picks_natural_unit(self):
+        assert units.format_size(512) == "512B"
+        assert units.format_size(2 * units.KB) == "2.0KB"
+        assert units.format_size(3 * units.MB) == "3.0MB"
+        assert units.format_size(units.GB) == "1.0GB"
