@@ -1,17 +1,24 @@
 #!/usr/bin/env python
 """Quickstart: preserve a small collection with the LOCKSS audit protocol.
 
-Builds a laptop-scale population of peers, runs one simulated year of the
-audit-and-repair protocol with no adversary, and prints the headline metrics:
-how often polls succeed, how much compute the defenses cost, and how likely a
-reader is to hit a damaged replica.
+Describes a laptop-scale preservation experiment as a declarative
+``Scenario``, runs it through a parallel ``Session`` (no adversary first,
+then a pipe-stoppage attack against the same population), and prints the
+headline metrics: how often polls succeed, how much compute the defenses
+cost, how likely a reader is to hit a damaged replica, and what the attack
+changed.
+
+The attack scenario is also written to ``quickstart_scenario.json`` so the
+same experiment can be re-run from the command line:
+
+    repro-experiments run quickstart_scenario.json --workers 2
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import build_world, scaled_config, units
+from repro import AdversarySpec, Scenario, Session, scaled_config, units
 from repro.experiments.reporting import format_table
 
 
@@ -25,8 +32,13 @@ def main() -> None:
     print("Simulating %s of preservation ..." % units.format_duration(sim.duration))
     print()
 
-    world = build_world(protocol, sim)
-    metrics = world.run()
+    # One session runs every scenario; seeds execute on a 2-worker process
+    # pool and per-seed runs are cached by content digest, so the attack
+    # scenario below reuses this baseline automatically.
+    session = Session(workers=2)
+
+    quiet = Scenario.from_configs("quiet year", protocol, sim, seeds=(7,))
+    metrics = session.run(quiet).assessment.attacked
 
     print(format_table(
         ["metric", "value"],
@@ -53,12 +65,38 @@ def main() -> None:
         ],
     ))
 
-    print()
-    print("Loyal effort by category (seconds of compute):")
-    combined = world.loyal_effort()
-    rows = sorted(combined.by_category.items(), key=lambda item: -item[1])
-    print(format_table(["category", "seconds"], [[name, round(value, 1)] for name, value in rows]))
+    # Now attack the same population: a 60-day full-coverage network blackout
+    # (the paper's pipe-stoppage adversary), described declaratively.
+    attack = Scenario.from_configs(
+        "pipe stoppage, 60 days, full coverage",
+        protocol,
+        sim,
+        adversary=AdversarySpec(
+            "pipe_stoppage", {"attack_duration_days": 60.0, "coverage": 1.0}
+        ),
+        seeds=(7,),
+    )
+    assessment = session.run(attack).assessment
 
+    print()
+    print("Under attack (%s):" % attack.name)
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["delay ratio (vs quiet year)", round(assessment.delay_ratio, 3)],
+            ["coefficient of friction", round(assessment.coefficient_of_friction, 3)],
+            ["access failure probability (raw)", assessment.access_failure_probability],
+            [
+                "adversary effort (s)",
+                round(assessment.attacked.adversary_effort, 1),
+            ],
+        ],
+    ))
+
+    path = attack.save("quickstart_scenario.json")
+    print()
+    print("Attack scenario written to %s (digest %s)." % (path, attack.digest[:12]))
+    print("Re-run it with: repro-experiments run %s --workers 2" % path)
     print()
     print(
         "Note: the storage damage rate is inflated %.0fx at this scale so the small\n"

@@ -7,19 +7,44 @@ redundancy), a discrete-event simulation substrate standing in for the Narses
 simulator, the paper's three adversary classes, and the experiment harness
 that regenerates Figures 2–8 and Table 1.
 
-Quickstart::
+Experiments are described declaratively with the Scenario API and executed
+through a Session (serially, or on a process pool with bit-identical
+results).  Quickstart::
 
-    from repro import scaled_config, build_world
+    from repro import AdversarySpec, Scenario, Session
 
-    protocol, sim = scaled_config()
-    world = build_world(protocol, sim)
-    metrics = world.run()
-    print(metrics.access_failure_probability)
+    scenario = Scenario(
+        name="pipe stoppage, 60 days, full coverage",
+        base="scaled",
+        adversary=AdversarySpec(
+            "pipe_stoppage", {"attack_duration_days": 60.0, "coverage": 1.0}
+        ),
+        seeds=(1, 2, 3),
+    )
+    result = Session(workers=3).run(scenario)
+    print(result.assessment.delay_ratio)
+
+Scenarios serialize to JSON (``scenario.save("attack.json")``) and run from
+the command line with ``repro-experiments run attack.json``.  Adversaries are
+looked up in a string-keyed registry (``pipe_stoppage``, ``admission_flood``,
+``brute_force``); register your own with the ``repro.api.adversary``
+decorator.  The pre-Scenario entry points (``run_single``, ``run_many``,
+``run_attack_experiment``) are deprecated shims kept for compatibility.
 
 See ``examples/`` for attack scenarios and ``benchmarks/`` for the
 figure/table regeneration harnesses.
 """
 
+from .api import (
+    AdversaryRegistry,
+    AdversarySpec,
+    ResultStore,
+    Scenario,
+    Session,
+    adversary,
+    config_digest,
+)
+from .api.session import ExperimentResult
 from .config import (
     ProtocolConfig,
     SimulationConfig,
@@ -28,7 +53,6 @@ from .config import (
     smoke_config,
 )
 from .experiments.runner import (
-    ExperimentResult,
     run_attack_experiment,
     run_many,
     run_single,
@@ -45,7 +69,7 @@ from .adversary import (
 from .core.peer import Peer
 from . import units
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ProtocolConfig",
@@ -53,6 +77,13 @@ __all__ = [
     "paper_config",
     "scaled_config",
     "smoke_config",
+    "Scenario",
+    "AdversarySpec",
+    "Session",
+    "ResultStore",
+    "AdversaryRegistry",
+    "adversary",
+    "config_digest",
     "World",
     "build_world",
     "run_single",

@@ -1,0 +1,74 @@
+"""Unified Scenario API.
+
+This package is the one way to describe and run any experiment in the
+reproduction:
+
+* :class:`~repro.api.scenario.Scenario` — a declarative, JSON-round-trippable
+  description of one experiment (base config + overrides, adversary spec,
+  sweep axes, seeds) with a stable content digest.
+* :class:`~repro.api.registry.AdversaryRegistry` / :func:`~repro.api.registry.adversary`
+  — string-keyed attack strategies (``"pipe_stoppage"``, ``"admission_flood"``,
+  ``"brute_force"``, plus user-defined ones).
+* :class:`~repro.api.session.Session` — executes scenarios and sweeps, in
+  parallel on a process pool when ``workers > 1``, with deterministic,
+  bit-identical-to-serial results.
+* :class:`~repro.api.store.ResultStore` — digest-keyed JSON artifacts
+  persisting per-seed runs and full experiment results across processes.
+
+Quickstart::
+
+    from repro.api import AdversarySpec, Scenario, Session
+
+    scenario = Scenario(
+        name="pipe stoppage, 60 days, full coverage",
+        base="smoke",
+        adversary=AdversarySpec(
+            "pipe_stoppage", {"attack_duration_days": 60.0, "coverage": 1.0}
+        ),
+        seeds=(1, 2, 3),
+    )
+    result = Session(workers=3).run(scenario)
+    print(result.assessment.delay_ratio)
+"""
+
+from .registry import (
+    DEFAULT_REGISTRY,
+    AdversaryEntry,
+    AdversaryRegistry,
+    CliOption,
+    adversary,
+)
+from .scenario import (
+    BASE_CONFIGS,
+    AdversarySpec,
+    Scenario,
+    canonical_json,
+    config_digest,
+)
+from .session import (
+    ExperimentResult,
+    Session,
+    default_session,
+    execute_point,
+    set_default_session,
+)
+from .store import ResultStore
+
+__all__ = [
+    "AdversaryEntry",
+    "AdversaryRegistry",
+    "AdversarySpec",
+    "BASE_CONFIGS",
+    "CliOption",
+    "DEFAULT_REGISTRY",
+    "ExperimentResult",
+    "ResultStore",
+    "Scenario",
+    "Session",
+    "adversary",
+    "canonical_json",
+    "config_digest",
+    "default_session",
+    "execute_point",
+    "set_default_session",
+]

@@ -1,0 +1,328 @@
+"""String-keyed adversary registry.
+
+Every attack strategy is registered under a stable name (``"pipe_stoppage"``,
+``"admission_flood"``, ``"brute_force"``) together with its JSON-level
+parameter defaults.  A :class:`~repro.api.scenario.Scenario` names an
+adversary by kind; the registry turns that spec into the world-factory the
+simulation expects.  User code adds strategies with the :func:`adversary`
+decorator:
+
+    from repro.api import adversary
+
+    @adversary("my_attack", defaults={"rate": 1.0})
+    def build_my_attack(world, *, rate):
+        return MyAdversary(..., rate=rate)
+
+Registered builders receive the fully built :class:`~repro.experiments.world.World`
+plus their keyword parameters (defaults merged with the scenario's).  All
+durations are expressed in **days** at this level so scenario JSON stays
+human-readable; builders convert to simulation seconds.
+
+Note for parallel sessions: worker processes import this module fresh, so a
+custom adversary must be registered at import time of an importable module
+(not interactively in ``__main__``) to be usable with ``workers > 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from .. import units
+from ..adversary.admission_flood import AdmissionControlAdversary
+from ..adversary.base import AttackSchedule
+from ..adversary.brute_force import BruteForceAdversary, DefectionPoint
+from ..adversary.pipe_stoppage import PipeStoppageAdversary
+
+#: Builder signature: ``builder(world, **params) -> adversary``.
+AdversaryBuilder = Callable[..., object]
+
+
+@dataclass
+class CliOption:
+    """Metadata for one generated command-line option of an attack command."""
+
+    flag: str
+    param: str
+    kind: str  # "float" | "float_list"
+    default: object
+    help: str
+
+
+@dataclass
+class AdversaryEntry:
+    """One registered attack strategy."""
+
+    name: str
+    builder: AdversaryBuilder
+    description: str = ""
+    defaults: Dict[str, object] = field(default_factory=dict)
+    #: Optional CLI wiring: subcommand name + generated options.  Sweep axes
+    #: (list-valued options) become sweep dimensions of the generated command.
+    cli_command: Optional[str] = None
+    cli_help: str = ""
+    cli_options: Tuple[CliOption, ...] = ()
+
+    def build(self, world: object, **params: object) -> object:
+        merged = dict(self.defaults)
+        merged.update(params)
+        unknown = set(merged) - set(self.defaults)
+        if self.defaults and unknown:
+            raise TypeError(
+                "unknown parameter(s) %s for adversary %r (known: %s)"
+                % (", ".join(sorted(unknown)), self.name, ", ".join(sorted(self.defaults)))
+            )
+        return self.builder(world, **merged)
+
+
+class AdversaryRegistry:
+    """Mutable mapping from adversary kind to :class:`AdversaryEntry`."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, AdversaryEntry] = {}
+
+    # -- registration ------------------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        builder: Optional[AdversaryBuilder] = None,
+        *,
+        defaults: Optional[Dict[str, object]] = None,
+        description: str = "",
+        cli_command: Optional[str] = None,
+        cli_help: str = "",
+        cli_options: Tuple[CliOption, ...] = (),
+        replace: bool = False,
+    ):
+        """Register ``builder`` under ``name``; usable as a decorator."""
+
+        def _register(fn: AdversaryBuilder) -> AdversaryBuilder:
+            if name in self._entries and not replace:
+                raise ValueError("adversary %r is already registered" % name)
+            doc = (fn.__doc__ or "").strip()
+            self._entries[name] = AdversaryEntry(
+                name=name,
+                builder=fn,
+                description=description or (doc.splitlines()[0] if doc else ""),
+                defaults=dict(defaults or {}),
+                cli_command=cli_command,
+                cli_help=cli_help,
+                cli_options=tuple(cli_options),
+            )
+            return fn
+
+        if builder is not None:
+            return _register(builder)
+        return _register
+
+    # -- lookup ------------------------------------------------------------------------
+
+    def get(self, name: str) -> AdversaryEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise KeyError(
+                "unknown adversary %r (registered: %s)"
+                % (name, ", ".join(sorted(self._entries)) or "<none>")
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[AdversaryEntry]:
+        for name in self.names():
+            yield self._entries[name]
+
+    # -- factories ---------------------------------------------------------------------
+
+    def create(self, name: str, world: object, **params: object) -> object:
+        """Instantiate the adversary ``name`` against ``world``."""
+        return self.get(name).build(world, **params)
+
+    def factory(self, name: str, **params: object):
+        """Return a ``world -> adversary`` factory (the legacy factory shape)."""
+        entry = self.get(name)  # fail fast on unknown kinds
+
+        def _factory(world: object) -> object:
+            return entry.build(world, **params)
+
+        _factory.adversary_kind = entry.name  # type: ignore[attr-defined]
+        _factory.adversary_params = dict(params)  # type: ignore[attr-defined]
+        return _factory
+
+
+#: The process-wide default registry (builtins below register into it).
+DEFAULT_REGISTRY = AdversaryRegistry()
+
+
+def adversary(name: str, **kwargs):
+    """Decorator registering a builder into :data:`DEFAULT_REGISTRY`."""
+    return DEFAULT_REGISTRY.register(name, **kwargs)
+
+
+# --- builtin strategies (Section 7 of the paper) -------------------------------------
+
+_SWEEP_CLI_OPTIONS = (
+    CliOption(
+        flag="--durations",
+        param="attack_duration_days",
+        kind="float_list",
+        default=None,  # per-command default filled in below
+        help="comma-separated attack durations in days",
+    ),
+    CliOption(
+        flag="--coverages",
+        param="coverage",
+        kind="float_list",
+        default=None,
+        help="comma-separated fractions of the population attacked",
+    ),
+    CliOption(
+        flag="--recuperation",
+        param="recuperation_days",
+        kind="float",
+        default=30.0,
+        help="recuperation period in days",
+    ),
+)
+
+
+def _sweep_options(durations_default, coverages_default, extra=()):
+    options = []
+    for option in _SWEEP_CLI_OPTIONS:
+        default = option.default
+        if option.flag == "--durations":
+            default = list(durations_default)
+        elif option.flag == "--coverages":
+            default = list(coverages_default)
+        options.append(
+            CliOption(option.flag, option.param, option.kind, default, option.help)
+        )
+    options.extend(extra)
+    return tuple(options)
+
+
+@adversary(
+    "pipe_stoppage",
+    defaults={
+        "attack_duration_days": 30.0,
+        "coverage": 1.0,
+        "recuperation_days": 30.0,
+    },
+    description="Network-level blackout of a random victim fraction (Figs 3-5)",
+    cli_command="pipe-stoppage",
+    cli_help="Figures 3-5 sweep",
+    cli_options=_sweep_options([10.0, 60.0, 150.0], [0.4, 1.0]),
+)
+def build_pipe_stoppage(
+    world,
+    *,
+    attack_duration_days: float,
+    coverage: float,
+    recuperation_days: float,
+) -> PipeStoppageAdversary:
+    """Suppress all communication for a fraction of the population."""
+    schedule = AttackSchedule(
+        attack_duration=units.days(attack_duration_days),
+        coverage=coverage,
+        recuperation=units.days(recuperation_days),
+    )
+    return PipeStoppageAdversary(
+        simulator=world.simulator,
+        network=world.network,
+        rng=world.streams.stream("adversary/pipe-stoppage"),
+        schedule=schedule,
+        victims_pool=world.peer_ids(),
+        end_time=world.sim_config.duration,
+    )
+
+
+@adversary(
+    "admission_flood",
+    defaults={
+        "attack_duration_days": 30.0,
+        "coverage": 1.0,
+        "recuperation_days": 30.0,
+        "invitations_per_victim_per_day": 4.0,
+    },
+    description="Garbage-invitation flood against admission control (Figs 6-8)",
+    cli_command="admission-flood",
+    cli_help="Figures 6-8 sweep",
+    cli_options=_sweep_options(
+        [30.0, 200.0],
+        [1.0],
+        extra=(
+            CliOption(
+                flag="--rate",
+                param="invitations_per_victim_per_day",
+                kind="float",
+                default=6.0,
+                help="garbage invitations per victim per day",
+            ),
+        ),
+    ),
+)
+def build_admission_flood(
+    world,
+    *,
+    attack_duration_days: float,
+    coverage: float,
+    recuperation_days: float,
+    invitations_per_victim_per_day: float,
+) -> AdmissionControlAdversary:
+    """Flood victims with cheap garbage invitations from unknown identities."""
+    schedule = AttackSchedule(
+        attack_duration=units.days(attack_duration_days),
+        coverage=coverage,
+        recuperation=units.days(recuperation_days),
+    )
+    return AdmissionControlAdversary(
+        simulator=world.simulator,
+        network=world.network,
+        rng=world.streams.stream("adversary/admission-flood"),
+        schedule=schedule,
+        victims_pool=world.peer_ids(),
+        au_ids=[au.au_id for au in world.aus],
+        end_time=world.sim_config.duration,
+        invitations_per_victim_per_day=invitations_per_victim_per_day,
+    )
+
+
+@adversary(
+    "brute_force",
+    defaults={
+        "defection": "none",
+        "attempts_per_victim_au_per_day": 5.0,
+        "identity_pool_size": 100,
+        "use_schedule_oracle": True,
+    },
+    description="Effortful brute-force adversary with a defection point (Table 1)",
+)
+def build_brute_force(
+    world,
+    *,
+    defection,
+    attempts_per_victim_au_per_day: float,
+    identity_pool_size: int,
+    use_schedule_oracle: bool,
+) -> BruteForceAdversary:
+    """Pay real introductory effort, then defect at INTRO/REMAINING/NONE."""
+    if not isinstance(defection, DefectionPoint):
+        defection = DefectionPoint(str(defection).lower())
+    return BruteForceAdversary(
+        simulator=world.simulator,
+        network=world.network,
+        rng=world.streams.stream("adversary/brute-force"),
+        victims=world.peers,
+        protocol_config=world.protocol_config,
+        cost_model=world.cost_model,
+        defection=defection,
+        end_time=world.sim_config.duration,
+        attempts_per_victim_au_per_day=attempts_per_victim_au_per_day,
+        identity_pool_size=identity_pool_size,
+        use_schedule_oracle=use_schedule_oracle,
+    )

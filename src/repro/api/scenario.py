@@ -1,0 +1,372 @@
+"""Declarative experiment scenarios.
+
+A :class:`Scenario` is a complete, serializable description of one
+experiment: which base configuration it starts from, which protocol and
+simulation parameters it overrides, which adversary (if any) attacks the
+population, which seeds are averaged, and which parameter axes are swept.
+Scenarios round-trip through JSON, so every figure and table of the paper can
+be stored as a small artifact file and re-run with ``repro-experiments run``.
+
+Every scenario has a **content digest**: a SHA-256 over its *resolved*
+configuration (base applied, overrides merged), so two scenarios that
+describe the same experiment hash identically no matter how they were
+spelled.  The digest keys the persistent :class:`~repro.api.store.ResultStore`
+and the baseline cache in :mod:`repro.experiments.runner`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..config import (
+    ProtocolConfig,
+    SimulationConfig,
+    paper_config,
+    scaled_config,
+    smoke_config,
+)
+
+#: Named base configurations a scenario can start from.  Each factory returns
+#: a ``(ProtocolConfig, SimulationConfig)`` pair with its default arguments.
+BASE_CONFIGS: Dict[str, Callable[[], Tuple[ProtocolConfig, SimulationConfig]]] = {
+    "paper": paper_config,
+    "scaled": scaled_config,
+    "smoke": smoke_config,
+}
+
+
+def _jsonable(value: object) -> object:
+    """Convert ``value`` into plain JSON types (recursively)."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+def canonical_json(payload: object) -> str:
+    """Serialize ``payload`` deterministically (sorted keys, no whitespace)."""
+    return json.dumps(_jsonable(payload), sort_keys=True, separators=(",", ":"))
+
+
+def config_digest(
+    protocol: ProtocolConfig,
+    sim: SimulationConfig,
+    seeds: Sequence[int] = (),
+    adversary: Optional[Dict[str, object]] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> str:
+    """Stable content digest of one experiment configuration.
+
+    Unlike ``repr()``-based keys, the digest depends only on the dataclass
+    *field values* (canonical JSON, sorted keys), so it is stable across
+    Python versions, processes, and cosmetic refactors of the config classes.
+    """
+    payload = {
+        "protocol": dataclasses.asdict(protocol),
+        "sim": dataclasses.asdict(sim),
+        "seeds": list(seeds),
+        "adversary": adversary,
+        "extra": extra,
+    }
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class AdversarySpec:
+    """Registry-keyed adversary description: a kind plus builder parameters."""
+
+    kind: str
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "params": _jsonable(dict(self.params))}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "AdversarySpec":
+        return cls(kind=str(payload["kind"]), params=dict(payload.get("params") or {}))
+
+    def with_params(self, **params: object) -> "AdversarySpec":
+        merged = dict(self.params)
+        merged.update(params)
+        return AdversarySpec(kind=self.kind, params=merged)
+
+
+def _coerce_overrides(base: object, overrides: Dict[str, object]) -> Dict[str, object]:
+    """Coerce JSON-decoded override values back to the field types of ``base``.
+
+    JSON turns tuples into lists; tuple-typed config fields (link bandwidths,
+    latency ranges) are converted back so resolved configs compare equal to
+    natively constructed ones.
+    """
+    coerced: Dict[str, object] = {}
+    for name, value in overrides.items():
+        current = getattr(base, name, None)
+        if isinstance(current, tuple) and isinstance(value, list):
+            value = tuple(value)
+        coerced[name] = value
+    return coerced
+
+
+@dataclass
+class Scenario:
+    """One declarative experiment: configs + adversary + seeds + sweep axes.
+
+    ``protocol`` and ``sim`` are override mappings applied on top of the
+    named ``base`` configuration.  ``sweep`` maps axis names to value lists;
+    an axis name is ``"protocol.<field>"``, ``"sim.<field>"``, or
+    ``"adversary.<param>"``.  :meth:`expand` produces the cartesian product
+    of all axes (in insertion order, first axis outermost) as concrete
+    point scenarios.
+    """
+
+    name: str
+    base: str = "scaled"
+    protocol: Dict[str, object] = field(default_factory=dict)
+    sim: Dict[str, object] = field(default_factory=dict)
+    adversary: Optional[AdversarySpec] = None
+    seeds: Tuple[int, ...] = (1, 2, 3)
+    sweep: Dict[str, List[object]] = field(default_factory=dict)
+    #: Free-form labels carried into ``ExperimentResult.parameters`` (sweep
+    #: expansion records each point's axis values here).
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.base not in BASE_CONFIGS:
+            raise ValueError(
+                "unknown base config %r (known: %s)"
+                % (self.base, ", ".join(sorted(BASE_CONFIGS)))
+            )
+        if isinstance(self.adversary, dict):
+            self.adversary = AdversarySpec.from_dict(self.adversary)
+        self.seeds = tuple(int(seed) for seed in self.seeds)
+        if not self.seeds:
+            raise ValueError("scenario needs at least one seed")
+
+    # -- construction ------------------------------------------------------------------
+
+    @classmethod
+    def from_configs(
+        cls,
+        name: str,
+        protocol_config: ProtocolConfig,
+        sim_config: SimulationConfig,
+        adversary: Optional[Union[AdversarySpec, Dict[str, object]]] = None,
+        seeds: Sequence[int] = (1, 2, 3),
+        parameters: Optional[Dict[str, object]] = None,
+    ) -> "Scenario":
+        """Build a scenario from concrete config objects.
+
+        The configs are stored as overrides against the ``paper`` base (the
+        dataclass defaults), which keeps the JSON artifact small while the
+        digest — computed over the resolved configs — stays representation
+        independent.
+        """
+        base_protocol, base_sim = BASE_CONFIGS["paper"]()
+        protocol_overrides = {
+            key: value
+            for key, value in dataclasses.asdict(protocol_config).items()
+            if value != getattr(base_protocol, key)
+        }
+        sim_overrides = {
+            key: value
+            for key, value in dataclasses.asdict(sim_config).items()
+            if value != getattr(base_sim, key)
+        }
+        if isinstance(adversary, dict):
+            adversary = AdversarySpec.from_dict(adversary)
+        return cls(
+            name=name,
+            base="paper",
+            protocol=protocol_overrides,
+            sim=sim_overrides,
+            adversary=adversary,
+            seeds=tuple(seeds),
+            parameters=dict(parameters or {}),
+        )
+
+    # -- resolution --------------------------------------------------------------------
+
+    def resolve(
+        self, seed: Optional[int] = None
+    ) -> Tuple[ProtocolConfig, SimulationConfig]:
+        """Materialize the (protocol, sim) configs this scenario describes."""
+        base_protocol, base_sim = BASE_CONFIGS[self.base]()
+        protocol = base_protocol.with_overrides(
+            **_coerce_overrides(base_protocol, self.protocol)
+        )
+        sim = base_sim.with_overrides(**_coerce_overrides(base_sim, self.sim))
+        if seed is not None:
+            sim = sim.with_overrides(seed=int(seed))
+        return protocol, sim
+
+    # -- sweep expansion ----------------------------------------------------------------
+
+    @property
+    def is_sweep(self) -> bool:
+        return bool(self.sweep)
+
+    def expand(self) -> List["Scenario"]:
+        """Expand sweep axes into concrete point scenarios.
+
+        Axes iterate in insertion order with the first axis outermost, so a
+        sweep declared as ``{"adversary.coverage": [...],
+        "adversary.attack_duration_days": [...]}`` varies duration fastest —
+        matching the paper's figure row order.
+        """
+        if not self.sweep:
+            return [self]
+        points: List[Scenario] = [
+            dataclasses.replace(
+                self,
+                sweep={},
+                protocol=dict(self.protocol),
+                sim=dict(self.sim),
+                adversary=(
+                    self.adversary.with_params() if self.adversary is not None else None
+                ),
+                parameters=dict(self.parameters),
+            )
+        ]
+        for axis, values in self.sweep.items():
+            scope, _, field_name = axis.partition(".")
+            if scope not in ("protocol", "sim", "adversary") or not field_name:
+                raise ValueError(
+                    "sweep axis %r must look like 'protocol.<field>', "
+                    "'sim.<field>', or 'adversary.<param>'" % axis
+                )
+            expanded: List[Scenario] = []
+            for point in points:
+                for value in values:
+                    child = dataclasses.replace(
+                        point,
+                        protocol=dict(point.protocol),
+                        sim=dict(point.sim),
+                        adversary=(
+                            point.adversary.with_params()
+                            if point.adversary is not None
+                            else None
+                        ),
+                        parameters=dict(point.parameters),
+                    )
+                    if scope == "adversary":
+                        if child.adversary is None:
+                            raise ValueError(
+                                "sweep axis %r needs an adversary spec" % axis
+                            )
+                        child.adversary.params[field_name] = value
+                    elif scope == "protocol":
+                        child.protocol[field_name] = value
+                    else:
+                        child.sim[field_name] = value
+                    child.parameters[field_name] = value
+                    child.name = "%s %s=%s" % (point.name, field_name, value)
+                    expanded.append(child)
+            points = expanded
+        return points
+
+    # -- serialization ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "name": self.name,
+            "base": self.base,
+            "protocol": _jsonable(dict(self.protocol)),
+            "sim": _jsonable(dict(self.sim)),
+            "adversary": self.adversary.to_dict() if self.adversary else None,
+            "seeds": list(self.seeds),
+            "sweep": _jsonable(dict(self.sweep)),
+            "parameters": _jsonable(dict(self.parameters)),
+        }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Scenario":
+        adversary = payload.get("adversary")
+        return cls(
+            name=str(payload.get("name", "scenario")),
+            base=str(payload.get("base", "scaled")),
+            protocol=dict(payload.get("protocol") or {}),
+            sim=dict(payload.get("sim") or {}),
+            adversary=(
+                AdversarySpec.from_dict(adversary) if adversary is not None else None
+            ),
+            seeds=tuple(payload.get("seeds") or (1, 2, 3)),
+            sweep={
+                str(key): list(values)
+                for key, values in (payload.get("sweep") or {}).items()
+            },
+            parameters=dict(payload.get("parameters") or {}),
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Scenario":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    # -- identity ----------------------------------------------------------------------
+
+    def _canonical_adversary(self) -> Optional[Dict[str, object]]:
+        """Adversary spec with registry defaults merged in, for hashing.
+
+        Omitting a parameter and spelling out its default run the same
+        simulation, so they must hash identically.  Unregistered kinds (e.g.
+        a custom adversary not imported here) hash over the raw spec.
+        """
+        if self.adversary is None:
+            return None
+        from .registry import DEFAULT_REGISTRY
+
+        payload = self.adversary.to_dict()
+        if self.adversary.kind in DEFAULT_REGISTRY:
+            defaults = DEFAULT_REGISTRY.get(self.adversary.kind).defaults
+            merged = dict(defaults)
+            merged.update(payload["params"])
+            payload = {"kind": payload["kind"], "params": _jsonable(merged)}
+        return payload
+
+    @property
+    def digest(self) -> str:
+        """Content digest over the *resolved* experiment description.
+
+        The scenario name and the base/override split do not affect the
+        digest; the resolved configs, adversary spec (registry defaults
+        merged), seeds, and sweep axes do.  Two differently-spelled
+        scenarios describing the same experiment therefore share
+        result-store artifacts.
+        """
+        protocol, sim = self.resolve()
+        return config_digest(
+            protocol,
+            sim,
+            seeds=self.seeds,
+            adversary=self._canonical_adversary(),
+            extra={"sweep": _jsonable(dict(self.sweep))} if self.sweep else None,
+        )
+
+    def point_digest(self, seed: int, baseline: bool = False) -> str:
+        """Digest of a single-seed run of this scenario (attacked or baseline)."""
+        protocol, sim = self.resolve(seed=seed)
+        adversary = None
+        if not baseline and self.adversary is not None:
+            adversary = self._canonical_adversary()
+        return config_digest(protocol, sim, seeds=(seed,), adversary=adversary)

@@ -1,0 +1,306 @@
+"""Scenario execution sessions.
+
+A :class:`Session` is the one entry point for running experiments: it takes
+declarative :class:`~repro.api.scenario.Scenario` objects, executes their
+multi-seed (and multi-point, for sweeps) runs either serially or on a process
+pool, compares attacked runs against matching no-adversary baselines, and
+caches every per-seed run by content digest — in memory and, when a
+:class:`~repro.api.store.ResultStore` is attached, on disk.
+
+Determinism: each (configuration, seed) run is a pure function of its
+resolved configuration (see :mod:`repro.sim.randomness`), and results are
+keyed and assembled by digest rather than completion order, so a parallel
+session produces bit-identical metrics to a serial one.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..metrics.report import (
+    AttackAssessment,
+    RunMetrics,
+    average_metrics,
+    compare_runs,
+)
+from .registry import DEFAULT_REGISTRY, AdversaryRegistry
+from .scenario import Scenario
+from .store import ResultStore
+
+
+@dataclass
+class ExperimentResult:
+    """Averaged attacked-vs-baseline comparison for one scenario point."""
+
+    label: str
+    assessment: AttackAssessment
+    attacked_runs: List[RunMetrics] = field(default_factory=list)
+    baseline_runs: List[RunMetrics] = field(default_factory=list)
+    parameters: Dict[str, object] = field(default_factory=dict)
+    #: Content digest of the scenario that produced this result (when run
+    #: through a :class:`Session`); keys the persistent result artifact.
+    scenario_digest: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "assessment": self.assessment.to_dict(),
+            "attacked_runs": [run.to_dict() for run in self.attacked_runs],
+            "baseline_runs": [run.to_dict() for run in self.baseline_runs],
+            "parameters": dict(self.parameters),
+            "scenario_digest": self.scenario_digest,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ExperimentResult":
+        return cls(
+            label=str(payload.get("label", "")),
+            assessment=AttackAssessment.from_dict(payload["assessment"]),
+            attacked_runs=[
+                RunMetrics.from_dict(item) for item in payload.get("attacked_runs", [])
+            ],
+            baseline_runs=[
+                RunMetrics.from_dict(item) for item in payload.get("baseline_runs", [])
+            ],
+            parameters=dict(payload.get("parameters") or {}),
+            scenario_digest=payload.get("scenario_digest"),
+        )
+
+
+def execute_point(
+    scenario: Scenario,
+    seed: int,
+    baseline: bool = False,
+    registry: Optional[AdversaryRegistry] = None,
+) -> RunMetrics:
+    """Build and run one world for ``scenario`` at ``seed``.
+
+    With ``baseline=True`` the adversary spec is ignored, producing the
+    matching no-attack run the paper's ratio metrics are defined against.
+    """
+    # Imported lazily so that ``repro.experiments`` (whose runner imports
+    # this package) is never re-entered during module initialization.
+    from ..experiments.world import build_world
+
+    protocol, sim = scenario.resolve(seed=seed)
+    factory = None
+    if not baseline and scenario.adversary is not None:
+        active_registry = registry if registry is not None else DEFAULT_REGISTRY
+        factory = active_registry.factory(
+            scenario.adversary.kind, **scenario.adversary.params
+        )
+    world = build_world(protocol, sim, adversary_factory=factory)
+    return world.run()
+
+
+def _execute_payload(payload: Tuple[str, int, bool]) -> RunMetrics:
+    """Process-pool entry point: run one (scenario JSON, seed, baseline) task.
+
+    Worker processes resolve adversary kinds against the default registry, so
+    custom adversaries must be registered at import time of an importable
+    module to be available under ``workers > 1``.
+    """
+    scenario_json, seed, baseline = payload
+    return execute_point(Scenario.from_json(scenario_json), seed, baseline=baseline)
+
+
+@dataclass
+class _Task:
+    """One pending (scenario, seed, attacked-or-baseline) run."""
+
+    digest: str
+    scenario: Scenario
+    seed: int
+    baseline: bool
+
+
+@dataclass
+class Session:
+    """Executes scenarios, in parallel when ``workers > 1``.
+
+    ``store`` (optional) persists every per-seed run and every scenario
+    result as digest-keyed JSON, shared across processes and invocations.
+    ``registry`` resolves adversary kinds; a non-default registry forces
+    serial execution because worker processes only see the default one.
+    """
+
+    workers: int = 1
+    store: Optional[ResultStore] = None
+    registry: AdversaryRegistry = field(default=DEFAULT_REGISTRY, repr=False)
+    _run_cache: Dict[str, RunMetrics] = field(default_factory=dict, repr=False)
+
+    # -- public API --------------------------------------------------------------------
+
+    def run_metrics(self, scenario: Scenario, baseline: bool = False) -> List[RunMetrics]:
+        """Per-seed metrics for one scenario point (attacked by default)."""
+        self._require_point(scenario)
+        tasks = self._tasks_for(scenario, baseline=baseline)
+        computed = self._compute(tasks)
+        return [computed[task.digest] for task in tasks]
+
+    def run(self, scenario: Scenario) -> ExperimentResult:
+        """Run one scenario point: attacked and baseline runs, compared.
+
+        For a no-adversary scenario the baseline *is* the attacked run and
+        every ratio metric is 1 by construction.
+        """
+        self._require_point(scenario)
+        tasks = self._tasks_for(scenario, baseline=False)
+        if scenario.adversary is not None:
+            tasks = tasks + self._tasks_for(scenario, baseline=True)
+        computed = self._compute(tasks)
+        return self._assemble(scenario, computed)
+
+    def run_all(self, scenarios: Sequence[Scenario]) -> List[ExperimentResult]:
+        """Run several point scenarios through one deduplicated task batch.
+
+        All (point, seed) runs — attacked and baseline — are gathered first,
+        so the process pool is saturated across the whole batch and shared
+        baselines are simulated once.
+        """
+        tasks: List[_Task] = []
+        for scenario in scenarios:
+            self._require_point(scenario)
+            tasks.extend(self._tasks_for(scenario, baseline=False))
+            if scenario.adversary is not None:
+                tasks.extend(self._tasks_for(scenario, baseline=True))
+        computed = self._compute(tasks)
+        return [self._assemble(scenario, computed) for scenario in scenarios]
+
+    def sweep(self, scenario: Scenario) -> List[ExperimentResult]:
+        """Expand a sweep scenario and run every point through one batch."""
+        return self.run_all(scenario.expand())
+
+    # -- internals ---------------------------------------------------------------------
+
+    @staticmethod
+    def _require_point(scenario: Scenario) -> None:
+        if scenario.is_sweep:
+            raise ValueError(
+                "scenario %r has sweep axes; use Session.sweep()" % scenario.name
+            )
+
+    def _tasks_for(self, scenario: Scenario, baseline: bool) -> List[_Task]:
+        return [
+            _Task(
+                digest=scenario.point_digest(seed, baseline=baseline),
+                scenario=scenario,
+                seed=seed,
+                baseline=baseline,
+            )
+            for seed in scenario.seeds
+        ]
+
+    def _compute(self, tasks: Sequence[_Task]) -> Dict[str, RunMetrics]:
+        """Resolve every task digest to metrics, computing only cache misses."""
+        results: Dict[str, RunMetrics] = {}
+        pending: List[_Task] = []
+        for task in tasks:
+            if task.digest in results:
+                continue
+            cached = self._lookup(task.digest)
+            if cached is not None:
+                results[task.digest] = cached
+            elif all(task.digest != other.digest for other in pending):
+                pending.append(task)
+
+        use_pool = (
+            self.workers > 1
+            and len(pending) > 1
+            and self.registry is DEFAULT_REGISTRY
+        )
+        if use_pool:
+            payloads = [
+                (task.scenario.to_json(indent=None), task.seed, task.baseline)
+                for task in pending
+            ]
+            max_workers = min(self.workers, len(pending))
+            with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
+                futures = [pool.submit(_execute_payload, item) for item in payloads]
+                metrics = [future.result() for future in futures]
+        else:
+            metrics = [
+                execute_point(
+                    task.scenario, task.seed, baseline=task.baseline, registry=self.registry
+                )
+                for task in pending
+            ]
+
+        for task, run in zip(pending, metrics):
+            results[task.digest] = run
+            self._remember(task.digest, run)
+        return results
+
+    def _lookup(self, digest: str) -> Optional[RunMetrics]:
+        run = self._run_cache.get(digest)
+        if run is not None:
+            return run
+        if self.store is not None:
+            loaded = self.store.load_runs(digest)
+            if loaded:
+                self._run_cache[digest] = loaded[0]
+                return loaded[0]
+        return None
+
+    def _remember(self, digest: str, run: RunMetrics) -> None:
+        self._run_cache[digest] = run
+        if self.store is not None:
+            self.store.save_runs(digest, [run])
+
+    def _assemble(
+        self, scenario: Scenario, computed: Dict[str, RunMetrics]
+    ) -> ExperimentResult:
+        attacked = [
+            computed[scenario.point_digest(seed, baseline=False)]
+            for seed in scenario.seeds
+        ]
+        if scenario.adversary is not None:
+            baseline = [
+                computed[scenario.point_digest(seed, baseline=True)]
+                for seed in scenario.seeds
+            ]
+        else:
+            baseline = attacked
+        assessment = compare_runs(average_metrics(attacked), average_metrics(baseline))
+        result = ExperimentResult(
+            label=scenario.name,
+            assessment=assessment,
+            attacked_runs=attacked,
+            baseline_runs=baseline,
+            parameters=dict(scenario.parameters),
+            scenario_digest=scenario.digest,
+        )
+        if self.store is not None:
+            self.store.save_json("result", scenario.digest, result.to_dict())
+        return result
+
+    def clear_cache(self) -> None:
+        """Drop the in-memory per-seed cache (the store is left untouched)."""
+        self._run_cache.clear()
+
+
+_default_session: Optional[Session] = None
+
+
+def default_session() -> Session:
+    """The process-wide serial session the experiment modules share.
+
+    Sharing one session means every figure sweep in a process reuses the
+    same cached baseline runs, mirroring the old module-global baseline
+    cache.  CLI invocations replace it via :func:`set_default_session` to
+    attach workers and a persistent store.
+    """
+    global _default_session
+    if _default_session is None:
+        _default_session = Session()
+    return _default_session
+
+
+def set_default_session(session: Optional[Session]) -> Optional[Session]:
+    """Install ``session`` as the process default; returns the previous one."""
+    global _default_session
+    previous = _default_session
+    _default_session = session
+    return previous

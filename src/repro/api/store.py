@@ -1,0 +1,106 @@
+"""Digest-keyed persistent result artifacts.
+
+A :class:`ResultStore` is a directory of small JSON files, each named by the
+content digest of the configuration that produced it.  It replaces the old
+``repr()``-keyed in-process baseline cache with artifacts that survive across
+processes (a parallel session's workers and later invocations all hit the
+same store) and across interpreter versions (the digest depends only on
+field values, never on ``repr`` formatting).
+
+Two artifact kinds are used by the session layer:
+
+* ``runs-<digest>.json`` — a list of per-seed :class:`RunMetrics` for one
+  resolved configuration (attacked or baseline).
+* ``result-<digest>.json`` — a full :class:`~repro.api.session.ExperimentResult`
+  (assessment + runs + parameters) for one scenario point.
+
+Writes are atomic (temp file + ``os.replace``); unreadable or corrupt
+artifacts are treated as cache misses rather than errors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..metrics.report import RunMetrics
+
+
+class ResultStore:
+    """A directory of digest-keyed JSON artifacts."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- generic JSON artifacts ---------------------------------------------------------
+
+    def path_for(self, kind: str, digest: str) -> Path:
+        if not kind or any(ch in kind for ch in "/\\"):
+            raise ValueError("invalid artifact kind %r" % kind)
+        return self.root / ("%s-%s.json" % (kind, digest))
+
+    def save_json(self, kind: str, digest: str, payload: object) -> Path:
+        """Atomically write one artifact and return its path."""
+        path = self.path_for(kind, digest)
+        handle, tmp_name = tempfile.mkstemp(
+            prefix=path.name + ".", suffix=".tmp", dir=str(self.root)
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+                json.dump(payload, tmp, indent=2, sort_keys=True)
+                tmp.write("\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def load_json(self, kind: str, digest: str) -> Optional[object]:
+        """Read one artifact; missing or corrupt files read as ``None``."""
+        path = self.path_for(kind, digest)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def has(self, kind: str, digest: str) -> bool:
+        return self.path_for(kind, digest).exists()
+
+    # -- run metrics --------------------------------------------------------------------
+
+    def save_runs(self, digest: str, runs: List[RunMetrics]) -> Path:
+        return self.save_json("runs", digest, [run.to_dict() for run in runs])
+
+    def load_runs(self, digest: str) -> Optional[List[RunMetrics]]:
+        payload = self.load_json("runs", digest)
+        if not isinstance(payload, list):
+            return None
+        try:
+            return [RunMetrics.from_dict(item) for item in payload]
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    # -- housekeeping -------------------------------------------------------------------
+
+    def artifacts(self) -> List[Path]:
+        """All artifact files currently in the store (sorted by name)."""
+        return sorted(self.root.glob("*-*.json"))
+
+    def clear(self) -> int:
+        """Delete every artifact; returns the number removed."""
+        removed = 0
+        for path in self.artifacts():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -10,6 +10,14 @@ table:
 * ``admission-flood`` — Figures 6–8 (garbage-invitation flood)
 * ``table1``          — Table 1 (brute-force adversary defection points)
 * ``ablation``        — the defense ablations described in DESIGN.md
+* ``run``             — any scenario JSON file (see ``repro.api.Scenario``)
+* ``list-adversaries``— the registered attack strategies
+
+The scheduled-attack subcommands (``pipe-stoppage``, ``admission-flood``) are
+generated from the adversary registry: registering a new adversary with CLI
+metadata adds its subcommand automatically.  Every subcommand accepts
+``--workers`` (parallel multi-seed/multi-point execution on a process pool)
+and ``--store`` (a directory of digest-keyed persistent result artifacts).
 """
 
 from __future__ import annotations
@@ -20,9 +28,20 @@ from typing import Dict, List, Optional, Sequence
 
 from . import units
 from .adversary.brute_force import DefectionPoint
+from .api import (
+    DEFAULT_REGISTRY,
+    AdversaryEntry,
+    AdversarySpec,
+    ResultStore,
+    Scenario,
+    Session,
+)
+from .api.session import ExperimentResult
 from .config import ProtocolConfig, SimulationConfig, scaled_config
 from .experiments import ablation as ablation_module
-from .experiments import admission_attack, baseline, effortful, pipe_stoppage
+from .experiments import baseline, effortful
+from .experiments.attacks import attack_sweep_rows
+from .experiments.pipe_stoppage import FIGURE_COLUMNS as ATTACK_COLUMNS
 from .experiments.reporting import format_table
 
 
@@ -44,8 +63,29 @@ def _configs(args: argparse.Namespace) -> "tuple[ProtocolConfig, SimulationConfi
     return protocol, sim
 
 
+def _session(args: argparse.Namespace) -> Session:
+    """Build the execution session a subcommand runs its scenarios through."""
+    store = ResultStore(args.store) if getattr(args, "store", None) else None
+    return Session(workers=getattr(args, "workers", 1) or 1, store=store)
+
+
 def _print_rows(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> None:
     print(format_table(columns, [[row.get(column) for column in columns] for row in rows]))
+
+
+def _add_session_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="run multi-seed/multi-point simulations on a process pool",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="persist per-run metrics and results as digest-keyed JSON in DIR",
+    )
 
 
 def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
@@ -61,6 +101,7 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
         default=[1],
         help="comma-separated seeds averaged per data point (paper uses 3)",
     )
+    _add_session_arguments(parser)
 
 
 def _cmd_baseline(args: argparse.Namespace) -> int:
@@ -72,6 +113,7 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
         seeds=args.seeds,
         protocol_config=protocol,
         sim_config=sim,
+        session=_session(args),
     )
     print("Figure 2 — baseline access failure probability (no attack)")
     _print_rows(
@@ -81,35 +123,40 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_pipe_stoppage(args: argparse.Namespace) -> int:
-    protocol, sim = _configs(args)
-    rows = pipe_stoppage.pipe_stoppage_sweep(
-        durations_days=args.durations,
-        coverages=args.coverages,
-        seeds=args.seeds,
-        protocol_config=protocol,
-        sim_config=sim,
-        recuperation_days=args.recuperation,
-    )
-    print("Figures 3–5 — pipe stoppage (access failure, delay ratio, friction)")
-    _print_rows(rows, pipe_stoppage.FIGURE_COLUMNS)
-    return 0
+def _option_dest(flag: str) -> str:
+    return flag.lstrip("-").replace("-", "_")
 
 
-def _cmd_admission(args: argparse.Namespace) -> int:
-    protocol, sim = _configs(args)
-    rows = admission_attack.admission_attack_sweep(
-        durations_days=args.durations,
-        coverages=args.coverages,
-        seeds=args.seeds,
-        protocol_config=protocol,
-        sim_config=sim,
-        recuperation_days=args.recuperation,
-        invitations_per_victim_per_day=args.rate,
-    )
-    print("Figures 6–8 — admission-control attack (access failure, delay ratio, friction)")
-    _print_rows(rows, admission_attack.FIGURE_COLUMNS)
-    return 0
+def _make_attack_command(entry: AdversaryEntry):
+    """Build the handler for one registry-generated attack-sweep subcommand."""
+
+    def handler(args: argparse.Namespace) -> int:
+        protocol, sim = _configs(args)
+        params: Dict[str, object] = {}
+        axes: Dict[str, List[object]] = {}
+        # Later list-valued options vary slowest (outermost axis), so the
+        # conventional "--durations ... --coverages ..." option order yields
+        # the figures' row order (coverage outer, duration inner).
+        for option in reversed(entry.cli_options):
+            value = getattr(args, _option_dest(option.flag))
+            if option.kind == "float_list":
+                axes["adversary." + option.param] = list(value)
+            else:
+                params[option.param] = value
+        scenario = Scenario.from_configs(
+            entry.cli_command or entry.name,
+            protocol,
+            sim,
+            adversary=AdversarySpec(entry.name, params),
+            seeds=tuple(args.seeds),
+        )
+        scenario.sweep = axes
+        rows = attack_sweep_rows(scenario, session=_session(args))
+        print("%s — %s" % (entry.cli_command, entry.description))
+        _print_rows(rows, ATTACK_COLUMNS)
+        return 0
+
+    return handler
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -122,6 +169,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         protocol_config=protocol,
         sim_config=sim,
         attempts_per_victim_au_per_day=args.rate,
+        session=_session(args),
     )
     print("Table 1 — brute-force effortful adversary")
     _print_rows(rows, effortful.TABLE1_COLUMNS)
@@ -130,26 +178,86 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 def _cmd_ablation(args: argparse.Namespace) -> int:
     protocol, sim = _configs(args)
+    session = _session(args)
     if args.which == "admission":
         rows = ablation_module.admission_control_ablation(
-            seeds=args.seeds, protocol_config=protocol, sim_config=sim
+            seeds=args.seeds, protocol_config=protocol, sim_config=sim, session=session
         )
         columns = ["admission_control", "coefficient_of_friction", "loyal_effort"]
         title = "Ablation — admission control on/off under a garbage flood"
     elif args.which == "effort":
         rows = ablation_module.effort_balancing_ablation(
-            seeds=args.seeds, protocol_config=protocol, sim_config=sim
+            seeds=args.seeds, protocol_config=protocol, sim_config=sim, session=session
         )
         columns = ["introductory_effort_fraction", "cost_ratio", "adversary_effort"]
         title = "Ablation — introductory-effort toll vs the reservation attack"
     else:
         rows = ablation_module.desynchronization_ablation(
-            seeds=args.seeds, protocol_config=protocol, sim_config=sim
+            seeds=args.seeds, protocol_config=protocol, sim_config=sim, session=session
         )
         columns = ["mode", "success_rate", "refusal_rate", "successful_polls"]
         title = "Ablation — desynchronized vs compressed solicitation"
     print(title)
     _print_rows(rows, columns)
+    return 0
+
+
+RESULT_COLUMNS = (
+    "label",
+    "access_failure_probability",
+    "delay_ratio",
+    "coefficient_of_friction",
+    "cost_ratio",
+)
+
+
+def _result_row(result: ExperimentResult) -> Dict[str, object]:
+    assessment = result.assessment
+    row: Dict[str, object] = {
+        "label": result.label,
+        "access_failure_probability": assessment.access_failure_probability,
+        "delay_ratio": assessment.delay_ratio,
+        "coefficient_of_friction": assessment.coefficient_of_friction,
+        "cost_ratio": assessment.cost_ratio,
+    }
+    row.update(result.parameters)
+    return row
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = Scenario.load(args.scenario)
+    if args.seeds is not None:
+        scenario.seeds = tuple(args.seeds)
+    session = _session(args)
+    if scenario.is_sweep:
+        results = session.sweep(scenario)
+    else:
+        results = [session.run(scenario)]
+    rows = [_result_row(result) for result in results]
+    parameter_columns = sorted(
+        {key for result in results for key in result.parameters}
+    )
+    print("Scenario %s (digest %s)" % (scenario.name, scenario.digest[:12]))
+    _print_rows(rows, list(RESULT_COLUMNS) + parameter_columns)
+    if args.store:
+        print("Results persisted under %s (digest-keyed JSON)." % args.store)
+    return 0
+
+
+def _cmd_list_adversaries(args: argparse.Namespace) -> int:
+    rows = [
+        {
+            "name": entry.name,
+            "cli_command": entry.cli_command or "-",
+            "description": entry.description,
+            "defaults": ", ".join(
+                "%s=%s" % (key, value) for key, value in sorted(entry.defaults.items())
+            ),
+        }
+        for entry in DEFAULT_REGISTRY
+    ]
+    print("Registered adversaries")
+    _print_rows(rows, ["name", "cli_command", "description", "defaults"])
     return 0
 
 
@@ -175,38 +283,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     baseline_parser.set_defaults(func=_cmd_baseline)
 
-    pipe_parser = subparsers.add_parser("pipe-stoppage", help="Figures 3-5 sweep")
-    _add_scale_arguments(pipe_parser)
-    pipe_parser.add_argument(
-        "--durations", type=_parse_floats, default=[10.0, 60.0, 150.0],
-        help="comma-separated attack durations in days",
-    )
-    pipe_parser.add_argument(
-        "--coverages", type=_parse_floats, default=[0.4, 1.0],
-        help="comma-separated fractions of the population attacked",
-    )
-    pipe_parser.add_argument(
-        "--recuperation", type=float, default=30.0, help="recuperation period in days"
-    )
-    pipe_parser.set_defaults(func=_cmd_pipe_stoppage)
-
-    admission_parser = subparsers.add_parser("admission-flood", help="Figures 6-8 sweep")
-    _add_scale_arguments(admission_parser)
-    admission_parser.add_argument(
-        "--durations", type=_parse_floats, default=[30.0, 200.0],
-        help="comma-separated attack durations in days",
-    )
-    admission_parser.add_argument(
-        "--coverages", type=_parse_floats, default=[1.0],
-        help="comma-separated fractions of the population attacked",
-    )
-    admission_parser.add_argument(
-        "--recuperation", type=float, default=30.0, help="recuperation period in days"
-    )
-    admission_parser.add_argument(
-        "--rate", type=float, default=6.0, help="garbage invitations per victim per day"
-    )
-    admission_parser.set_defaults(func=_cmd_admission)
+    # Scheduled-attack sweeps are generated from the adversary registry.
+    for entry in DEFAULT_REGISTRY:
+        if not entry.cli_command:
+            continue
+        attack_parser = subparsers.add_parser(entry.cli_command, help=entry.cli_help)
+        _add_scale_arguments(attack_parser)
+        for option in entry.cli_options:
+            if option.kind == "float_list":
+                attack_parser.add_argument(
+                    option.flag, type=_parse_floats, default=list(option.default),
+                    help=option.help,
+                )
+            else:
+                attack_parser.add_argument(
+                    option.flag, type=float, default=option.default, help=option.help
+                )
+        attack_parser.set_defaults(func=_make_attack_command(entry))
 
     table1_parser = subparsers.add_parser("table1", help="Table 1 defection comparison")
     _add_scale_arguments(table1_parser)
@@ -227,6 +320,22 @@ def build_parser() -> argparse.ArgumentParser:
         "which", choices=["admission", "effort", "desync"], help="which defense to ablate"
     )
     ablation_parser.set_defaults(func=_cmd_ablation)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run a scenario JSON file (point or sweep)"
+    )
+    run_parser.add_argument("scenario", help="path to a Scenario JSON file")
+    run_parser.add_argument(
+        "--seeds", type=_parse_ints, default=None,
+        help="override the scenario's seeds (comma-separated)",
+    )
+    _add_session_arguments(run_parser)
+    run_parser.set_defaults(func=_cmd_run)
+
+    list_parser = subparsers.add_parser(
+        "list-adversaries", help="list registered attack strategies"
+    )
+    list_parser.set_defaults(func=_cmd_list_adversaries)
 
     return parser
 

@@ -91,6 +91,10 @@ class ProtocolConfig:
     #: A peer considers at most ``rate_limit_factor`` times the legitimate
     #: invitation rate it expects (Section 6.3 allows 4x).
     rate_limit_factor: float = 4.0
+    #: Master switch for the admission-control filter; disabled only by the
+    #: ablation experiments, which then pay full consideration cost for every
+    #: garbage invitation.
+    admission_control_enabled: bool = True
     #: Interval after which a reputation grade decays one step toward debt.
     grade_decay_interval: float = units.months(6)
 

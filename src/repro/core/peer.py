@@ -88,7 +88,7 @@ class Peer(Node):
         #: (used to model crashed peers in fault-injection tests).
         self.active = True
         #: Disable admission control entirely (ablation experiments).
-        self.admission_enabled = True
+        self.admission_enabled = config.admission_control_enabled
 
         self._au_states: Dict[str, AUState] = {}
         self._polls_by_id: Dict[str, PollerPoll] = {}

@@ -16,11 +16,15 @@ Each module corresponds to one artifact of Section 7:
   DESIGN.md.
 
 :mod:`repro.experiments.world` builds a simulated world from configuration;
-:mod:`repro.experiments.runner` runs attacked/baseline pairs over multiple
-seeds; :mod:`repro.experiments.reporting` renders rows as text tables like the
-ones in EXPERIMENTS.md.
+:mod:`repro.experiments.attacks` expresses the duration x coverage attack
+sweeps as declarative :class:`repro.api.Scenario` objects;
+:mod:`repro.experiments.reporting` renders rows as text tables like the ones
+in EXPERIMENTS.md.  :mod:`repro.experiments.runner` holds the deprecated
+pre-Scenario entry points (``run_single``/``run_many``/
+``run_attack_experiment``), kept as shims over the same machinery.
 """
 
+from .attacks import attack_sweep_rows, attack_sweep_scenario
 from .runner import ExperimentResult, run_attack_experiment, run_single
 from .world import World, build_world
 from .reporting import format_table
@@ -28,6 +32,8 @@ from .reporting import format_table
 __all__ = [
     "World",
     "build_world",
+    "attack_sweep_scenario",
+    "attack_sweep_rows",
     "run_single",
     "run_attack_experiment",
     "ExperimentResult",

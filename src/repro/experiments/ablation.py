@@ -2,16 +2,20 @@
 
 The paper argues for a *combination* of defenses; these ablations quantify
 what each one buys by re-running an attack with a single defense weakened or
-disabled:
+disabled.  Every variant is a declarative :class:`~repro.api.Scenario` — the
+weakened defense is just a protocol-config override — executed through the
+shared :class:`~repro.api.Session`:
 
 * **Admission control** — the garbage-invitation flood with the
-  admission-control filter enabled vs. disabled.  Without the filter every
+  admission-control filter enabled vs. disabled
+  (``protocol.admission_control_enabled``).  Without the filter every
   garbage invitation is considered (session + verification cost), so the
   attacker's effortless flood translates directly into defender effort.
 * **Effort balancing** — the brute-force INTRO-defection (reservation) attack
-  with the paper's 20% introductory-effort toll vs. a near-zero toll.  With a
-  trivial toll the attacker wastes victims' schedule slots at almost no cost
-  to itself, which shows up as a collapsing cost ratio.
+  with the paper's 20% introductory-effort toll vs. a near-zero toll
+  (``protocol.introductory_effort_fraction``).  With a trivial toll the
+  attacker wastes victims' schedule slots at almost no cost to itself, which
+  shows up as a collapsing cost ratio.
 * **Desynchronization** — normal individually-scheduled solicitation spread
   over most of the poll interval vs. a compressed window where all votes must
   be produced almost simultaneously, which creates scheduling contention and
@@ -23,12 +27,10 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from .. import units
-from ..adversary.brute_force import DefectionPoint
-from ..config import ProtocolConfig, SimulationConfig, scaled_config
-from ..metrics.report import average_metrics, compare_runs
-from .admission_attack import make_admission_flood_factory
-from .effortful import make_brute_force_factory
-from .runner import baseline_runs, run_many
+from ..api import AdversarySpec, Scenario, Session
+from ..api.session import default_session
+from ..config import ProtocolConfig, SimulationConfig
+from .configs import resolve_base_configs
 
 
 def admission_control_ablation(
@@ -38,30 +40,33 @@ def admission_control_ablation(
     seeds: Sequence[int] = (1,),
     protocol_config: Optional[ProtocolConfig] = None,
     sim_config: Optional[SimulationConfig] = None,
+    session: Optional[Session] = None,
 ) -> List[Dict[str, object]]:
     """Garbage-invitation flood with the admission-control defense on vs. off."""
-    base_protocol, base_sim = scaled_config()
-    if protocol_config is not None:
-        base_protocol = protocol_config
-    if sim_config is not None:
-        base_sim = sim_config
+    base_protocol, base_sim = resolve_base_configs(protocol_config, sim_config)
+    session = session if session is not None else default_session()
 
-    factory = make_admission_flood_factory(
-        attack_duration=units.days(attack_duration_days),
-        coverage=coverage,
-        invitations_per_victim_per_day=invitations_per_victim_per_day,
-    )
-
+    variants = (True, False)
+    scenarios = [
+        Scenario.from_configs(
+            "admission-flood admission_control=%s" % enabled,
+            base_protocol.with_overrides(admission_control_enabled=enabled),
+            base_sim,
+            adversary=AdversarySpec(
+                "admission_flood",
+                {
+                    "attack_duration_days": attack_duration_days,
+                    "coverage": coverage,
+                    "invitations_per_victim_per_day": invitations_per_victim_per_day,
+                },
+            ),
+            seeds=tuple(seeds),
+        )
+        for enabled in variants
+    ]
     rows: List[Dict[str, object]] = []
-    for enabled in (True, False):
-        def wrapped_factory(world, _enabled=enabled):
-            for peer in world.peers:
-                peer.set_admission_enabled(_enabled)
-            return factory(world)
-
-        attacked = run_many(base_protocol, base_sim, seeds, wrapped_factory)
-        baseline = baseline_runs(base_protocol, base_sim, seeds)
-        assessment = compare_runs(average_metrics(attacked), average_metrics(baseline))
+    for enabled, result in zip(variants, session.run_all(scenarios)):
+        assessment = result.assessment
         rows.append(
             {
                 "admission_control": enabled,
@@ -80,24 +85,31 @@ def effort_balancing_ablation(
     protocol_config: Optional[ProtocolConfig] = None,
     sim_config: Optional[SimulationConfig] = None,
     attempts_per_victim_au_per_day: float = 5.0,
+    session: Optional[Session] = None,
 ) -> List[Dict[str, object]]:
     """Reservation (INTRO-defection) attack under different introductory tolls."""
-    base_protocol, base_sim = scaled_config()
-    if protocol_config is not None:
-        base_protocol = protocol_config
-    if sim_config is not None:
-        base_sim = sim_config
+    base_protocol, base_sim = resolve_base_configs(protocol_config, sim_config)
+    session = session if session is not None else default_session()
 
-    rows: List[Dict[str, object]] = []
-    for fraction in introductory_fractions:
-        protocol = base_protocol.with_overrides(introductory_effort_fraction=fraction)
-        factory = make_brute_force_factory(
-            defection=DefectionPoint.INTRO,
-            attempts_per_victim_au_per_day=attempts_per_victim_au_per_day,
+    scenarios = [
+        Scenario.from_configs(
+            "reservation-attack intro_fraction=%g" % fraction,
+            base_protocol.with_overrides(introductory_effort_fraction=fraction),
+            base_sim,
+            adversary=AdversarySpec(
+                "brute_force",
+                {
+                    "defection": "intro",
+                    "attempts_per_victim_au_per_day": attempts_per_victim_au_per_day,
+                },
+            ),
+            seeds=tuple(seeds),
         )
-        attacked = run_many(protocol, base_sim, seeds, factory)
-        baseline = baseline_runs(protocol, base_sim, seeds)
-        assessment = compare_runs(average_metrics(attacked), average_metrics(baseline))
+        for fraction in introductory_fractions
+    ]
+    rows: List[Dict[str, object]] = []
+    for fraction, result in zip(introductory_fractions, session.run_all(scenarios)):
+        assessment = result.assessment
         rows.append(
             {
                 "introductory_effort_fraction": fraction,
@@ -115,6 +127,7 @@ def desynchronization_ablation(
     protocol_config: Optional[ProtocolConfig] = None,
     sim_config: Optional[SimulationConfig] = None,
     vote_cost_as_fraction_of_interval: float = 0.025,
+    session: Optional[Session] = None,
 ) -> List[Dict[str, object]]:
     """Spread-out (desynchronized) vs. compressed (synchronized) solicitation.
 
@@ -128,11 +141,8 @@ def desynchronization_ablation(
     squeezed into a few days) runs into scheduling refusals and inquorate
     polls — the effect Section 5.2 describes.
     """
-    base_protocol, base_sim = scaled_config()
-    if protocol_config is not None:
-        base_protocol = protocol_config
-    if sim_config is not None:
-        base_sim = sim_config
+    base_protocol, base_sim = resolve_base_configs(protocol_config, sim_config)
+    session = session if session is not None else default_session()
 
     # Emulate a heavily loaded peer: one vote costs a noticeable fraction of
     # the poll interval.
@@ -148,10 +158,15 @@ def desynchronization_ablation(
             ),
         ),
     )
+    scenarios = [
+        Scenario.from_configs(
+            "solicitation %s" % label, protocol, loaded_sim, seeds=tuple(seeds)
+        )
+        for label, protocol in variants
+    ]
     rows: List[Dict[str, object]] = []
-    for label, protocol in variants:
-        runs = run_many(protocol, loaded_sim, seeds)
-        averaged = average_metrics(runs)
+    for (label, _), result in zip(variants, session.run_all(scenarios)):
+        averaged = result.assessment.attacked
         total_polls = max(1, averaged.total_polls)
         invitations_sent = max(1.0, averaged.extras.get("invitations_sent", 0.0))
         rows.append(

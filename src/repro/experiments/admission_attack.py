@@ -7,6 +7,11 @@ invitations from unknown or in-debt *loyal* peers are dropped too.  Figures
 coverage), the access failure probability, the delay ratio, and the
 coefficient of friction.
 
+The sweep is one declarative :class:`~repro.api.Scenario` (adversary kind
+``"admission_flood"``, sweep axes over coverage and duration) executed
+through the shared :class:`~repro.api.Session`; see
+:mod:`repro.experiments.attacks`.
+
 Shape to reproduce: the attack barely moves the access failure probability or
 the delay ratio even when sustained for the entire experiment at full
 coverage; its visible effect is a modest rise (tens of percent) in the
@@ -19,12 +24,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from .. import units
-from ..adversary.admission_flood import AdmissionControlAdversary
-from ..adversary.base import AttackSchedule
-from ..config import ProtocolConfig, SimulationConfig, scaled_config
+from ..api import Scenario, Session
+from ..api.registry import DEFAULT_REGISTRY
+from ..config import ProtocolConfig, SimulationConfig
+from .attacks import attack_sweep_rows, attack_sweep_scenario
 from .reporting import format_table
-from .runner import ExperimentResult, run_attack_experiment
-from .world import World
 
 
 def make_admission_flood_factory(
@@ -33,26 +37,41 @@ def make_admission_flood_factory(
     recuperation: float = 30 * units.DAY,
     invitations_per_victim_per_day: float = 4.0,
 ):
-    """Adversary factory for one (duration, coverage) attack point."""
+    """Adversary factory for one (duration, coverage) attack point.
 
-    def factory(world: World) -> AdmissionControlAdversary:
-        schedule = AttackSchedule(
-            attack_duration=attack_duration,
-            coverage=coverage,
-            recuperation=recuperation,
-        )
-        return AdmissionControlAdversary(
-            simulator=world.simulator,
-            network=world.network,
-            rng=world.streams.stream("adversary/admission-flood"),
-            schedule=schedule,
-            victims_pool=world.peer_ids(),
-            au_ids=[au.au_id for au in world.aus],
-            end_time=world.sim_config.duration,
-            invitations_per_victim_per_day=invitations_per_victim_per_day,
-        )
+    (Compatibility wrapper over the ``"admission_flood"`` registry entry;
+    durations here are in seconds, as in the original helper.)
+    """
+    return DEFAULT_REGISTRY.factory(
+        "admission_flood",
+        attack_duration_days=attack_duration / units.DAY,
+        coverage=coverage,
+        recuperation_days=recuperation / units.DAY,
+        invitations_per_victim_per_day=invitations_per_victim_per_day,
+    )
 
-    return factory
+
+def admission_flood_scenario(
+    durations_days: Sequence[float] = (10.0, 90.0, 270.0),
+    coverages: Sequence[float] = (0.4, 1.0),
+    seeds: Sequence[int] = (1,),
+    protocol_config: Optional[ProtocolConfig] = None,
+    sim_config: Optional[SimulationConfig] = None,
+    recuperation_days: float = 30.0,
+    invitations_per_victim_per_day: float = 4.0,
+) -> Scenario:
+    """The Figures 6–8 sweep as one declarative scenario."""
+    return attack_sweep_scenario(
+        "admission_flood",
+        durations_days=durations_days,
+        coverages=coverages,
+        seeds=seeds,
+        protocol_config=protocol_config,
+        sim_config=sim_config,
+        recuperation_days=recuperation_days,
+        name="admission-flood",
+        invitations_per_victim_per_day=invitations_per_victim_per_day,
+    )
 
 
 def admission_attack_sweep(
@@ -63,57 +82,19 @@ def admission_attack_sweep(
     sim_config: Optional[SimulationConfig] = None,
     recuperation_days: float = 30.0,
     invitations_per_victim_per_day: float = 4.0,
+    session: Optional[Session] = None,
 ) -> List[Dict[str, object]]:
     """Sweep attack duration x coverage for the garbage-invitation flood."""
-    base_protocol, base_sim = scaled_config()
-    if protocol_config is not None:
-        base_protocol = protocol_config
-    if sim_config is not None:
-        base_sim = sim_config
-
-    rows: List[Dict[str, object]] = []
-    for coverage in coverages:
-        for duration_days in durations_days:
-            factory = make_admission_flood_factory(
-                attack_duration=units.days(duration_days),
-                coverage=coverage,
-                recuperation=units.days(recuperation_days),
-                invitations_per_victim_per_day=invitations_per_victim_per_day,
-            )
-            result = run_attack_experiment(
-                label="admission-flood d=%gd c=%d%%"
-                % (duration_days, round(coverage * 100)),
-                protocol_config=base_protocol,
-                sim_config=base_sim,
-                adversary_factory=factory,
-                seeds=seeds,
-                parameters={"duration_days": duration_days, "coverage": coverage},
-            )
-            row = _row_from_result(result, duration_days, coverage)
-            inflation = max(base_sim.storage_damage_inflation, 1e-9)
-            row["normalized_access_failure_probability"] = (
-                row["access_failure_probability"] / inflation
-            )
-            rows.append(row)
-    return rows
-
-
-def _row_from_result(
-    result: ExperimentResult, duration_days: float, coverage: float
-) -> Dict[str, object]:
-    assessment = result.assessment
-    return {
-        "attack_duration_days": duration_days,
-        "coverage": coverage,
-        "access_failure_probability": assessment.access_failure_probability,
-        "baseline_access_failure_probability": (
-            assessment.baseline.access_failure_probability
-        ),
-        "delay_ratio": assessment.delay_ratio,
-        "coefficient_of_friction": assessment.coefficient_of_friction,
-        "successful_polls": assessment.attacked.successful_polls,
-        "failed_polls": assessment.attacked.failed_polls,
-    }
+    scenario = admission_flood_scenario(
+        durations_days=durations_days,
+        coverages=coverages,
+        seeds=seeds,
+        protocol_config=protocol_config,
+        sim_config=sim_config,
+        recuperation_days=recuperation_days,
+        invitations_per_victim_per_day=invitations_per_victim_per_day,
+    )
+    return attack_sweep_rows(scenario, session=session)
 
 
 def paper_scale_parameters() -> Dict[str, object]:

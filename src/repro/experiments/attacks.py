@@ -1,0 +1,82 @@
+"""Generic duration x coverage attack sweeps over registry adversaries.
+
+Both scheduled attack families of the paper (pipe stoppage, Figures 3–5;
+admission flood, Figures 6–8) share one experimental shape: sweep the attack
+duration and the population coverage, then report the paper's three metrics
+per point.  This module expresses that shape once, as a declarative
+:class:`~repro.api.Scenario` with sweep axes, so the per-figure modules and
+the generated CLI subcommands are thin labels over the same machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..api import AdversarySpec, Scenario, Session
+from ..api.session import default_session
+from ..config import ProtocolConfig, SimulationConfig
+from .configs import resolve_base_configs
+
+
+def attack_sweep_scenario(
+    kind: str,
+    durations_days: Sequence[float],
+    coverages: Sequence[float],
+    seeds: Sequence[int] = (1,),
+    protocol_config: Optional[ProtocolConfig] = None,
+    sim_config: Optional[SimulationConfig] = None,
+    recuperation_days: float = 30.0,
+    name: Optional[str] = None,
+    **extra_params: object,
+) -> Scenario:
+    """One declarative sweep over (coverage outer, duration inner).
+
+    ``extra_params`` are forwarded into the adversary spec (e.g. the
+    admission flood's ``invitations_per_victim_per_day``).
+    """
+    base_protocol, base_sim = resolve_base_configs(protocol_config, sim_config)
+    params: Dict[str, object] = {"recuperation_days": recuperation_days}
+    params.update(extra_params)
+    scenario = Scenario.from_configs(
+        name or kind,
+        base_protocol,
+        base_sim,
+        adversary=AdversarySpec(kind, params),
+        seeds=tuple(seeds),
+    )
+    scenario.sweep = {
+        "adversary.coverage": list(coverages),
+        "adversary.attack_duration_days": list(durations_days),
+    }
+    return scenario
+
+
+def attack_sweep_rows(
+    scenario: Scenario,
+    session: Optional[Session] = None,
+) -> List[Dict[str, object]]:
+    """Run a duration x coverage sweep scenario and emit one row per point."""
+    session = session if session is not None else default_session()
+    _, sim = scenario.resolve()
+    inflation = max(sim.storage_damage_inflation, 1e-9)
+    rows: List[Dict[str, object]] = []
+    for result in session.sweep(scenario):
+        assessment = result.assessment
+        rows.append(
+            {
+                "attack_duration_days": result.parameters.get("attack_duration_days"),
+                "coverage": result.parameters.get("coverage"),
+                "access_failure_probability": assessment.access_failure_probability,
+                "baseline_access_failure_probability": (
+                    assessment.baseline.access_failure_probability
+                ),
+                "delay_ratio": assessment.delay_ratio,
+                "coefficient_of_friction": assessment.coefficient_of_friction,
+                "successful_polls": assessment.attacked.successful_polls,
+                "failed_polls": assessment.attacked.failed_polls,
+                "normalized_access_failure_probability": (
+                    assessment.access_failure_probability / inflation
+                ),
+            }
+        )
+    return rows

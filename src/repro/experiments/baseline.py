@@ -7,22 +7,53 @@ the access failure probability grows with the inter-poll interval (damage
 takes longer to detect and repair) and with the storage failure rate, and the
 large collection tracks the small one closely.
 
-The default sweep is laptop-scale (small population and collection, shorter
-horizon); pass explicit configurations for larger studies.  Absolute values
-depend on the ratio of poll interval to storage MTBF exactly as in the paper,
-so the expected magnitude (≈5e-4 at a 3-month interval and 5-year MTBF) is
+Each grid point is a no-adversary :class:`~repro.api.Scenario` executed
+through the shared :class:`~repro.api.Session`.  The default sweep is
+laptop-scale (small population and collection, shorter horizon); pass
+explicit configurations for larger studies.  Absolute values depend on the
+ratio of poll interval to storage MTBF exactly as in the paper, so the
+expected magnitude (≈5e-4 at a 3-month interval and 5-year MTBF) is
 preserved even at reduced scale.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from .. import units
-from ..config import ProtocolConfig, SimulationConfig, scaled_config
-from ..metrics.report import average_metrics
+from ..api import Scenario, Session
+from ..api.session import default_session
+from ..config import ProtocolConfig, SimulationConfig
+from .configs import resolve_base_configs
 from .reporting import format_table
-from .runner import run_many
+
+
+def baseline_scenario(
+    poll_interval_months: float = 3.0,
+    storage_mtbf_years: float = 5.0,
+    n_aus: int = 2,
+    seeds: Sequence[int] = (1,),
+    protocol_config: Optional[ProtocolConfig] = None,
+    sim_config: Optional[SimulationConfig] = None,
+) -> Scenario:
+    """One no-adversary grid point of Figure 2 as a declarative scenario."""
+    base_protocol, base_sim = resolve_base_configs(protocol_config, sim_config)
+    protocol = base_protocol.with_overrides(
+        poll_interval=units.months(poll_interval_months)
+    )
+    sim = base_sim.with_overrides(n_aus=n_aus, storage_mtbf_disk_years=storage_mtbf_years)
+    return Scenario.from_configs(
+        "baseline i=%gmo mtbf=%gy n_aus=%d"
+        % (poll_interval_months, storage_mtbf_years, n_aus),
+        protocol,
+        sim,
+        seeds=tuple(seeds),
+        parameters={
+            "poll_interval_months": poll_interval_months,
+            "storage_mtbf_years": storage_mtbf_years,
+            "n_aus": n_aus,
+        },
+    )
 
 
 def baseline_sweep(
@@ -32,48 +63,51 @@ def baseline_sweep(
     seeds: Sequence[int] = (1,),
     protocol_config: Optional[ProtocolConfig] = None,
     sim_config: Optional[SimulationConfig] = None,
+    session: Optional[Session] = None,
 ) -> List[Dict[str, object]]:
     """Sweep poll interval x storage MTBF x collection size without an attack.
 
     Returns one row per parameter combination with the measured access
     failure probability and supporting counters.
     """
-    base_protocol, base_sim = scaled_config()
-    if protocol_config is not None:
-        base_protocol = protocol_config
-    if sim_config is not None:
-        base_sim = sim_config
-
+    session = session if session is not None else default_session()
+    scenarios = [
+        baseline_scenario(
+            poll_interval_months=interval_months,
+            storage_mtbf_years=mtbf,
+            n_aus=n_aus,
+            seeds=seeds,
+            protocol_config=protocol_config,
+            sim_config=sim_config,
+        )
+        for n_aus in collection_sizes
+        for mtbf in storage_mtbf_years
+        for interval_months in poll_intervals_months
+    ]
+    # One batch: every (grid point, seed) run lands on the session's process
+    # pool together instead of point by point.
     rows: List[Dict[str, object]] = []
-    for n_aus in collection_sizes:
-        for mtbf in storage_mtbf_years:
-            for interval_months in poll_intervals_months:
-                protocol = base_protocol.with_overrides(
-                    poll_interval=units.months(interval_months)
-                )
-                sim = base_sim.with_overrides(
-                    n_aus=n_aus, storage_mtbf_disk_years=mtbf
-                )
-                runs = run_many(protocol, sim, seeds)
-                averaged = average_metrics(runs)
-                inflation = max(sim.storage_damage_inflation, 1e-9)
-                rows.append(
-                    {
-                        "poll_interval_months": interval_months,
-                        "storage_mtbf_years": mtbf,
-                        "n_aus": n_aus,
-                        "access_failure_probability": averaged.access_failure_probability,
-                        "normalized_access_failure_probability": (
-                            averaged.access_failure_probability / inflation
-                        ),
-                        "successful_polls": averaged.successful_polls,
-                        "failed_polls": averaged.failed_polls,
-                        "mean_time_between_successful_polls_days": (
-                            averaged.mean_time_between_successful_polls / units.DAY
-                        ),
-                        "effort_per_successful_poll": averaged.effort_per_successful_poll,
-                    }
-                )
+    for scenario, result in zip(scenarios, session.run_all(scenarios)):
+        _, sim = scenario.resolve()
+        averaged = result.assessment.attacked
+        inflation = max(sim.storage_damage_inflation, 1e-9)
+        rows.append(
+            {
+                "poll_interval_months": scenario.parameters["poll_interval_months"],
+                "storage_mtbf_years": scenario.parameters["storage_mtbf_years"],
+                "n_aus": scenario.parameters["n_aus"],
+                "access_failure_probability": averaged.access_failure_probability,
+                "normalized_access_failure_probability": (
+                    averaged.access_failure_probability / inflation
+                ),
+                "successful_polls": averaged.successful_polls,
+                "failed_polls": averaged.failed_polls,
+                "mean_time_between_successful_polls_days": (
+                    averaged.mean_time_between_successful_polls / units.DAY
+                ),
+                "effort_per_successful_poll": averaged.effort_per_successful_poll,
+            }
+        )
     return rows
 
 

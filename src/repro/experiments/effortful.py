@@ -8,6 +8,10 @@ fully).  Table 1 reports, for 50-AU and 600-AU collections, the coefficient
 of friction, the cost ratio, the delay ratio, and the access failure
 probability for each strategy.
 
+Each (defection, collection size) cell is a :class:`~repro.api.Scenario`
+with adversary kind ``"brute_force"`` executed through the shared
+:class:`~repro.api.Session`.
+
 Shape to reproduce: full participation (NONE) is the adversary's most
 cost-effective strategy (lowest cost ratio, close to 1); the coefficient of
 friction saturates around a small constant factor (≈2.5 in the paper);
@@ -18,13 +22,15 @@ limits prevent the adversary from bringing its unlimited resources to bear.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
-from ..adversary.brute_force import BruteForceAdversary, DefectionPoint
-from ..config import ProtocolConfig, SimulationConfig, scaled_config
+from ..adversary.brute_force import DefectionPoint
+from ..api import AdversarySpec, Scenario, Session
+from ..api.registry import DEFAULT_REGISTRY
+from ..api.session import ExperimentResult, default_session
+from ..config import ProtocolConfig, SimulationConfig
+from .configs import resolve_base_configs
 from .reporting import format_table
-from .runner import ExperimentResult, run_attack_experiment
-from .world import World
 
 
 def make_brute_force_factory(
@@ -33,24 +39,48 @@ def make_brute_force_factory(
     identity_pool_size: int = 100,
     use_schedule_oracle: bool = True,
 ):
-    """Adversary factory for one defection strategy."""
+    """Adversary factory for one defection strategy.
 
-    def factory(world: World) -> BruteForceAdversary:
-        return BruteForceAdversary(
-            simulator=world.simulator,
-            network=world.network,
-            rng=world.streams.stream("adversary/brute-force"),
-            victims=world.peers,
-            protocol_config=world.protocol_config,
-            cost_model=world.cost_model,
-            defection=defection,
-            end_time=world.sim_config.duration,
-            attempts_per_victim_au_per_day=attempts_per_victim_au_per_day,
-            identity_pool_size=identity_pool_size,
-            use_schedule_oracle=use_schedule_oracle,
-        )
+    (Compatibility wrapper over the ``"brute_force"`` registry entry.)
+    """
+    return DEFAULT_REGISTRY.factory(
+        "brute_force",
+        defection=defection,
+        attempts_per_victim_au_per_day=attempts_per_victim_au_per_day,
+        identity_pool_size=identity_pool_size,
+        use_schedule_oracle=use_schedule_oracle,
+    )
 
-    return factory
+
+def brute_force_scenario(
+    defection: Union[DefectionPoint, str] = DefectionPoint.NONE,
+    n_aus: Optional[int] = None,
+    seeds: Sequence[int] = (1,),
+    protocol_config: Optional[ProtocolConfig] = None,
+    sim_config: Optional[SimulationConfig] = None,
+    attempts_per_victim_au_per_day: float = 5.0,
+) -> Scenario:
+    """One Table 1 cell as a declarative scenario."""
+    base_protocol, base_sim = resolve_base_configs(protocol_config, sim_config)
+    if n_aus is not None:
+        base_sim = base_sim.with_overrides(n_aus=n_aus)
+    defection_value = (
+        defection.value if isinstance(defection, DefectionPoint) else str(defection)
+    )
+    return Scenario.from_configs(
+        "brute-force %s n_aus=%d" % (defection_value, base_sim.n_aus),
+        base_protocol,
+        base_sim,
+        adversary=AdversarySpec(
+            "brute_force",
+            {
+                "defection": defection_value,
+                "attempts_per_victim_au_per_day": attempts_per_victim_au_per_day,
+            },
+        ),
+        seeds=tuple(seeds),
+        parameters={"defection": defection_value, "n_aus": base_sim.n_aus},
+    )
 
 
 def effortful_table(
@@ -64,46 +94,39 @@ def effortful_table(
     protocol_config: Optional[ProtocolConfig] = None,
     sim_config: Optional[SimulationConfig] = None,
     attempts_per_victim_au_per_day: float = 5.0,
+    session: Optional[Session] = None,
 ) -> List[Dict[str, object]]:
     """Regenerate the rows of Table 1 (defection point x collection size)."""
-    base_protocol, base_sim = scaled_config()
-    if protocol_config is not None:
-        base_protocol = protocol_config
-    if sim_config is not None:
-        base_sim = sim_config
-
+    session = session if session is not None else default_session()
+    scenarios = [
+        brute_force_scenario(
+            defection=defection,
+            n_aus=n_aus,
+            seeds=seeds,
+            protocol_config=protocol_config,
+            sim_config=sim_config,
+            attempts_per_victim_au_per_day=attempts_per_victim_au_per_day,
+        )
+        for defection in defections
+        for n_aus in collection_sizes
+    ]
     rows: List[Dict[str, object]] = []
-    for defection in defections:
-        for n_aus in collection_sizes:
-            sim = base_sim.with_overrides(n_aus=n_aus)
-            factory = make_brute_force_factory(
-                defection=defection,
-                attempts_per_victim_au_per_day=attempts_per_victim_au_per_day,
-            )
-            result = run_attack_experiment(
-                label="brute-force %s n_aus=%d" % (defection.value, n_aus),
-                protocol_config=base_protocol,
-                sim_config=sim,
-                adversary_factory=factory,
-                seeds=seeds,
-                parameters={"defection": defection.value, "n_aus": n_aus},
-            )
-            row = _row_from_result(result, defection, n_aus)
-            inflation = max(sim.storage_damage_inflation, 1e-9)
-            row["normalized_access_failure_probability"] = (
-                row["access_failure_probability"] / inflation
-            )
-            rows.append(row)
+    for scenario, result in zip(scenarios, session.run_all(scenarios)):
+        _, sim = scenario.resolve()
+        row = _row_from_result(result)
+        inflation = max(sim.storage_damage_inflation, 1e-9)
+        row["normalized_access_failure_probability"] = (
+            row["access_failure_probability"] / inflation
+        )
+        rows.append(row)
     return rows
 
 
-def _row_from_result(
-    result: ExperimentResult, defection: DefectionPoint, n_aus: int
-) -> Dict[str, object]:
+def _row_from_result(result: ExperimentResult) -> Dict[str, object]:
     assessment = result.assessment
     return {
-        "defection": defection.value,
-        "n_aus": n_aus,
+        "defection": result.parameters["defection"],
+        "n_aus": result.parameters["n_aus"],
         "coefficient_of_friction": assessment.coefficient_of_friction,
         "cost_ratio": assessment.cost_ratio,
         "delay_ratio": assessment.delay_ratio,

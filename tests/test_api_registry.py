@@ -1,0 +1,101 @@
+"""Unit tests for the string-keyed adversary registry."""
+
+import pytest
+
+from repro.adversary.admission_flood import AdmissionControlAdversary
+from repro.adversary.brute_force import BruteForceAdversary, DefectionPoint
+from repro.adversary.pipe_stoppage import PipeStoppageAdversary
+from repro.api import DEFAULT_REGISTRY, AdversaryRegistry
+from repro.config import smoke_config
+from repro.experiments.world import build_world
+
+
+@pytest.fixture
+def world():
+    protocol, sim = smoke_config()
+    return build_world(protocol, sim)
+
+
+class TestBuiltins:
+    def test_builtin_kinds_are_registered(self):
+        assert "pipe_stoppage" in DEFAULT_REGISTRY
+        assert "admission_flood" in DEFAULT_REGISTRY
+        assert "brute_force" in DEFAULT_REGISTRY
+
+    def test_factories_build_the_right_types(self, world):
+        cases = {
+            "pipe_stoppage": PipeStoppageAdversary,
+            "admission_flood": AdmissionControlAdversary,
+            "brute_force": BruteForceAdversary,
+        }
+        for kind, expected_type in cases.items():
+            factory = DEFAULT_REGISTRY.factory(kind)
+            assert isinstance(factory(world), expected_type)
+
+    def test_factory_records_its_kind_and_params(self):
+        factory = DEFAULT_REGISTRY.factory("pipe_stoppage", coverage=0.4)
+        assert factory.adversary_kind == "pipe_stoppage"
+        assert factory.adversary_params == {"coverage": 0.4}
+
+    def test_brute_force_accepts_string_defection(self, world):
+        built = DEFAULT_REGISTRY.create("brute_force", world, defection="intro")
+        assert built.defection is DefectionPoint.INTRO
+
+    def test_params_override_defaults(self, world):
+        built = DEFAULT_REGISTRY.create(
+            "pipe_stoppage", world, attack_duration_days=5.0, coverage=0.5
+        )
+        assert built.schedule.coverage == 0.5
+
+
+class TestRegistration:
+    def test_decorator_registration_and_create(self):
+        registry = AdversaryRegistry()
+
+        @registry.register("custom", defaults={"rate": 2.0}, description="test attack")
+        def build(world, *, rate):
+            return ("custom-adversary", world, rate)
+
+        assert "custom" in registry
+        assert registry.get("custom").description == "test attack"
+        assert registry.create("custom", "w")[2] == 2.0
+        assert registry.create("custom", "w", rate=9.0)[2] == 9.0
+
+    def test_description_falls_back_to_docstring(self):
+        registry = AdversaryRegistry()
+
+        @registry.register("documented")
+        def build(world):
+            """First line wins.
+
+            Not this one.
+            """
+            return None
+
+        assert registry.get("documented").description == "First line wins."
+
+    def test_duplicate_registration_is_rejected(self):
+        registry = AdversaryRegistry()
+        registry.register("dup", lambda world: None)
+        with pytest.raises(ValueError):
+            registry.register("dup", lambda world: None)
+        registry.register("dup", lambda world: "new", replace=True)
+        assert registry.create("dup", None) == "new"
+
+    def test_unknown_kind_raises_with_known_names(self):
+        registry = AdversaryRegistry()
+        registry.register("only", lambda world: None)
+        with pytest.raises(KeyError, match="only"):
+            registry.factory("missing")
+
+    def test_unknown_parameter_is_rejected(self):
+        registry = AdversaryRegistry()
+        registry.register("strict", lambda world, rate=1.0: rate, defaults={"rate": 1.0})
+        with pytest.raises(TypeError, match="bogus"):
+            registry.create("strict", None, bogus=2)
+
+    def test_iteration_is_sorted_by_name(self):
+        registry = AdversaryRegistry()
+        registry.register("zeta", lambda world: None)
+        registry.register("alpha", lambda world: None)
+        assert [entry.name for entry in registry] == ["alpha", "zeta"]

@@ -1,0 +1,221 @@
+"""Unit tests for the declarative Scenario API (JSON round-trip, digests,
+sweep expansion, config resolution)."""
+
+import json
+
+import pytest
+
+from repro import units
+from repro.api import AdversarySpec, Scenario, config_digest
+from repro.config import smoke_config
+
+
+def make_scenario(**overrides):
+    fields = dict(
+        name="test scenario",
+        base="smoke",
+        protocol={"quorum": 4},
+        sim={"duration": units.months(6), "n_peers": 12},
+        adversary=AdversarySpec(
+            "pipe_stoppage", {"attack_duration_days": 30.0, "coverage": 1.0}
+        ),
+        seeds=(1, 2),
+    )
+    fields.update(overrides)
+    return Scenario(**fields)
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_fields(self):
+        scenario = make_scenario(
+            sweep={"adversary.coverage": [0.4, 1.0]},
+            parameters={"note": "x"},
+        )
+        restored = Scenario.from_json(scenario.to_json())
+        assert restored.name == scenario.name
+        assert restored.base == scenario.base
+        assert restored.protocol == scenario.protocol
+        assert restored.sim == scenario.sim
+        assert restored.adversary == scenario.adversary
+        assert restored.seeds == scenario.seeds
+        assert restored.sweep == scenario.sweep
+        assert restored.parameters == scenario.parameters
+
+    def test_json_round_trip_preserves_digest(self):
+        scenario = make_scenario()
+        assert Scenario.from_json(scenario.to_json()).digest == scenario.digest
+
+    def test_round_trip_through_file(self, tmp_path):
+        scenario = make_scenario()
+        path = scenario.save(tmp_path / "scenario.json")
+        assert Scenario.load(path).digest == scenario.digest
+
+    def test_tuple_fields_survive_json(self):
+        scenario = make_scenario(
+            sim={"link_bandwidths": [units.mbps(1.5), units.mbps(10)]}
+        )
+        restored = Scenario.from_json(scenario.to_json())
+        _, sim = restored.resolve()
+        assert sim.link_bandwidths == (units.mbps(1.5), units.mbps(10))
+
+    def test_adversary_dict_is_promoted_to_spec(self):
+        scenario = make_scenario(
+            adversary={"kind": "pipe_stoppage", "params": {"coverage": 0.4}}
+        )
+        assert isinstance(scenario.adversary, AdversarySpec)
+        assert scenario.adversary.kind == "pipe_stoppage"
+
+
+class TestDigest:
+    def test_digest_ignores_the_name(self):
+        assert make_scenario(name="a").digest == make_scenario(name="b").digest
+
+    def test_digest_ignores_base_vs_override_spelling(self):
+        # The same resolved experiment must hash identically whether it is
+        # spelled as a base reference or as explicit overrides.
+        spelled_with_base = make_scenario(adversary=None)
+        protocol, sim = spelled_with_base.resolve()
+        spelled_explicitly = Scenario.from_configs(
+            "other name", protocol, sim, seeds=spelled_with_base.seeds
+        )
+        assert spelled_explicitly.base != spelled_with_base.base
+        assert spelled_explicitly.digest == spelled_with_base.digest
+
+    def test_digest_changes_with_config_fields(self):
+        assert make_scenario().digest != make_scenario(protocol={"quorum": 5}).digest
+
+    def test_digest_changes_with_seeds_and_adversary(self):
+        base = make_scenario()
+        assert base.digest != make_scenario(seeds=(1,)).digest
+        assert base.digest != make_scenario(adversary=None).digest
+        assert (
+            base.digest
+            != make_scenario(
+                adversary=AdversarySpec("pipe_stoppage", {"coverage": 0.4})
+            ).digest
+        )
+
+    def test_digest_merges_registry_defaults(self):
+        # Omitting an adversary parameter and spelling out its registry
+        # default describe the same simulation, so they hash identically.
+        implicit = make_scenario(adversary=AdversarySpec("pipe_stoppage", {}))
+        explicit = make_scenario(
+            adversary=AdversarySpec(
+                "pipe_stoppage",
+                {
+                    "attack_duration_days": 30.0,
+                    "coverage": 1.0,
+                    "recuperation_days": 30.0,
+                },
+            )
+        )
+        assert implicit.digest == explicit.digest
+        assert implicit.point_digest(1) == explicit.point_digest(1)
+        # Unregistered kinds hash over the raw spec without error.
+        custom = make_scenario(adversary=AdversarySpec("not_registered", {"x": 1}))
+        assert custom.digest != implicit.digest
+
+    def test_digest_is_stable_against_dict_ordering(self):
+        a = make_scenario(sim={"n_peers": 12, "duration": units.months(6)})
+        b = make_scenario(sim={"duration": units.months(6), "n_peers": 12})
+        assert a.digest == b.digest
+
+    def test_config_digest_differs_from_repr_instability(self):
+        # The digest depends only on field values, so two structurally equal
+        # configs always share it.
+        protocol, sim = smoke_config()
+        assert config_digest(protocol, sim, seeds=(1,)) == config_digest(
+            protocol.with_overrides(), sim.with_overrides(), seeds=(1,)
+        )
+
+    def test_baseline_point_digest_drops_the_adversary(self):
+        scenario = make_scenario(seeds=(7,))
+        attacked = scenario.point_digest(7, baseline=False)
+        baseline = scenario.point_digest(7, baseline=True)
+        assert attacked != baseline
+        assert baseline == make_scenario(seeds=(7,), adversary=None).point_digest(7)
+
+
+class TestResolve:
+    def test_overrides_are_applied(self):
+        protocol, sim = make_scenario().resolve()
+        assert protocol.quorum == 4
+        assert sim.n_peers == 12
+        assert sim.duration == units.months(6)
+
+    def test_seed_override(self):
+        _, sim = make_scenario().resolve(seed=99)
+        assert sim.seed == 99
+
+    def test_unknown_base_is_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(name="x", base="nope")
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(name="x", base="smoke", seeds=())
+
+    def test_from_configs_round_trips_configs(self):
+        protocol, sim = smoke_config()
+        sim = sim.with_overrides(duration=units.months(5), n_aus=1)
+        scenario = Scenario.from_configs("rt", protocol, sim, seeds=(3,))
+        resolved_protocol, resolved_sim = scenario.resolve()
+        assert resolved_protocol == protocol
+        assert resolved_sim == sim
+
+
+class TestSweepExpansion:
+    def test_point_scenario_expands_to_itself(self):
+        scenario = make_scenario()
+        points = scenario.expand()
+        assert len(points) == 1
+        assert points[0].digest == scenario.digest
+
+    def test_axis_order_first_axis_outermost(self):
+        scenario = make_scenario(
+            sweep={
+                "adversary.coverage": [0.4, 1.0],
+                "adversary.attack_duration_days": [30.0, 60.0],
+            }
+        )
+        points = scenario.expand()
+        combos = [
+            (p.parameters["coverage"], p.parameters["attack_duration_days"])
+            for p in points
+        ]
+        assert combos == [(0.4, 30.0), (0.4, 60.0), (1.0, 30.0), (1.0, 60.0)]
+
+    def test_expansion_merges_axes_into_specs(self):
+        scenario = make_scenario(
+            sweep={"sim.n_aus": [1, 2], "protocol.quorum": [3]},
+        )
+        points = scenario.expand()
+        assert [p.sim["n_aus"] for p in points] == [1, 2]
+        assert all(p.protocol["quorum"] == 3 for p in points)
+        assert all(not p.is_sweep for p in points)
+        # The original scenario is not mutated by expansion.
+        assert scenario.sim["n_peers"] == 12
+        assert "n_aus" not in scenario.sim
+
+    def test_expansion_records_parameters_and_names(self):
+        scenario = make_scenario(sweep={"adversary.coverage": [0.4]})
+        (point,) = scenario.expand()
+        assert point.parameters["coverage"] == 0.4
+        assert "coverage=0.4" in point.name
+
+    def test_adversary_axis_without_adversary_fails(self):
+        scenario = make_scenario(
+            adversary=None, sweep={"adversary.coverage": [1.0]}
+        )
+        with pytest.raises(ValueError):
+            scenario.expand()
+
+    def test_malformed_axis_fails(self):
+        scenario = make_scenario(sweep={"bogus": [1]})
+        with pytest.raises(ValueError):
+            scenario.expand()
+
+    def test_expanded_points_serialize(self):
+        scenario = make_scenario(sweep={"adversary.coverage": [0.4, 1.0]})
+        for point in scenario.expand():
+            assert Scenario.from_json(point.to_json()).digest == point.digest

@@ -90,3 +90,85 @@ class TestExecution:
         assert exit_code == 0
         assert "desynchronized" in output
         assert "refusal_rate" in output
+
+
+class TestScenarioCommands:
+    def test_list_adversaries_shows_builtins(self, capsys):
+        exit_code = main(["list-adversaries"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        for kind in ("pipe_stoppage", "admission_flood", "brute_force"):
+            assert kind in output
+
+    def test_run_point_scenario_from_file(self, tmp_path, capsys):
+        from repro import units
+        from repro.api import AdversarySpec, Scenario
+
+        scenario = Scenario(
+            name="cli point",
+            base="smoke",
+            sim={"duration": units.months(5)},
+            adversary=AdversarySpec(
+                "pipe_stoppage", {"attack_duration_days": 45.0, "coverage": 1.0}
+            ),
+            seeds=(1,),
+        )
+        path = scenario.save(tmp_path / "scenario.json")
+        exit_code = main(["run", str(path)])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "cli point" in output
+        assert "delay_ratio" in output
+        assert scenario.digest[:12] in output
+
+    def test_run_sweep_scenario_with_store(self, tmp_path, capsys):
+        from repro import units
+        from repro.api import AdversarySpec, Scenario
+
+        scenario = Scenario(
+            name="cli sweep",
+            base="smoke",
+            sim={"duration": units.months(5)},
+            adversary=AdversarySpec("pipe_stoppage", {"coverage": 1.0}),
+            seeds=(1,),
+            sweep={"adversary.attack_duration_days": [30.0, 60.0]},
+        )
+        path = scenario.save(tmp_path / "sweep.json")
+        store_dir = tmp_path / "store"
+        exit_code = main(["run", str(path), "--store", str(store_dir)])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "attack_duration_days" in output
+        assert store_dir.is_dir() and list(store_dir.glob("result-*.json"))
+
+    def test_run_seeds_override(self, tmp_path, capsys):
+        from repro import units
+        from repro.api import Scenario
+
+        scenario = Scenario(
+            name="cli seeds",
+            base="smoke",
+            sim={"duration": units.months(5)},
+            seeds=(1, 2, 3),
+        )
+        path = scenario.save(tmp_path / "scenario.json")
+        exit_code = main(["run", str(path), "--seeds", "5"])
+        assert exit_code == 0
+        assert "cli seeds" in capsys.readouterr().out
+
+    def test_attack_commands_are_generated_from_registry(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["pipe-stoppage", "--durations", "5,30", "--coverages", "0.4"]
+        )
+        assert args.durations == [5.0, 30.0]
+        assert args.coverages == [0.4]
+        args = parser.parse_args(["admission-flood", "--rate", "12"])
+        assert args.rate == 12.0
+
+    def test_workers_and_store_flags_parse(self):
+        args = build_parser().parse_args(
+            ["baseline", "--workers", "4", "--store", "/tmp/x"]
+        )
+        assert args.workers == 4
+        assert args.store == "/tmp/x"

@@ -215,3 +215,61 @@ class TestRunMetricsAndComparison:
         b = make_metrics()
         b.extras["alarms"] = 4.0
         assert average_metrics([a, b]).extras["alarms"] == pytest.approx(3.0)
+
+
+class TestCompareRunsEdgeCases:
+    def test_zero_baseline_gap_is_clamped(self):
+        # A degenerate baseline with a zero mean gap must not divide by zero;
+        # the clamp floors the denominator at 1e-9.
+        baseline = make_metrics(gap=0.0)
+        attacked = make_metrics(gap=90 * units.DAY)
+        assessment = compare_runs(attacked, baseline)
+        assert assessment.delay_ratio == pytest.approx(90 * units.DAY / 1e-9)
+
+    def test_zero_baseline_effort_is_clamped(self):
+        baseline = make_metrics(loyal=0.0, successes=100)
+        attacked = make_metrics(loyal=3000.0, successes=100)
+        assessment = compare_runs(attacked, baseline)
+        assert assessment.coefficient_of_friction == pytest.approx(30.0 / 1e-9)
+
+    def test_both_gaps_zero_yield_zero_delay_ratio(self):
+        baseline = make_metrics(gap=0.0)
+        attacked = make_metrics(gap=0.0)
+        assert compare_runs(attacked, baseline).delay_ratio == 0.0
+
+    def test_cost_ratio_none_only_when_adversary_effort_is_zero(self):
+        baseline = make_metrics()
+        assert compare_runs(make_metrics(adversary=0.0), baseline).cost_ratio is None
+        tiny = compare_runs(make_metrics(adversary=1e-12), baseline)
+        assert tiny.cost_ratio is not None and tiny.cost_ratio > 0
+
+    def test_cost_ratio_with_zero_loyal_effort_is_clamped(self):
+        baseline = make_metrics()
+        attacked = make_metrics(loyal=0.0, adversary=100.0)
+        assessment = compare_runs(attacked, baseline)
+        assert assessment.cost_ratio == pytest.approx(100.0 / 1e-9)
+
+    def test_identical_runs_have_unit_ratios(self):
+        run = make_metrics()
+        assessment = compare_runs(run, run)
+        assert assessment.delay_ratio == pytest.approx(1.0)
+        assert assessment.coefficient_of_friction == pytest.approx(1.0)
+
+
+class TestMetricsSerialization:
+    def test_run_metrics_round_trip(self):
+        run = make_metrics(adversary=42.0)
+        run.extras["alarms"] = 2.0
+        assert RunMetrics.from_dict(run.to_dict()) == run
+
+    def test_assessment_round_trip(self):
+        attacked = make_metrics(access=2e-3, adversary=10.0)
+        baseline = make_metrics()
+        assessment = compare_runs(attacked, baseline)
+        restored = AttackAssessment.from_dict(assessment.to_dict())
+        assert restored == assessment
+
+    def test_assessment_round_trip_preserves_none_cost_ratio(self):
+        assessment = compare_runs(make_metrics(adversary=0.0), make_metrics())
+        restored = AttackAssessment.from_dict(assessment.to_dict())
+        assert restored.cost_ratio is None
