@@ -7,51 +7,23 @@ in seconds, and the storage damage rate inflated for statistical resolution
 (reported access-failure probabilities are shown both raw and normalized by
 the inflation factor; see EXPERIMENTS.md).
 
+The configuration itself lives in :mod:`repro.experiments.bench` so that the
+``repro-experiments bench`` digest-checked harness and this pytest suite are
+guaranteed to measure the same experiments.
+
 Run with ``pytest benchmarks/ --benchmark-only``.  The regenerated rows are
 printed so the series can be compared side by side with the paper's figures.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
-from repro import units
-from repro.config import ProtocolConfig, SimulationConfig
-
-#: Seeds used for every benchmark data point (the paper averages 3 runs per
-#: point; benchmarks use 1 to stay fast — pass more for tighter estimates).
-BENCH_SEEDS: Tuple[int, ...] = (1,)
-
-#: Storage damage inflation used at bench scale.
-BENCH_DAMAGE_INFLATION = 60.0
-
-
-def bench_configs(
-    n_aus: int = 1,
-    duration: float = units.months(9),
-) -> Tuple[ProtocolConfig, SimulationConfig]:
-    """Laptop-scale configuration used by all figure/table benchmarks."""
-    protocol = ProtocolConfig(
-        quorum=3,
-        max_disagreeing_votes=1,
-        outer_circle_size=3,
-        reference_list_target_size=12,
-        nominations_per_vote=3,
-        friend_bias_count=1,
-    )
-    sim = SimulationConfig(
-        n_peers=10,
-        n_aus=n_aus,
-        au_size=8 * units.MB,
-        block_size=units.MB,
-        duration=duration,
-        sampling_interval=units.days(2),
-        initial_reference_list_size=8,
-        friends_list_size=2,
-        storage_damage_inflation=BENCH_DAMAGE_INFLATION,
-        seed=1,
-    )
-    return protocol, sim
+from repro.experiments.bench import (  # noqa: F401  (re-exported for the suite)
+    BENCH_DAMAGE_INFLATION,
+    BENCH_SEEDS,
+    bench_configs,
+)
 
 
 def print_series(title: str, table: str, notes: Sequence[str] = ()) -> None:

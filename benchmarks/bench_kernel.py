@@ -1,0 +1,151 @@
+"""Micro-benchmarks for the simulation-kernel fast path.
+
+Where the figure benchmarks measure whole experiments, these isolate the
+kernel primitives the fast path optimized: event scheduling and dispatch,
+recurring-event re-arm, cancellation + lazy-deletion compaction, network
+send/deliver, effort pricing, and nonce generation.  Run with::
+
+    pytest benchmarks/bench_kernel.py --benchmark-only
+
+They also run (once each, fast) as part of the plain test suite, which keeps
+the kernel API they exercise from bit-rotting.
+"""
+
+import random
+
+from repro import units
+from repro.config import ProtocolConfig
+from repro.core.effort_policy import EffortPolicy
+from repro.crypto.hashing import HashCostModel, make_nonce
+from repro.sim.engine import Simulator
+from repro.sim.network import Network, Node
+from repro.sim.randomness import RandomStreams
+from repro.storage.au import ArchivalUnit
+
+
+class _Sink(Node):
+    """Counts deliveries; stands in for a peer in network benchmarks."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.received = 0
+
+    def receive_message(self, message):
+        self.received += 1
+
+
+def _schedule_and_run(n_events=20_000):
+    simulator = Simulator()
+    sink = []
+    append = sink.append
+    for index in range(n_events):
+        simulator.schedule(float(index % 997) + 0.001, append, index)
+    simulator.run(until=1000.0)
+    return simulator.events_processed
+
+
+def test_kernel_schedule_and_dispatch(benchmark):
+    processed = benchmark(_schedule_and_run)
+    assert processed == 20_000
+
+
+def _post_and_run(n_events=20_000):
+    simulator = Simulator()
+    counter = [0]
+
+    def tick():
+        counter[0] += 1
+
+    for index in range(n_events):
+        simulator.post(float(index % 997) + 0.001, tick)
+    simulator.run(until=1000.0)
+    return counter[0]
+
+
+def test_kernel_fire_and_forget_post(benchmark):
+    fired = benchmark(_post_and_run)
+    assert fired == 20_000
+
+
+def _recurring_ticks(n_recurrences=20, horizon=1000.0):
+    simulator = Simulator()
+    counter = [0]
+
+    def tick():
+        counter[0] += 1
+
+    for index in range(n_recurrences):
+        simulator.call_every(1.0 + index * 0.01, tick)
+    simulator.run(until=horizon)
+    return counter[0]
+
+
+def test_kernel_recurring_rearm(benchmark):
+    ticks = benchmark(_recurring_ticks)
+    assert ticks > 10_000
+
+
+def _cancel_heavy(n_events=21_000):
+    simulator = Simulator()
+    fired = [0]
+
+    def tick():
+        fired[0] += 1
+
+    handles = [
+        simulator.schedule(float(index) + 1.0, tick) for index in range(n_events)
+    ]
+    # Cancel two of every three events: cancellations strictly outnumber the
+    # survivors, which is what trips the lazy-deletion compaction sweep.
+    for index, handle in enumerate(handles):
+        if index % 3:
+            handle.cancel()
+    simulator.run(until=float(n_events) + 10.0)
+    return fired[0], simulator.compactions
+
+
+def test_kernel_cancellation_and_compaction(benchmark):
+    fired, compactions = benchmark(_cancel_heavy)
+    assert fired == 7_000
+    assert compactions >= 1
+
+
+def _network_round_trips(n_messages=10_000):
+    simulator = Simulator()
+    network = Network(simulator, RandomStreams(7))
+    alice, bob = _Sink("alice"), _Sink("bob")
+    network.register(alice)
+    network.register(bob)
+    for index in range(n_messages):
+        network.send("alice", "bob", ("payload", index), 1280)
+        simulator.run(until=simulator.now + 1.0)
+    return bob.received
+
+
+def test_kernel_network_send_deliver(benchmark):
+    received = benchmark(_network_round_trips)
+    assert received == 10_000
+
+
+def _price_solicitations(n_calls=50_000):
+    policy = EffortPolicy(ProtocolConfig(), HashCostModel())
+    au = ArchivalUnit(au_id="au-0", size_bytes=8 * units.MB, block_size=units.MB)
+    total = 0.0
+    for _ in range(n_calls):
+        total += policy.solicitation(au).poller_total
+    return total
+
+
+def test_kernel_effort_pricing(benchmark):
+    total = benchmark(_price_solicitations)
+    assert total > 0
+
+
+def _nonces(n_nonces=50_000):
+    rng = random.Random(1)
+    return sum(len(make_nonce(rng)) for _ in range(n_nonces))
+
+
+def test_kernel_make_nonce(benchmark):
+    total = benchmark(_nonces)
+    assert total == 50_000 * 20

@@ -57,6 +57,11 @@ class AdmissionControlAdversary(Adversary):
         self.invitations_sent = 0
         self._flood_handles: List[EventHandle] = []
         self._poll_counter = 0
+        # One forged proof serves the whole flood: garbage is garbage, the
+        # victims only ever check ``valid`` and ``claimed_cost``, and minting
+        # a fresh SHA-1 byproduct per invitation was a top-five hot spot in
+        # the admission-attack profiles.
+        self._garbage_proof = self.effort_scheme.forge(node_id, claimed_cost=1.0)
 
     # -- lifecycle ------------------------------------------------------------------------
 
@@ -107,18 +112,24 @@ class AdmissionControlAdversary(Adversary):
         """Send one garbage invitation (per preserved AU) to ``victim``."""
         if not self.active:
             return
+        choice = self.rng.choice
+        identities = self.identities
+        deadline = self.simulator._now + 7 * units.DAY
+        send = self.network.send
+        garbage_proof = self._garbage_proof
+        counter = self._poll_counter
         for au_id in self.au_ids:
-            identity = self.pick_identity()
-            self._poll_counter += 1
-            poll_id = "%s/garbage/%d" % (identity, self._poll_counter)
+            identity = choice(identities)
+            counter += 1
             invitation = Poll(
-                poll_id=poll_id,
+                poll_id="%s/garbage/%d" % (identity, counter),
                 au_id=au_id,
                 poller_id=identity,
-                vote_deadline=self.simulator.now + 7 * units.DAY,
-                introductory_effort=self.effort_scheme.forge(identity, claimed_cost=1.0),
+                vote_deadline=deadline,
+                introductory_effort=garbage_proof,
             )
             # Garbage invitations are effortless: the forged proof costs the
             # adversary nothing; only negligible send bookkeeping is charged.
-            self.network.send(identity, victim, invitation, size_bytes=1280)
-            self.invitations_sent += 1
+            send(identity, victim, invitation, size_bytes=1280)
+        self._poll_counter = counter
+        self.invitations_sent += len(self.au_ids)

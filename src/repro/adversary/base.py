@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence
 
 from .. import units
-from ..crypto.effort import EffortAccount, EffortScheme
+from ..crypto.effort import EffortAccount, EffortScheme, charge_account
 from ..sim.engine import Simulator
 from ..sim.network import LinkProperties, Message, Network, Node
 
@@ -104,7 +104,7 @@ class Adversary(Node):
     # -- effort accounting --------------------------------------------------------------
 
     def charge(self, category: str, amount: float) -> None:
-        self.effort.charge(category, amount)
+        charge_account(self.effort, category, amount)
 
     # -- lifecycle ------------------------------------------------------------------------
 

@@ -138,17 +138,18 @@ class BruteForceAdversary(Adversary):
 
     def _attempt(self, victim, au_id: str) -> None:
         """Send one ostensibly legitimate invitation to ``victim`` for ``au_id``."""
-        if not self.active or self.simulator.now >= self.end_time:
+        now = self.simulator._now
+        if not self.active or now >= self.end_time:
             return
         au = victim.au_state(au_id).au
         effort = self.effort_policy.solicitation(au)
+        deadline = now + self._vote_deadline_offset()
 
         if self.use_schedule_oracle:
             # Insider information: skip attempts that would only be refused
             # for lack of schedule room, sparing the introductory effort.
             commitment = self.effort_policy.voter_commitment(au)
-            deadline = self.simulator.now + self._vote_deadline_offset()
-            if victim.schedule.find_slot(commitment, self.simulator.now, deadline) is None:
+            if victim.schedule.find_slot(commitment, now, deadline) is None:
                 self.oracle_skips += 1
                 return
 
@@ -165,7 +166,7 @@ class BruteForceAdversary(Adversary):
             poll_id=poll_id,
             au_id=au_id,
             poller_id=identity,
-            vote_deadline=self.simulator.now + self._vote_deadline_offset(),
+            vote_deadline=deadline,
             introductory_effort=intro_proof,
         )
         self.network.send(identity, victim.peer_id, invitation, message_size(invitation))

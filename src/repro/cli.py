@@ -12,6 +12,8 @@ table:
 * ``ablation``        — the defense ablations described in DESIGN.md
 * ``run``             — any scenario JSON file (see ``repro.api.Scenario``)
 * ``list-adversaries``— the registered attack strategies
+* ``bench``           — the figure-benchmark suite with result-digest checks
+  against the committed baseline, emitting the ``BENCH_PR2.json`` trajectory
 
 The scheduled-attack subcommands (``pipe-stoppage``, ``admission-flood``) are
 generated from the adversary registry: registering a new adversary with CLI
@@ -244,6 +246,53 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .experiments import bench as bench_module
+
+    names = args.artifacts.split(",") if args.artifacts else None
+    report = bench_module.run_bench(names=names, quick=args.quick)
+
+    if args.before:
+        import json as json_module
+
+        try:
+            with open(args.before, "r", encoding="utf-8") as handle:
+                bench_module.merge_before(report, json_module.load(handle))
+        except (OSError, ValueError) as error:
+            print("warning: could not merge before-report %s: %s" % (args.before, error))
+
+    print(bench_module.format_report(report))
+
+    # Write the report before the digest check so a drift failure still
+    # leaves the artifact behind (CI uploads it for the post-mortem).
+    if args.out:
+        bench_module.write_report(report, Path(args.out))
+        print("performance report written to %s" % args.out)
+
+    baseline_path = Path(args.baseline)
+    if args.update_baseline:
+        bench_module.save_baseline(report, baseline_path)
+        print("digest baseline written to %s" % baseline_path)
+    elif args.check:
+        baseline = bench_module.load_baseline(baseline_path)
+        if baseline is None:
+            print(
+                "no digest baseline at %s (run with --update-baseline to create one)"
+                % baseline_path
+            )
+            return 1
+        problems = bench_module.check_digests(report, baseline)
+        if problems:
+            print("RESULT DIGEST DRIFT — experiment results changed:")
+            for problem in problems:
+                print("  " + problem)
+            return 1
+        print("all result digests match the committed baseline")
+    return 0
+
+
 def _cmd_list_adversaries(args: argparse.Namespace) -> int:
     rows = [
         {
@@ -336,6 +385,40 @@ def build_parser() -> argparse.ArgumentParser:
         "list-adversaries", help="list registered attack strategies"
     )
     list_parser.set_defaults(func=_cmd_list_adversaries)
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run the figure benchmarks, check result digests, emit BENCH_PR2.json",
+    )
+    bench_parser.add_argument(
+        "--quick", action="store_true",
+        help="run the CI-sized subset of artifacts instead of the full suite",
+    )
+    bench_parser.add_argument(
+        "--artifacts", default=None,
+        help="comma-separated artifact names (default: all, or the quick subset)",
+    )
+    bench_parser.add_argument(
+        "--out", default="BENCH_PR2.json",
+        help="where to write the performance report (empty string to skip)",
+    )
+    bench_parser.add_argument(
+        "--baseline", default="benchmarks/bench_baseline.json",
+        help="committed result-digest baseline to check against",
+    )
+    bench_parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the digest baseline from this run instead of checking",
+    )
+    bench_parser.add_argument(
+        "--no-check", dest="check", action="store_false",
+        help="skip the digest comparison against the baseline",
+    )
+    bench_parser.add_argument(
+        "--before", default=None,
+        help="earlier report whose numbers are merged in as before/after pairs",
+    )
+    bench_parser.set_defaults(func=_cmd_bench)
 
     return parser
 

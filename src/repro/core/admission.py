@@ -44,10 +44,13 @@ class AdmissionDecision(enum.Enum):
 
     @property
     def admitted(self) -> bool:
-        return self in (AdmissionDecision.ADMITTED, AdmissionDecision.ADMITTED_INTRODUCED)
+        return (
+            self is AdmissionDecision.ADMITTED
+            or self is AdmissionDecision.ADMITTED_INTRODUCED
+        )
 
 
-@dataclass
+@dataclass(slots=True)
 class AdmissionResult:
     """Decision plus the effort the peer spent reaching it."""
 
@@ -56,6 +59,13 @@ class AdmissionResult:
     grade: Optional[Grade]
     refractory_triggered: bool = False
     introduction_consumed: bool = False
+    #: Mirror of ``decision.admitted`` as a plain attribute for the hot
+    #: path; always derived in ``__post_init__`` so no construction site can
+    #: set it inconsistently.
+    admitted: bool = False
+
+    def __post_init__(self) -> None:
+        self.admitted = self.decision.admitted
 
 
 @dataclass
@@ -106,6 +116,38 @@ class AdmissionControl:
         self._last_admission: Dict[str, float] = {}
         #: When False, every invitation is admitted (ablation experiments).
         self.enabled = enabled
+        #: Shared AdmissionResult instances keyed by (decision, grade,
+        #: refractory_triggered) — every other field is derived from the
+        #: decision, so the same immutable-by-convention result can be
+        #: returned for every equivalent outcome instead of allocating one
+        #: per considered invitation (the flood hot path).
+        self._result_cache: Dict[tuple, AdmissionResult] = {}
+
+    def _result(
+        self,
+        decision: AdmissionDecision,
+        grade: Optional[Grade],
+        refractory_triggered: bool = False,
+    ) -> AdmissionResult:
+        """The shared result instance for one (decision, grade, flag) outcome.
+
+        Every other field is derived here from the decision and the
+        (immutable) config — cost, ``introduction_consumed``, ``admitted`` —
+        so a cached instance can never go stale against its key.
+        """
+        key = (decision, grade, refractory_triggered)
+        result = self._result_cache.get(key)
+        if result is None:
+            cfg = self.config
+            result = AdmissionResult(
+                decision=decision,
+                cost=cfg.session_setup_cost if decision.admitted else cfg.drop_cost,
+                grade=grade,
+                refractory_triggered=refractory_triggered,
+                introduction_consumed=decision is AdmissionDecision.ADMITTED_INTRODUCED,
+            )
+            self._result_cache[key] = result
+        return result
 
     def consider(self, poller_id: str, now: float) -> AdmissionResult:
         """Decide whether to consider the invitation from ``poller_id``.
@@ -113,16 +155,22 @@ class AdmissionControl:
         The caller is responsible for charging ``result.cost`` to the peer's
         effort account and for subsequently verifying the introductory effort
         of admitted invitations.
+
+        This is the single hottest protocol decision under flood attacks, so
+        the stats counters are bumped inline at each branch (each branch
+        knows its own outcome) rather than re-dispatched through
+        :meth:`AdmissionStats.record`, and equivalent outcomes return a
+        shared result instance via :meth:`_result`.
         """
         cfg = self.config
+        stats = self.stats
+        stats.considered += 1
         if not self.enabled:
-            result = AdmissionResult(
-                decision=AdmissionDecision.ADMITTED,
-                cost=cfg.session_setup_cost,
-                grade=self.known_peers.grade_of(poller_id, now),
+            stats.admitted += 1
+            return self._result(
+                AdmissionDecision.ADMITTED,
+                self.known_peers.grade_of(poller_id, now),
             )
-            self.stats.record(result.decision)
-            return result
 
         grade = self.known_peers.grade_of(poller_id, now)
 
@@ -133,66 +181,34 @@ class AdmissionControl:
             self.introductions.consume(poller_id)
             self.known_peers.ensure_known(poller_id, now, Grade.EVEN)
             self._last_admission[poller_id] = now
-            result = AdmissionResult(
-                decision=AdmissionDecision.ADMITTED_INTRODUCED,
-                cost=cfg.session_setup_cost,
-                grade=Grade.EVEN,
-                introduction_consumed=True,
-            )
-            self.stats.record(result.decision)
-            return result
+            stats.admitted_introduced += 1
+            return self._result(AdmissionDecision.ADMITTED_INTRODUCED, Grade.EVEN)
 
-        if grade in (Grade.EVEN, Grade.CREDIT):
+        if grade is Grade.EVEN or grade is Grade.CREDIT:
             # At most one invitation per refractory-period-length window per
             # fellow even/credit peer; more frequent invitations are not
             # considered legitimate and are dropped cheaply.
             last = self._last_admission.get(poller_id)
             if last is not None and now - last < cfg.refractory_period:
-                result = AdmissionResult(
-                    decision=AdmissionDecision.DROPPED_RATE_LIMITED,
-                    cost=cfg.drop_cost,
-                    grade=grade,
-                )
-                self.stats.record(result.decision)
-                return result
+                stats.dropped_rate_limited += 1
+                return self._result(AdmissionDecision.DROPPED_RATE_LIMITED, grade)
             self._last_admission[poller_id] = now
-            result = AdmissionResult(
-                decision=AdmissionDecision.ADMITTED,
-                cost=cfg.session_setup_cost,
-                grade=grade,
-            )
-            self.stats.record(result.decision)
-            return result
+            stats.admitted += 1
+            return self._result(AdmissionDecision.ADMITTED, grade)
 
         # Unknown or in-debt poller.
         if self.refractory.in_refractory(now):
-            result = AdmissionResult(
-                decision=AdmissionDecision.DROPPED_REFRACTORY,
-                cost=cfg.drop_cost,
-                grade=grade,
-            )
-            self.stats.record(result.decision)
-            return result
+            stats.dropped_refractory += 1
+            return self._result(AdmissionDecision.DROPPED_REFRACTORY, grade)
 
         drop_probability = (
             cfg.drop_probability_debt if grade is Grade.DEBT else cfg.drop_probability_unknown
         )
         if self.rng.random() < drop_probability:
-            result = AdmissionResult(
-                decision=AdmissionDecision.DROPPED_RANDOM,
-                cost=cfg.drop_cost,
-                grade=grade,
-            )
-            self.stats.record(result.decision)
-            return result
+            stats.dropped_random += 1
+            return self._result(AdmissionDecision.DROPPED_RANDOM, grade)
 
         # Admit one unknown/in-debt invitation and enter the refractory period.
         self.refractory.trigger(now)
-        result = AdmissionResult(
-            decision=AdmissionDecision.ADMITTED,
-            cost=cfg.session_setup_cost,
-            grade=grade,
-            refractory_triggered=True,
-        )
-        self.stats.record(result.decision)
-        return result
+        stats.admitted += 1
+        return self._result(AdmissionDecision.ADMITTED, grade, refractory_triggered=True)

@@ -59,11 +59,20 @@ class SolicitationEffort:
 
 
 class EffortPolicy:
-    """Sizes proofs of effort and compute commitments for one AU geometry."""
+    """Sizes proofs of effort and compute commitments for one AU geometry.
+
+    All quantities are pure functions of the AU geometry ``(size_bytes,
+    block_size)`` and the (immutable) config and cost model, so the
+    solicitation bundle is memoized per geometry: the protocol hot paths
+    re-price each solicitation thousands of times per run for a handful of
+    geometries (and the per-invitation path reads it precomputed off
+    ``AUState``).
+    """
 
     def __init__(self, config: ProtocolConfig, cost_model: HashCostModel) -> None:
         self.config = config
         self.cost_model = cost_model
+        self._solicitation_cache: dict = {}
 
     # -- elementary costs ---------------------------------------------------------
 
@@ -87,6 +96,10 @@ class EffortPolicy:
 
     def solicitation(self, au: ArchivalUnit) -> SolicitationEffort:
         """Compute all effort quantities for one vote solicitation on ``au``."""
+        key = (au.size_bytes, au.block_size)
+        cached = self._solicitation_cache.get(key)
+        if cached is not None:
+            return cached
         cfg = self.config
         verify_fraction = cfg.effort_verification_fraction
         margin = 1.0 + cfg.effort_balance_margin
@@ -108,7 +121,7 @@ class EffortPolicy:
         introductory = poller_total * cfg.introductory_effort_fraction
         remaining = poller_total - introductory
 
-        return SolicitationEffort(
+        effort = SolicitationEffort(
             vote_generation=vote_generation,
             vote_proof_generation=vote_proof_generation,
             vote_proof_verification=vote_proof_verification,
@@ -118,13 +131,17 @@ class EffortPolicy:
             introductory_verification=introductory * verify_fraction,
             remaining_verification=remaining * verify_fraction,
         )
+        self._solicitation_cache[key] = effort
+        return effort
 
     # -- voter-side commitments ------------------------------------------------------
 
     def voter_commitment(self, au: ArchivalUnit) -> float:
         """Compute time a voter must reserve when accepting an invitation."""
         effort = self.solicitation(au)
-        return effort.remaining_verification + effort.vote_generation + effort.vote_proof_generation
+        return (
+            effort.remaining_verification + effort.vote_generation + effort.vote_proof_generation
+        )
 
     # -- poller-side evaluation --------------------------------------------------------
 

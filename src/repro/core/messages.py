@@ -21,12 +21,19 @@ AUs to validate this equivalence.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+# Message classes are slotted mutable dataclasses purely for construction
+# speed (frozen dataclasses pay an object.__setattr__ per field, and the
+# simulation mints millions of messages); they are immutable by convention —
+# nothing may mutate a message after it is handed to Network.send.  Note
+# they are value-comparable but NOT hashable (eq=True without frozen sets
+# __hash__ to None): route messages by poll_id, never by the object.
 from typing import Dict, List, Optional, Tuple
 
 from ..crypto.effort import EffortProof
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Poll:
     """Invitation to participate in a poll on an AU.
 
@@ -42,7 +49,7 @@ class Poll:
     introductory_effort: Optional[EffortProof]
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class PollAck:
     """Voter's answer to a Poll invitation: acceptance or refusal."""
 
@@ -57,7 +64,7 @@ class PollAck:
     reason: str = ""
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class PollProof:
     """Balance of the poller's provable effort plus the vote nonce."""
 
@@ -68,7 +75,7 @@ class PollProof:
     remaining_effort: Optional[EffortProof]
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Vote:
     """A voter's vote: running hashes over (nonce || AU), block by block.
 
@@ -87,7 +94,7 @@ class Vote:
     bogus: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class RepairRequest:
     """Poller's request for the content of one block from a voter."""
 
@@ -100,7 +107,7 @@ class RepairRequest:
     frivolous: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Repair:
     """A voter's repair: the content of one block.
 
@@ -116,7 +123,7 @@ class Repair:
     block_size: int
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class EvaluationReceipt:
     """Unforgeable receipt proving the poller evaluated the voter's vote."""
 
@@ -136,29 +143,34 @@ _DIGEST_SIZE = 20
 _IDENTITY_SIZE = 64
 
 
+#: Fixed wire sizes by (final, never-subclassed) message class.
+_FIXED_SIZES = {
+    Poll: _BASE_OVERHEAD + _EFFORT_PROOF_SIZE,
+    PollAck: _BASE_OVERHEAD,
+    PollProof: _BASE_OVERHEAD + _EFFORT_PROOF_SIZE + 20,
+    RepairRequest: _BASE_OVERHEAD,
+}
+
+
 def message_size(message: object, n_blocks: int = 0) -> int:
     """Estimate the wire size in bytes of ``message``.
 
     ``n_blocks`` must be supplied for Vote messages (one digest per block of
     the AU being voted on).
     """
-    if isinstance(message, Poll):
-        return _BASE_OVERHEAD + _EFFORT_PROOF_SIZE
-    if isinstance(message, PollAck):
-        return _BASE_OVERHEAD
-    if isinstance(message, PollProof):
-        return _BASE_OVERHEAD + _EFFORT_PROOF_SIZE + 20
-    if isinstance(message, Vote):
+    kind = message.__class__
+    fixed = _FIXED_SIZES.get(kind)
+    if fixed is not None:
+        return fixed
+    if kind is Vote:
         return (
             _BASE_OVERHEAD
             + _EFFORT_PROOF_SIZE
             + n_blocks * _DIGEST_SIZE
             + len(message.nominations) * _IDENTITY_SIZE
         )
-    if isinstance(message, RepairRequest):
-        return _BASE_OVERHEAD
-    if isinstance(message, Repair):
+    if kind is Repair:
         return _BASE_OVERHEAD + message.block_size
-    if isinstance(message, EvaluationReceipt):
+    if kind is EvaluationReceipt:
         return _BASE_OVERHEAD + len(message.receipt)
     raise TypeError("unknown message type %r" % type(message).__name__)

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..config import ProtocolConfig
-from ..crypto.effort import EffortAccount, EffortScheme
+from ..crypto.effort import EffortAccount, EffortScheme, charge_account
 from ..crypto.hashing import HashCostModel
 from ..metrics.polls import PollStatistics
 from ..sim.engine import Simulator
@@ -24,7 +24,7 @@ from ..sim.network import Message, Network, Node
 from ..storage.au import ArchivalUnit
 from ..storage.replica import Replica, ReplicaSet
 from .admission import AdmissionControl
-from .effort_policy import EffortPolicy
+from .effort_policy import EffortPolicy, SolicitationEffort
 from .messages import (
     EvaluationReceipt,
     Poll,
@@ -51,6 +51,10 @@ class AUState:
     known_peers: KnownPeers
     introductions: IntroductionTable
     admission: AdmissionControl
+    #: Solicitation effort quantities for this AU's (fixed) geometry,
+    #: precomputed once so invitation handling never re-prices them.
+    solicitation_effort: "SolicitationEffort" = None  # type: ignore[assignment]
+    voter_commitment: float = 0.0
     active_poll: Optional[PollerPoll] = None
     polls_called: int = 0
 
@@ -132,6 +136,8 @@ class Peer(Node):
             known_peers=known_peers,
             introductions=introductions,
             admission=admission,
+            solicitation_effort=self.effort_policy.solicitation(au),
+            voter_commitment=self.effort_policy.voter_commitment(au),
         )
         for peer_id in initial_reference_list:
             if peer_id != self.peer_id:
@@ -163,7 +169,7 @@ class Peer(Node):
         """
         for au_id in self._au_states:
             offset = self.rng.uniform(0.0, self.config.poll_interval)
-            self.simulator.schedule(offset, self.start_poll, au_id)
+            self.simulator.post(offset, self.start_poll, au_id)
 
     def start_poll(self, au_id: str) -> Optional[PollerPoll]:
         """Begin a new poll on ``au_id`` and schedule the next one after it."""
@@ -194,7 +200,7 @@ class Peer(Node):
         poll.start()
         # Fixed rate of operation: the next poll starts when this one's
         # interval ends, regardless of its outcome (rate limitation defense).
-        self.simulator.schedule_at(poll.deadline, self.start_poll, au_id)
+        self.simulator.post_at(poll.deadline, self.start_poll, au_id)
         self._maybe_prune_schedule(now)
         return poll
 
@@ -210,7 +216,7 @@ class Peer(Node):
     def send(self, recipient: str, payload: object) -> bool:
         """Send a protocol message through the network."""
         n_blocks = 0
-        if isinstance(payload, Vote):
+        if payload.__class__ is Vote:
             au_state = self._au_states.get(payload.au_id)
             if au_state is not None:
                 n_blocks = au_state.au.n_blocks
@@ -219,36 +225,42 @@ class Peer(Node):
 
     def charge(self, category: str, amount: float) -> None:
         """Charge compute effort to this peer's effort account."""
-        self.effort.charge(category, amount)
+        charge_account(self.effort, category, amount)
 
     def receive_message(self, message: Message) -> None:
-        """Dispatch an inbound network message to the right state machine."""
+        """Dispatch an inbound network message to the right state machine.
+
+        Message types are final (slotted dataclasses, never subclassed), so
+        dispatch compares classes directly instead of running the isinstance
+        chain — this is the single busiest protocol entry point.
+        """
         if not self.active:
             return
         payload = message.payload
-        if isinstance(payload, Poll):
+        kind = payload.__class__
+        if kind is Poll:
             self._handle_poll_invitation(payload)
-        elif isinstance(payload, PollAck):
+        elif kind is PollAck:
             poll = self._polls_by_id.get(payload.poll_id)
             if poll is not None:
                 poll.on_poll_ack(payload)
-        elif isinstance(payload, Vote):
+        elif kind is Vote:
             poll = self._polls_by_id.get(payload.poll_id)
             if poll is not None:
                 poll.on_vote(payload)
-        elif isinstance(payload, Repair):
+        elif kind is Repair:
             poll = self._polls_by_id.get(payload.poll_id)
             if poll is not None:
                 poll.on_repair(payload)
-        elif isinstance(payload, PollProof):
+        elif kind is PollProof:
             session = self._voter_sessions.get(payload.poll_id)
             if session is not None:
                 session.on_poll_proof(payload)
-        elif isinstance(payload, RepairRequest):
+        elif kind is RepairRequest:
             session = self._voter_sessions.get(payload.poll_id)
             if session is not None:
                 session.on_repair_request(payload)
-        elif isinstance(payload, EvaluationReceipt):
+        elif kind is EvaluationReceipt:
             session = self._voter_sessions.get(payload.poll_id)
             if session is not None:
                 session.on_receipt(payload)
@@ -264,15 +276,18 @@ class Peer(Node):
             return
         if invitation.poll_id in self._voter_sessions:
             return
-        now = self.simulator.now
+        now = self.simulator._now
 
         result = state.admission.consider(invitation.poller_id, now)
-        self.charge("session" if result.decision.admitted else "drop", result.cost)
-        if not result.decision.admitted:
+        admitted = result.admitted
+        # charge_account directly (not self.charge): this path runs once per
+        # considered invitation, flood traffic included.
+        charge_account(self.effort, "session" if admitted else "drop", result.cost)
+        if not admitted:
             return
 
-        effort = self.effort_policy.solicitation(state.au)
-        self.charge("verify", effort.introductory_verification)
+        effort = state.solicitation_effort
+        charge_account(self.effort, "verify", effort.introductory_verification)
         if not self.effort_scheme.verify(
             invitation.introductory_effort, effort.introductory * 0.99
         ):
@@ -281,7 +296,7 @@ class Peer(Node):
             state.known_peers.penalize(invitation.poller_id, now)
             return
 
-        commitment = self.effort_policy.voter_commitment(state.au)
+        commitment = state.voter_commitment
         reservation = self.schedule.reserve(
             commitment, now, invitation.vote_deadline, label="vote:" + invitation.poll_id
         )

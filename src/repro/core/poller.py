@@ -93,6 +93,10 @@ class PollerPoll:
 
         self.voters: Dict[str, _VoterProgress] = {}
         self.votes: Dict[str, Vote] = {}
+        #: Voter ids in vote-arrival order; mirrors ``votes`` so random
+        #: supplier choice can index directly instead of materializing the
+        #: dict's keys on every draw.
+        self._vote_order: List[str] = []
         self.nominations: List[Tuple[str, str]] = []  # (nominee, nominating voter)
         self.pending_repairs: Set[int] = set()
         self.repairs_applied = 0
@@ -137,7 +141,7 @@ class PollerPoll:
         if progress.state in ("accepted", "voted"):
             return
         au_state = peer.au_state(self.au_id)
-        effort = peer.effort_policy.solicitation(au_state.replica.au)
+        effort = au_state.solicitation_effort
 
         peer.charge("proof", effort.introductory)
         intro_proof = peer.effort_scheme.generate(peer.peer_id, effort.introductory)
@@ -202,7 +206,7 @@ class PollerPoll:
         progress.estimated_completion = message.estimated_completion
 
         au_state = peer.au_state(self.au_id)
-        effort = peer.effort_policy.solicitation(au_state.replica.au)
+        effort = au_state.solicitation_effort
         peer.charge("proof", effort.remaining)
         remaining_proof = peer.effort_scheme.generate(peer.peer_id, effort.remaining)
         progress.remaining_byproduct = remaining_proof.byproduct
@@ -247,7 +251,7 @@ class PollerPoll:
         progress.vote_timeout_handle = None
 
         au_state = peer.au_state(self.au_id)
-        effort = peer.effort_policy.solicitation(au_state.replica.au)
+        effort = au_state.solicitation_effort
         peer.charge("verify", effort.vote_proof_verification)
         if message.bogus or not peer.effort_scheme.verify(
             message.vote_proof, effort.vote_proof_generation * 0.99
@@ -258,6 +262,7 @@ class PollerPoll:
 
         progress.state = "voted"
         self.votes[message.voter_id] = message
+        self._vote_order.append(message.voter_id)
         peer.collector.record_vote_received()
 
         # Discovery: the poller randomly partitions the identities in the
@@ -332,13 +337,14 @@ class PollerPoll:
         # Determine, block by block, where a landslide of inner-circle voters
         # disagrees with our replica: those blocks are presumed damaged here
         # and repaired from a disagreeing voter.
-        blocks_to_check: Set[int] = set(replica.damaged_blocks)
+        my_damage = replica.damage_tags
+        blocks_to_check: Set[int] = set(my_damage)
         for vote in inner_votes.values():
             blocks_to_check.update(vote.block_tags)
 
         damaged_here: List[Tuple[int, List[str]]] = []
         for block in blocks_to_check:
-            my_tag = replica.damage_tag(block)
+            my_tag = my_damage.get(block)
             disagreeing_voters = [
                 voter_id
                 for voter_id, vote in inner_votes.items()
@@ -355,7 +361,7 @@ class PollerPoll:
         # Frivolous repair: occasionally request a block we agree on, to keep
         # voters honest about their willingness to supply repairs.
         if self.votes and peer.rng.random() < peer.config.frivolous_repair_probability:
-            supplier = peer.rng.choice(list(self.votes))
+            supplier = peer.rng.choice(self._vote_order)
             block = peer.rng.randrange(au.n_blocks)
             self._request_repair(supplier, block, frivolous=True)
 
@@ -492,9 +498,14 @@ class PollerPoll:
     @staticmethod
     def _vote_agrees(vote: Vote, replica) -> bool:
         """A vote agrees if the voter's replica matches ours on every block."""
-        blocks = set(vote.block_tags) | replica.damaged_blocks
-        for block in blocks:
-            if vote.block_tags.get(block) != replica.damage_tag(block):
+        tags = vote.block_tags
+        damage = replica.damage_tags
+        damage_get = damage.get
+        for block, tag in tags.items():
+            if damage_get(block) != tag:
+                return False
+        for block, tag in damage.items():
+            if block not in tags and tag is not None:
                 return False
         return True
 

@@ -39,7 +39,11 @@ class Grade(enum.IntEnum):
         return Grade(max(self.value - 1, Grade.DEBT.value))
 
 
-@dataclass
+#: Grade-by-value lookup table; cheaper than ``Grade(value)`` in hot paths.
+_GRADES = (Grade.DEBT, Grade.EVEN, Grade.CREDIT)
+
+
+@dataclass(slots=True)
 class PeerRecord:
     """Reputation record for one known peer."""
 
@@ -65,27 +69,39 @@ class KnownPeers:
     def known_peers(self) -> List[str]:
         return list(self._records)
 
-    def _decayed_grade(self, record: PeerRecord, now: float) -> Grade:
-        """Grade after applying decay since the record was last updated."""
-        elapsed = max(0.0, now - record.updated_at)
-        steps = int(elapsed // self.decay_interval)
-        grade = record.grade
-        for _ in range(min(steps, 2)):
-            grade = grade.lowered()
-        return grade
-
     def grade_of(self, peer_id: str, now: float) -> Optional[Grade]:
-        """Current (decayed) grade of ``peer_id``; None if unknown."""
+        """Current (decayed) grade of ``peer_id``; None if unknown.
+
+        The decay rule lives inline here — the single copy — because this is
+        the admission filter's per-invitation lookup: a record decays one
+        step per elapsed ``decay_interval``, clamped to two steps (CREDIT
+        reaches DEBT after two intervals and stays there).
+        """
         record = self._records.get(peer_id)
         if record is None:
             return None
-        return self._decayed_grade(record, now)
+        elapsed = now - record.updated_at
+        interval = self.decay_interval
+        if elapsed < interval:
+            # Fast path: most lookups hit recently refreshed records.
+            return record.grade
+        steps = 2 if elapsed >= 2 * interval else 1
+        value = record.grade.value - steps
+        return _GRADES[value] if value > 0 else Grade.DEBT
 
     def is_unknown(self, peer_id: str, now: float) -> bool:
         return self.grade_of(peer_id, now) is None
 
     def _set(self, peer_id: str, grade: Grade, now: float) -> None:
-        self._records[peer_id] = PeerRecord(grade=grade, updated_at=now)
+        record = self._records.get(peer_id)
+        if record is not None:
+            # Mutate in place: flood attacks re-penalize the same disposable
+            # identities constantly, and a fresh record per update showed up
+            # in the allocation profile.
+            record.grade = grade
+            record.updated_at = now
+        else:
+            self._records[peer_id] = PeerRecord(grade=grade, updated_at=now)
 
     def ensure_known(self, peer_id: str, now: float, grade: Grade = Grade.EVEN) -> None:
         """Register ``peer_id`` with ``grade`` if not already known."""

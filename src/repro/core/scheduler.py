@@ -14,11 +14,16 @@ from __future__ import annotations
 
 import bisect
 import itertools
+import operator
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+#: Sort key for reservation insertion (avoids rebuilding a start-time list
+#: on every reserve call).
+_BY_START = operator.attrgetter("start")
 
-@dataclass
+
+@dataclass(slots=True)
 class Reservation:
     """One committed slot of compute time."""
 
@@ -113,8 +118,7 @@ class TaskSchedule:
         reservation = Reservation(
             start=start, end=start + duration, label=label, reservation_id=next(self._ids)
         )
-        index = bisect.bisect_left([r.start for r in self._reservations], reservation.start)
-        self._reservations.insert(index, reservation)
+        bisect.insort(self._reservations, reservation, key=_BY_START)
         self.total_reserved += duration
         return reservation
 
@@ -134,8 +138,7 @@ class TaskSchedule:
         reservation = Reservation(
             start=start, end=end, label=label, reservation_id=next(self._ids)
         )
-        index = bisect.bisect_left([r.start for r in self._reservations], start)
-        self._reservations.insert(index, reservation)
+        bisect.insort(self._reservations, reservation, key=_BY_START)
         self.total_reserved += duration
         return reservation
 

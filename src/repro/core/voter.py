@@ -91,7 +91,7 @@ class VoterSession:
             self.expected_receipt = message.remaining_effort.byproduct
         self.state = VoterState.COMPUTING
         completion = max(self.reservation.end, peer.simulator.now)
-        peer.simulator.schedule_at(completion, self._complete_vote)
+        peer.simulator.post_at(completion, self._complete_vote)
 
     def _complete_vote(self) -> None:
         """The reserved compute slot has elapsed: produce and send the vote."""
@@ -111,10 +111,7 @@ class VoterSession:
             poll_id=self.poll_id,
             au_id=self.au_id,
             voter_id=peer.peer_id,
-            block_tags=dict(
-                (block, au_state.replica.damage_tag(block))
-                for block in au_state.replica.damaged_blocks
-            ),
+            block_tags=dict(au_state.replica.damage_tags),
             nominations=tuple(nominations),
             vote_proof=vote_proof,
         )

@@ -32,9 +32,12 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class EffortProof:
     """A (possibly bogus) proof of computational effort.
+
+    Slotted-mutable for construction speed (one proof per protocol message);
+    immutable by convention once minted.
 
     Attributes:
         claimed_cost: seconds of compute the proof claims to embody.
@@ -85,7 +88,7 @@ class EffortScheme:
         counter so receipts are unforgeable-by-construction inside the
         simulation (no other party can guess them ahead of time).
         """
-        seed = ("%s/%d/%f" % (producer, next(self._counter), cost)).encode("utf-8")
+        seed = b"%s/%d/%f" % (producer.encode("utf-8"), next(self._counter), cost)
         byproduct = hashlib.sha1(seed).digest()
         return EffortProof(claimed_cost=cost, valid=True, byproduct=byproduct, producer=producer)
 
@@ -113,6 +116,20 @@ class EffortScheme:
         return proof.valid and proof.claimed_cost + 1e-9 >= expected_cost
 
 
+def charge_account(account: "EffortAccount", category: str, amount: float) -> None:
+    """Add ``amount`` seconds of effort to ``account`` under ``category``.
+
+    The single implementation of effort accounting.  Hot paths (peers,
+    adversaries) call this module-level function directly instead of the
+    bound :meth:`EffortAccount.charge`, which simply delegates here.
+    """
+    if amount < 0:
+        raise ValueError("cannot charge negative effort")
+    account.total += amount
+    by_category = account.by_category
+    by_category[category] = by_category.get(category, 0.0) + amount
+
+
 @dataclass
 class EffortAccount:
     """Cumulative effort expenditure of one principal, by category.
@@ -129,10 +146,7 @@ class EffortAccount:
 
     def charge(self, category: str, amount: float) -> None:
         """Add ``amount`` seconds of effort under ``category``."""
-        if amount < 0:
-            raise ValueError("cannot charge negative effort")
-        self.total += amount
-        self.by_category[category] = self.by_category.get(category, 0.0) + amount
+        charge_account(self, category, amount)
 
     def category(self, name: str) -> float:
         """Total effort charged under ``name``."""

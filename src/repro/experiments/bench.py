@@ -1,0 +1,481 @@
+"""Figure-benchmark harness: timed artifacts, result digests, perf reports.
+
+This module is the measurement half of the simulation-kernel fast path: it
+runs every paper artifact (Figures 2-8, Table 1, the ablations) at the same
+laptop scale as the ``benchmarks/`` suite, plus a 100-peer "paper-scale
+smoke" scenario, and records for each one
+
+* the wall-clock time,
+* the simulation throughput (events processed per second of wall-clock),
+* the process peak RSS, and
+* a SHA-256 **result digest** over the artifact's full row payload.
+
+The digests make performance work falsifiable: every optimization of the
+engine, network, or protocol hot paths must reproduce the committed digests
+in ``benchmarks/bench_baseline.json`` bit for bit (``repro-experiments bench``
+fails otherwise), so a speedup can never silently change experiment results.
+``BENCH_PR2.json`` is the emitted trajectory artifact: wall-clock and
+events/sec per artifact, before and after the kernel fast path.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .. import units
+from ..api import Session
+from ..api.scenario import AdversarySpec, Scenario, canonical_json
+from ..config import ProtocolConfig, SimulationConfig
+from ..crypto.hashing import NONCE_STREAM_VERSION
+from . import ablation as ablation_module
+from .admission_attack import admission_attack_sweep
+from .attacks import attack_sweep_rows, attack_sweep_scenario
+from .baseline import baseline_sweep
+from .effortful import effortful_table
+from .pipe_stoppage import pipe_stoppage_sweep
+
+#: Seeds used for every benchmark data point (the paper averages 3 runs per
+#: point; benchmarks use 1 to stay fast).
+BENCH_SEEDS: Tuple[int, ...] = (1,)
+
+#: Storage damage inflation used at bench scale.
+BENCH_DAMAGE_INFLATION = 60.0
+
+#: Default location of the committed digest baseline.
+DEFAULT_BASELINE_PATH = Path("benchmarks") / "bench_baseline.json"
+
+#: Default location of the emitted performance report.
+DEFAULT_REPORT_PATH = Path("BENCH_PR2.json")
+
+
+def bench_configs(
+    n_aus: int = 1,
+    duration: float = units.months(9),
+) -> Tuple[ProtocolConfig, SimulationConfig]:
+    """Laptop-scale configuration used by all figure/table benchmarks."""
+    protocol = ProtocolConfig(
+        quorum=3,
+        max_disagreeing_votes=1,
+        outer_circle_size=3,
+        reference_list_target_size=12,
+        nominations_per_vote=3,
+        friend_bias_count=1,
+    )
+    sim = SimulationConfig(
+        n_peers=10,
+        n_aus=n_aus,
+        au_size=8 * units.MB,
+        block_size=units.MB,
+        duration=duration,
+        sampling_interval=units.days(2),
+        initial_reference_list_size=8,
+        friends_list_size=2,
+        storage_damage_inflation=BENCH_DAMAGE_INFLATION,
+        seed=1,
+    )
+    return protocol, sim
+
+
+def paper_smoke_scenario(
+    n_peers: int = 100,
+    seeds: Sequence[int] = BENCH_SEEDS,
+) -> Scenario:
+    """A 100-peer pipe-stoppage smoke test at paper-scale population.
+
+    Short horizon, single AU: the point is to exercise the kernel at the
+    paper's population size (100 peers), not to regenerate a figure.
+    """
+    protocol, sim = bench_configs(duration=units.months(6))
+    sim = sim.with_overrides(
+        n_peers=n_peers,
+        initial_reference_list_size=min(30, n_peers - 1),
+        friends_list_size=min(5, n_peers - 1),
+    )
+    scenario = Scenario.from_configs(
+        "paper-scale-smoke",
+        protocol,
+        sim,
+        adversary=AdversarySpec(
+            "pipe_stoppage",
+            {
+                "attack_duration_days": 20.0,
+                "coverage": 0.4,
+                "recuperation_days": 30.0,
+            },
+        ),
+        seeds=tuple(seeds),
+    )
+    return scenario
+
+
+# -- artifact registry -----------------------------------------------------------------
+
+
+def _fig2(session: Session) -> List[Dict[str, object]]:
+    protocol, sim = bench_configs()
+    return baseline_sweep(
+        poll_intervals_months=(2.0, 3.0, 6.0, 12.0),
+        storage_mtbf_years=(5.0,),
+        collection_sizes=(1,),
+        seeds=BENCH_SEEDS,
+        protocol_config=protocol,
+        sim_config=sim,
+        session=session,
+    )
+
+
+def _fig3(session: Session) -> List[Dict[str, object]]:
+    protocol, sim = bench_configs()
+    return pipe_stoppage_sweep(
+        durations_days=(10.0, 60.0, 150.0),
+        coverages=(0.4, 1.0),
+        seeds=BENCH_SEEDS,
+        protocol_config=protocol,
+        sim_config=sim,
+        recuperation_days=30.0,
+        session=session,
+    )
+
+
+def _fig4(session: Session) -> List[Dict[str, object]]:
+    protocol, sim = bench_configs()
+    return pipe_stoppage_sweep(
+        durations_days=(10.0, 120.0),
+        coverages=(1.0,),
+        seeds=BENCH_SEEDS,
+        protocol_config=protocol,
+        sim_config=sim,
+        recuperation_days=20.0,
+        session=session,
+    )
+
+
+def _fig5(session: Session) -> List[Dict[str, object]]:
+    protocol, sim = bench_configs()
+    return pipe_stoppage_sweep(
+        durations_days=(5.0, 120.0),
+        coverages=(1.0,),
+        seeds=BENCH_SEEDS,
+        protocol_config=protocol,
+        sim_config=sim,
+        recuperation_days=20.0,
+        session=session,
+    )
+
+
+def _fig6(session: Session) -> List[Dict[str, object]]:
+    protocol, sim = bench_configs()
+    return admission_attack_sweep(
+        durations_days=(30.0, 200.0),
+        coverages=(1.0,),
+        seeds=BENCH_SEEDS,
+        protocol_config=protocol,
+        sim_config=sim,
+        invitations_per_victim_per_day=6.0,
+        session=session,
+    )
+
+
+def _fig7(session: Session) -> List[Dict[str, object]]:
+    protocol, sim = bench_configs()
+    return admission_attack_sweep(
+        durations_days=(90.0, 200.0),
+        coverages=(1.0,),
+        seeds=BENCH_SEEDS,
+        protocol_config=protocol,
+        sim_config=sim,
+        invitations_per_victim_per_day=6.0,
+        session=session,
+    )
+
+
+def _fig8(session: Session) -> List[Dict[str, object]]:
+    protocol, sim = bench_configs()
+    return admission_attack_sweep(
+        durations_days=(200.0,),
+        coverages=(0.4, 1.0),
+        seeds=BENCH_SEEDS,
+        protocol_config=protocol,
+        sim_config=sim,
+        invitations_per_victim_per_day=8.0,
+        session=session,
+    )
+
+
+def _table1(session: Session) -> List[Dict[str, object]]:
+    from ..adversary.brute_force import DefectionPoint
+
+    protocol, sim = bench_configs()
+    return effortful_table(
+        defections=(DefectionPoint.INTRO, DefectionPoint.REMAINING, DefectionPoint.NONE),
+        collection_sizes=(1,),
+        seeds=BENCH_SEEDS,
+        protocol_config=protocol,
+        sim_config=sim,
+        attempts_per_victim_au_per_day=5.0,
+        session=session,
+    )
+
+
+def _ablation_admission(session: Session) -> List[Dict[str, object]]:
+    protocol, sim = bench_configs()
+    return ablation_module.admission_control_ablation(
+        attack_duration_days=120.0,
+        coverage=1.0,
+        invitations_per_victim_per_day=96.0,
+        seeds=BENCH_SEEDS,
+        protocol_config=protocol,
+        sim_config=sim,
+        session=session,
+    )
+
+
+def _ablation_effort(session: Session) -> List[Dict[str, object]]:
+    protocol, sim = bench_configs()
+    return ablation_module.effort_balancing_ablation(
+        introductory_fractions=(0.20, 0.02),
+        seeds=BENCH_SEEDS,
+        protocol_config=protocol,
+        sim_config=sim,
+        attempts_per_victim_au_per_day=5.0,
+        session=session,
+    )
+
+
+def _ablation_desync(session: Session) -> List[Dict[str, object]]:
+    protocol, sim = bench_configs(n_aus=2)
+    return ablation_module.desynchronization_ablation(
+        seeds=BENCH_SEEDS,
+        protocol_config=protocol,
+        sim_config=sim,
+        session=session,
+    )
+
+
+def _paper_smoke(session: Session) -> List[Dict[str, object]]:
+    scenario = paper_smoke_scenario()
+    return attack_sweep_rows(scenario, session=session)
+
+
+#: Every measured artifact, in report order: name -> (title, runner).
+ARTIFACTS: Dict[str, Tuple[str, Callable[[Session], List[Dict[str, object]]]]] = {
+    "fig2_baseline": ("Figure 2 - baseline access failure", _fig2),
+    "fig3_pipe_stoppage": ("Figure 3 - pipe stoppage access failure", _fig3),
+    "fig4_delay_ratio": ("Figure 4 - pipe stoppage delay ratio", _fig4),
+    "fig5_friction": ("Figure 5 - pipe stoppage friction", _fig5),
+    "fig6_admission": ("Figure 6 - admission flood access failure", _fig6),
+    "fig7_admission_delay": ("Figure 7 - admission flood delay ratio", _fig7),
+    "fig8_admission_friction": ("Figure 8 - admission flood friction", _fig8),
+    "table1_effortful": ("Table 1 - brute-force defection points", _table1),
+    "ablation_admission": ("Ablation - admission control on/off", _ablation_admission),
+    "ablation_effort": ("Ablation - introductory-effort toll", _ablation_effort),
+    "ablation_desync": ("Ablation - desynchronized solicitation", _ablation_desync),
+    "paper_smoke_100": ("Paper-scale smoke - 100 peers, pipe stoppage", _paper_smoke),
+}
+
+#: Artifacts run under ``--quick`` (CI-sized subset; same digests as full).
+QUICK_ARTIFACTS: Tuple[str, ...] = (
+    "fig2_baseline",
+    "fig3_pipe_stoppage",
+    "fig6_admission",
+    "paper_smoke_100",
+)
+
+
+def digest_rows(rows: Sequence[Dict[str, object]]) -> str:
+    """Content digest of one artifact's full row payload."""
+    import hashlib
+
+    return hashlib.sha256(canonical_json(list(rows)).encode("utf-8")).hexdigest()
+
+
+def _peak_rss_kb() -> Optional[int]:
+    """Process peak RSS in KiB (None where the resource module is missing)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    value = usage.ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        value //= 1024
+    return int(value)
+
+
+def run_artifact(name: str) -> Dict[str, object]:
+    """Run one artifact in a fresh session; return its measurement record."""
+    title, runner = ARTIFACTS[name]
+    session = Session()
+    started = time.perf_counter()
+    rows = runner(session)
+    wall = time.perf_counter() - started
+    events = sum(
+        run.extras.get("events_processed", 0.0)
+        for run in session._run_cache.values()
+    )
+    return {
+        "title": title,
+        "wall_s": round(wall, 4),
+        "events": int(events),
+        "events_per_s": round(events / wall, 1) if wall > 0 else 0.0,
+        "rows": len(rows),
+        "digest": digest_rows(rows),
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
+def run_bench(
+    names: Optional[Sequence[str]] = None,
+    quick: bool = False,
+) -> Dict[str, object]:
+    """Run the requested artifacts and return the measurement report."""
+    if names is None:
+        names = QUICK_ARTIFACTS if quick else tuple(ARTIFACTS)
+    unknown = [name for name in names if name not in ARTIFACTS]
+    if unknown:
+        raise ValueError("unknown bench artifacts: %s" % ", ".join(unknown))
+    artifacts: Dict[str, Dict[str, object]] = {}
+    for name in names:
+        artifacts[name] = run_artifact(name)
+    total_wall = sum(record["wall_s"] for record in artifacts.values())
+    total_events = sum(record["events"] for record in artifacts.values())
+    return {
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "nonce_stream_version": NONCE_STREAM_VERSION,
+        "quick": quick,
+        "artifacts": artifacts,
+        "total": {
+            "wall_s": round(total_wall, 4),
+            "events": total_events,
+            "events_per_s": round(total_events / total_wall, 1) if total_wall else 0.0,
+        },
+    }
+
+
+# -- digest baseline ------------------------------------------------------------------
+
+
+def load_baseline(path: Path = DEFAULT_BASELINE_PATH) -> Optional[Dict[str, str]]:
+    """Committed artifact -> digest map; None when no baseline exists yet."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    digests = payload.get("digests")
+    if not isinstance(digests, dict):
+        return None
+    return {str(key): str(value) for key, value in digests.items()}
+
+
+def save_baseline(report: Dict[str, object], path: Path = DEFAULT_BASELINE_PATH) -> None:
+    """Write the digest baseline derived from ``report``.
+
+    Digests are merged into any existing baseline, so updating from a
+    partial run (``--quick``, ``--artifacts``) refreshes only the artifacts
+    that actually ran instead of silently deleting the rest.
+    """
+    digests: Dict[str, str] = load_baseline(path) or {}
+    digests.update(
+        {
+            name: record["digest"]
+            for name, record in report.get("artifacts", {}).items()
+        }
+    )
+    payload = {
+        "nonce_stream_version": report.get("nonce_stream_version"),
+        "digests": digests,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def check_digests(
+    report: Dict[str, object], baseline: Dict[str, str]
+) -> List[str]:
+    """Return drift messages for artifacts whose digests left the baseline."""
+    problems: List[str] = []
+    for name, record in report.get("artifacts", {}).items():
+        expected = baseline.get(name)
+        if expected is None:
+            problems.append("%s: no committed baseline digest" % name)
+        elif record["digest"] != expected:
+            problems.append(
+                "%s: digest %s != baseline %s"
+                % (name, record["digest"][:16], expected[:16])
+            )
+    return problems
+
+
+# -- report emission ------------------------------------------------------------------
+
+
+def merge_before(
+    report: Dict[str, object], before: Dict[str, object]
+) -> Dict[str, object]:
+    """Fold a pre-optimization report into ``report`` as before/after pairs."""
+    before_artifacts = before.get("artifacts", {})
+    for name, record in report.get("artifacts", {}).items():
+        prior = before_artifacts.get(name)
+        if not prior:
+            continue
+        record["before_wall_s"] = prior.get("wall_s")
+        record["before_events_per_s"] = prior.get("events_per_s")
+        if prior.get("wall_s") and record.get("wall_s"):
+            record["speedup"] = round(prior["wall_s"] / record["wall_s"], 2)
+    prior_total = before.get("total", {}).get("wall_s")
+    if prior_total and report.get("total", {}).get("wall_s"):
+        report["total"]["before_wall_s"] = prior_total
+        report["total"]["speedup"] = round(
+            prior_total / report["total"]["wall_s"], 2
+        )
+    return report
+
+
+def write_report(report: Dict[str, object], path: Path = DEFAULT_REPORT_PATH) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def format_report(report: Dict[str, object]) -> str:
+    """Render the measurement report as an aligned text table."""
+    lines = []
+    header = "%-24s %10s %12s %12s %8s" % (
+        "artifact", "wall_s", "events/s", "before_s", "speedup"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, record in report.get("artifacts", {}).items():
+        lines.append(
+            "%-24s %10.3f %12.0f %12s %8s"
+            % (
+                name,
+                record["wall_s"],
+                record["events_per_s"],
+                ("%.3f" % record["before_wall_s"])
+                if record.get("before_wall_s")
+                else "-",
+                ("%.2fx" % record["speedup"]) if record.get("speedup") else "-",
+            )
+        )
+    total = report.get("total", {})
+    lines.append("-" * len(header))
+    lines.append(
+        "%-24s %10.3f %12.0f %12s %8s"
+        % (
+            "TOTAL",
+            total.get("wall_s", 0.0),
+            total.get("events_per_s", 0.0),
+            ("%.3f" % total["before_wall_s"]) if total.get("before_wall_s") else "-",
+            ("%.2fx" % total["speedup"]) if total.get("speedup") else "-",
+        )
+    )
+    return "\n".join(lines)

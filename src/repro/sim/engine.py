@@ -8,6 +8,18 @@ by metric samplers and by adversary attack/recuperation cycles).
 The engine is deliberately free of any LOCKSS-specific behaviour so it can be
 reused by the network model, the storage-failure injector, the protocol state
 machines, and the adversaries alike.
+
+Fast-path design
+----------------
+The heap holds plain lists ``[time, priority, seq, callback, args, handle,
+in_queue]`` rather than handle objects, so ``heapq`` compares entries with C
+tuple comparison instead of a Python ``__lt__`` (``seq`` is unique, so the
+comparison never reaches the callback).  :class:`EventHandle` is a thin
+cancellation token wrapping its entry; fire-and-forget call sites can skip it
+entirely via :meth:`Simulator.post` / :meth:`Simulator.post_at`.  Cancelled
+entries are dropped lazily when popped, with a compaction pass that rebuilds
+the heap once cancellations dominate it.  Recurring events re-arm through a
+freelist of recycled handles, so periodic processes allocate nothing per tick.
 """
 
 from __future__ import annotations
@@ -15,6 +27,15 @@ from __future__ import annotations
 import heapq
 import itertools
 from typing import Any, Callable, List, Optional
+
+# Entry layout (a list, so cancellation can mutate it in place):
+_TIME = 0
+_PRIORITY = 1
+_SEQ = 2
+_CALLBACK = 3  # None once cancelled or consumed
+_ARGS = 4
+_HANDLE = 5  # EventHandle or None (fire-and-forget)
+_IN_QUEUE = 6  # False once popped (keeps the cancel bookkeeping exact)
 
 
 class SimulationError(RuntimeError):
@@ -25,54 +46,60 @@ class SimulationError(RuntimeError):
     """
 
 
+def _noop(*_args: Any) -> None:
+    """Placeholder callback reported for cancelled/consumed events."""
+
+
 class EventHandle:
     """Handle to a scheduled event, allowing cancellation and inspection."""
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "cancelled", "_entry", "_simulator")
 
-    def __init__(
-        self,
-        time: float,
-        priority: int,
-        seq: int,
-        callback: Callable[..., None],
-        args: tuple,
-    ) -> None:
-        self.time = time
-        self.priority = priority
-        self.seq = seq
-        self.callback = callback
-        self.args = args
+    def __init__(self, simulator: "Simulator", entry: list) -> None:
+        self.time = entry[_TIME]
+        self.priority = entry[_PRIORITY]
+        self.seq = entry[_SEQ]
         self.cancelled = False
+        self._entry = entry
+        self._simulator = simulator
+
+    @property
+    def callback(self) -> Callable[..., None]:
+        entry = self._entry
+        if entry is None or entry[_CALLBACK] is None:
+            return _noop
+        return entry[_CALLBACK]
+
+    @property
+    def args(self) -> tuple:
+        entry = self._entry
+        if entry is None:
+            return ()
+        return entry[_ARGS]
 
     def cancel(self) -> None:
         """Cancel the event; it will be skipped when its time comes."""
+        if self.cancelled:
+            return
         self.cancelled = True
-        # Drop references eagerly so cancelled events do not pin large
-        # object graphs in the heap until they are popped.
-        self.callback = _noop
-        self.args = ()
-
-    def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self.priority, self.seq) < (
-            other.time,
-            other.priority,
-            other.seq,
-        )
+        entry = self._entry
+        if entry is not None and entry[_CALLBACK] is not None:
+            # Drop references eagerly so cancelled events do not pin large
+            # object graphs in the heap until they are popped.
+            entry[_CALLBACK] = None
+            entry[_ARGS] = ()
+            if entry[_IN_QUEUE]:
+                self._simulator._note_cancel()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
         return "EventHandle(t=%.3f, %s)" % (self.time, state)
 
 
-def _noop(*_args: Any) -> None:
-    """Placeholder callback installed on cancelled events."""
-
-
 class RecurringEvent:
     """Handle to a recurring callback created by :meth:`Simulator.call_every`."""
 
-    __slots__ = ("simulator", "interval", "callback", "args", "end", "cancelled", "_handle")
+    __slots__ = ("simulator", "interval", "callback", "args", "end", "cancelled", "_handle", "_tick")
 
     def __init__(
         self,
@@ -89,6 +116,8 @@ class RecurringEvent:
         self.end = end
         self.cancelled = False
         self._handle: Optional[EventHandle] = None
+        # Bind the tick callback once; re-arming reuses it every period.
+        self._tick = self._fire
 
     @property
     def time(self) -> Optional[float]:
@@ -96,17 +125,27 @@ class RecurringEvent:
         return self._handle.time if self._handle is not None else None
 
     def _arm(self, when: float) -> None:
-        self._handle = self.simulator.schedule_at(when, self._fire)
+        self._handle = self.simulator._schedule_recurring(when, self._tick)
 
     def _fire(self) -> None:
+        # Detach first: the armed handle has already left the heap, so a late
+        # cancel() must not reach it.  The token stays local and is reused
+        # verbatim by the re-arm — recurring processes allocate nothing per
+        # tick — or retired to the freelist when the recurrence ends.
+        token = self._handle
+        self._handle = None
         if self.cancelled:
+            if token is not None:
+                self.simulator._retire_handle(token)
             return
         self.callback(*self.args)
-        next_time = self.simulator.now + self.interval
+        simulator = self.simulator
+        next_time = simulator._now + self.interval
         if self.cancelled or (self.end is not None and next_time > self.end):
-            self._handle = None
+            if token is not None:
+                simulator._retire_handle(token)
             return
-        self._arm(next_time)
+        self._handle = simulator._schedule_recurring(next_time, self._tick, token)
 
     def cancel(self) -> None:
         """Stop the recurrence; the pending occurrence (if any) is dropped."""
@@ -121,16 +160,28 @@ class Simulator:
 
     The simulator is the single source of simulated time.  All other
     components hold a reference to it and schedule their work through
-    :meth:`schedule` / :meth:`schedule_at`.
+    :meth:`schedule` / :meth:`schedule_at` (or :meth:`post` / :meth:`post_at`
+    when the caller never needs to cancel).
     """
+
+    #: Lazy-deletion compaction: rebuild the heap once more than this many
+    #: cancelled entries linger in it AND they outnumber the live ones.
+    COMPACTION_MIN_CANCELLED = 64
+
+    #: Upper bound on recycled handles kept for recurring re-arms.
+    FREELIST_MAX = 1024
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: List[EventHandle] = []
+        self._queue: List[list] = []
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
         self.events_processed = 0
+        self._cancelled_in_queue = 0
+        self._free: List[EventHandle] = []
+        #: Number of lazy-deletion compaction passes performed (diagnostics).
+        self.compactions = 0
 
     @property
     def now(self) -> float:
@@ -164,9 +215,69 @@ class Simulator:
                 "cannot schedule an event at %.3f before current time %.3f"
                 % (time, self._now)
             )
-        handle = EventHandle(time, priority, next(self._seq), callback, args)
-        heapq.heappush(self._queue, handle)
+        entry = [time, priority, next(self._seq), callback, args, None, True]
+        handle = EventHandle(self, entry)
+        entry[_HANDLE] = handle
+        heapq.heappush(self._queue, entry)
         return handle
+
+    def post(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle, no cancellation."""
+        if delay < 0:
+            raise SimulationError("cannot schedule an event in the past (delay=%r)" % delay)
+        heapq.heappush(
+            self._queue,
+            [self._now + delay, priority, next(self._seq), callback, args, None, True],
+        )
+
+    def post_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> None:
+        """Fire-and-forget :meth:`schedule_at`: no handle, no cancellation."""
+        if time < self._now:
+            raise SimulationError(
+                "cannot schedule an event at %.3f before current time %.3f"
+                % (time, self._now)
+            )
+        heapq.heappush(
+            self._queue, [time, priority, next(self._seq), callback, args, None, True]
+        )
+
+    def _schedule_recurring(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        token: Optional[EventHandle] = None,
+    ) -> EventHandle:
+        """Internal: schedule a recurring tick, reusing ``token`` if given.
+
+        A recurrence passes its own just-fired handle back as ``token`` so a
+        periodic process allocates no handle per tick; with no token the
+        handle comes from the freelist of retired recurrences (or is newly
+        allocated for the very first recurrences).
+        """
+        entry = [time, 0, next(self._seq), callback, (), None, True]
+        if token is None:
+            free = self._free
+            token = free.pop() if free else EventHandle(self, entry)
+        token.time = time
+        token.priority = 0
+        token.seq = entry[_SEQ]
+        token.cancelled = False
+        token._entry = entry
+        entry[_HANDLE] = token
+        heapq.heappush(self._queue, entry)
+        return token
 
     def call_every(
         self,
@@ -179,7 +290,8 @@ class Simulator:
         """Schedule ``callback`` to run every ``interval`` seconds.
 
         Returns a :class:`RecurringEvent` whose ``cancel()`` stops the
-        recurrence.  ``end`` (absolute time) bounds the recurrence.
+        recurrence.  ``end`` (absolute time) bounds the recurrence: the tick
+        landing exactly on ``end`` still fires, the next one does not.
         """
         if interval <= 0:
             raise SimulationError("interval must be positive")
@@ -187,6 +299,41 @@ class Simulator:
         recurrence = RecurringEvent(self, interval, callback, args, end)
         recurrence._arm(first)
         return recurrence
+
+    # -- cancellation bookkeeping ----------------------------------------------
+
+    def _note_cancel(self) -> None:
+        self._cancelled_in_queue += 1
+        if (
+            self._cancelled_in_queue > self.COMPACTION_MIN_CANCELLED
+            and self._cancelled_in_queue * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries (lazy-deletion sweep)."""
+        queue = self._queue
+        live = []
+        for entry in queue:
+            if entry[_CALLBACK] is None:
+                entry[_IN_QUEUE] = False
+                handle = entry[_HANDLE]
+                if handle is not None:
+                    handle._entry = None
+            else:
+                live.append(entry)
+        # In-place so aliases of the queue list (the hoisted run loop) see it.
+        queue[:] = live
+        heapq.heapify(queue)
+        self._cancelled_in_queue = 0
+        self.compactions += 1
+
+    def _retire_handle(self, token: EventHandle) -> None:
+        """Return a finished recurrence's handle to the freelist."""
+        token._entry = None
+        token.cancelled = False
+        if len(self._free) < self.FREELIST_MAX:
+            self._free.append(token)
 
     # -- execution --------------------------------------------------------------
 
@@ -198,36 +345,64 @@ class Simulator:
             raise SimulationError("cannot run backwards in time")
         self._running = True
         self._stopped = False
+        # Hoist the heap machinery out of the loop: one batched inner loop
+        # with local bindings processes the entire horizon.
+        queue = self._queue
+        heappop = heapq.heappop
+        processed = 0
         try:
-            while self._queue and not self._stopped:
-                event = self._queue[0]
-                if event.time > until:
+            while queue and not self._stopped:
+                entry = queue[0]
+                if entry[_TIME] > until:
                     break
-                heapq.heappop(self._queue)
-                if event.cancelled:
+                heappop(queue)
+                callback = entry[_CALLBACK]
+                if callback is None:
+                    self._cancelled_in_queue -= 1
+                    handle = entry[_HANDLE]
+                    if handle is not None:
+                        handle._entry = None
                     continue
-                self._now = event.time
-                callback, args = event.callback, event.args
-                # Release references before invoking so exceptions do not pin
-                # the event payload.
-                event.callback, event.args = _noop, ()
-                callback(*args)
-                self.events_processed += 1
+                self._now = entry[_TIME]
+                # Detach the handle before invoking; a popped entry is
+                # otherwise unreachable, so no further bookkeeping is needed
+                # on it (recurrences reuse their own detached token).
+                handle = entry[_HANDLE]
+                if handle is not None:
+                    args = entry[_ARGS]
+                    entry[_CALLBACK] = None
+                    entry[_ARGS] = ()
+                    handle._entry = None
+                    processed += 1
+                    callback(*args)
+                else:
+                    processed += 1
+                    callback(*entry[_ARGS])
             self._now = max(self._now, until)
         finally:
             self._running = False
+            self.events_processed += processed
 
     def step(self) -> bool:
         """Process a single pending event.  Returns False if none remain."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+        queue = self._queue
+        while queue:
+            entry = heapq.heappop(queue)
+            callback = entry[_CALLBACK]
+            handle = entry[_HANDLE]
+            if callback is None:
+                self._cancelled_in_queue -= 1
+                if handle is not None:
+                    handle._entry = None
                 continue
-            self._now = event.time
-            callback, args = event.callback, event.args
-            event.callback, event.args = _noop, ()
-            callback(*args)
+            self._now = entry[_TIME]
+            args = entry[_ARGS]
+            if handle is not None:
+                entry[_CALLBACK] = None
+                entry[_ARGS] = ()
+                handle._entry = None
             self.events_processed += 1
+            callback(*args)
             return True
         return False
 
@@ -237,7 +412,7 @@ class Simulator:
 
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        return len(self._queue) - self._cancelled_in_queue
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "Simulator(now=%.3f, pending=%d)" % (self._now, len(self._queue))

@@ -14,6 +14,17 @@ physical nodes.  The network therefore routes by *identity*: each identity is
 registered with the node that answers for it.  Loyal peers have exactly one
 identity; the adversary registers as many as its strategy needs, all answered
 by the adversary node.
+
+Fast-path notes
+---------------
+``send``/``_deliver`` are the busiest non-engine functions in every
+experiment, so they avoid per-message work: link characteristics are cached
+as plain ``(bandwidth, latency)`` tuples beside the :class:`LinkProperties`
+objects, per-identity byte counters are pre-seeded at registration so the hot
+path is a single ``dict[key] += n``, the common no-blocked-identities case
+skips both membership tests, and in-flight messages ride the engine's
+fire-and-forget :meth:`~repro.sim.engine.Simulator.post` path (no
+:class:`~repro.sim.engine.EventHandle` per delivery).
 """
 
 from __future__ import annotations
@@ -26,7 +37,7 @@ from .engine import Simulator
 from .randomness import RandomStreams
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A protocol message in flight.
 
@@ -42,9 +53,14 @@ class Message:
     sent_at: float = 0.0
 
 
-@dataclass
+@dataclass(frozen=True)
 class LinkProperties:
-    """Per-identity access-link characteristics."""
+    """Per-identity access-link characteristics.
+
+    Frozen: ``send`` reads the characteristics from a tuple cache built at
+    registration, so a mutable link object would silently stop influencing
+    deliveries.  Register a new identity (or network) to change a link.
+    """
 
     bandwidth_bps: float
     latency: float
@@ -52,7 +68,12 @@ class LinkProperties:
 
 @dataclass
 class NetworkStats:
-    """Aggregate traffic accounting, used by tests and experiment reports."""
+    """Aggregate traffic accounting, used by tests and experiment reports.
+
+    The per-identity maps carry an entry for every registered identity (zero
+    until it first communicates), which keeps the per-message accounting to a
+    single in-place increment.
+    """
 
     messages_sent: int = 0
     messages_delivered: int = 0
@@ -100,6 +121,8 @@ class Network:
         self._latency_range = latency_range
         self._nodes: Dict[str, Node] = {}
         self._links: Dict[str, LinkProperties] = {}
+        #: Hot-path mirror of ``_links``: identity -> (bandwidth, latency).
+        self._link_params: Dict[str, Tuple[float, float]] = {}
         self._blocked: Set[str] = set()
         self.stats = NetworkStats()
         #: Optional hook called for every delivered message; used by tests
@@ -134,6 +157,9 @@ class Network:
                 )
         self._nodes[identity] = node
         self._links[identity] = link
+        self._link_params[identity] = (link.bandwidth_bps, link.latency)
+        self.stats.per_identity_bytes_sent.setdefault(identity, 0)
+        self.stats.per_identity_bytes_received.setdefault(identity, 0)
         return link
 
     def is_registered(self, identity: str) -> bool:
@@ -172,40 +198,39 @@ class Network:
         silent-failure, matching the UDP-like "no error signal" behaviour the
         protocol is designed around: peers rely on their own timeouts.
         """
-        if sender not in self._nodes:
+        link_params = self._link_params
+        src = link_params.get(sender)
+        if src is None:
             raise ValueError("unknown sender identity %r" % sender)
         if size_bytes < 0:
             raise ValueError("message size must be non-negative")
 
-        self.stats.messages_sent += 1
-        self.stats.bytes_sent += size_bytes
-        self.stats.per_identity_bytes_sent[sender] = (
-            self.stats.per_identity_bytes_sent.get(sender, 0) + size_bytes
-        )
+        stats = self.stats
+        stats.messages_sent += 1
+        stats.bytes_sent += size_bytes
+        stats.per_identity_bytes_sent[sender] += size_bytes
 
-        if recipient not in self._nodes:
-            self.stats.messages_dropped_unknown += 1
+        dst = link_params.get(recipient)
+        if dst is None:
+            stats.messages_dropped_unknown += 1
             return False
-        if sender in self._blocked or recipient in self._blocked:
-            self.stats.messages_dropped_blocked += 1
+        blocked = self._blocked
+        if blocked and (sender in blocked or recipient in blocked):
+            stats.messages_dropped_blocked += 1
             return False
 
-        src_link = self._links[sender]
-        dst_link = self._links[recipient]
-        bottleneck = min(src_link.bandwidth_bps, dst_link.bandwidth_bps)
-        delay = (
-            src_link.latency
-            + dst_link.latency
-            + units.transmission_time(size_bytes, bottleneck)
-        )
+        src_bandwidth, src_latency = src
+        dst_bandwidth, dst_latency = dst
+        bottleneck = src_bandwidth if src_bandwidth < dst_bandwidth else dst_bandwidth
+        delay = src_latency + dst_latency + size_bytes * 8.0 / bottleneck
         message = Message(
             sender=sender,
             recipient=recipient,
             payload=payload,
             size_bytes=size_bytes,
-            sent_at=self.simulator.now,
+            sent_at=self.simulator._now,
         )
-        self.simulator.schedule(delay, self._deliver, message)
+        self.simulator.post(delay, self._deliver, message)
         return True
 
     # -- delivery ---------------------------------------------------------------------
@@ -213,19 +238,19 @@ class Network:
     def _deliver(self, message: Message) -> None:
         # Pipe stoppage that began while the message was in flight also
         # suppresses it: the adversary floods the victim's link continuously.
-        if message.sender in self._blocked or message.recipient in self._blocked:
+        blocked = self._blocked
+        if blocked and (message.sender in blocked or message.recipient in blocked):
             self.stats.messages_dropped_blocked += 1
             return
         node = self._nodes.get(message.recipient)
         if node is None:
             self.stats.messages_dropped_unknown += 1
             return
-        self.stats.messages_delivered += 1
-        self.stats.bytes_delivered += message.size_bytes
-        self.stats.per_identity_bytes_received[message.recipient] = (
-            self.stats.per_identity_bytes_received.get(message.recipient, 0)
-            + message.size_bytes
-        )
+        stats = self.stats
+        stats.messages_delivered += 1
+        size_bytes = message.size_bytes
+        stats.bytes_delivered += size_bytes
+        stats.per_identity_bytes_received[message.recipient] += size_bytes
         if self.delivery_hook is not None:
             self.delivery_hook(message)
         node.receive_message(message)

@@ -53,6 +53,15 @@ class Replica:
         """Indices of blocks currently damaged."""
         return set(self._damage)
 
+    @property
+    def damage_tags(self) -> Dict[int, int]:
+        """Read-only view of damaged block index -> damage tag.
+
+        Hot-path accessor: returns the internal map without copying; callers
+        must not mutate it.
+        """
+        return self._damage
+
     def damage_tag(self, block_index: int) -> Optional[int]:
         """The damage tag of ``block_index`` (None if undamaged)."""
         return self._damage.get(block_index)

