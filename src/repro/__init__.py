@@ -7,29 +7,28 @@ redundancy), a discrete-event simulation substrate standing in for the Narses
 simulator, the paper's three adversary classes, and the experiment harness
 that regenerates Figures 2–8 and Table 1.
 
-Experiments are described declaratively with the Scenario API and executed
-through a Session (serially, or on a process pool with bit-identical
-results).  Quickstart::
+Experiments are described declaratively with the Scenario API; parameter
+grids over a scenario are Campaigns, executed resumably through a Session
+(serially, or on a process pool with bit-identical results).  Quickstart::
 
-    from repro import AdversarySpec, Scenario, Session
+    from repro import AdversarySpec, Campaign, CampaignRunner, Scenario
 
-    scenario = Scenario(
-        name="pipe stoppage, 60 days, full coverage",
-        base="scaled",
-        adversary=AdversarySpec(
-            "pipe_stoppage", {"attack_duration_days": 60.0, "coverage": 1.0}
-        ),
-        seeds=(1, 2, 3),
-    )
-    result = Session(workers=3).run(scenario)
-    print(result.assessment.delay_ratio)
+    base = Scenario(name="stoppage", base="scaled",
+                    adversary=AdversarySpec("pipe_stoppage", {}), seeds=(1, 2, 3))
+    campaign = Campaign.from_grid("stoppage-grid", base,
+                                  {"adversary.coverage": [0.4, 1.0],
+                                   "adversary.attack_duration_days": [30.0, 90.0]})
+    print(CampaignRunner(workers=3).run(campaign)
+          .rows("coverage", "attack_duration_days", "assessment.delay_ratio"))
 
-Scenarios serialize to JSON (``scenario.save("attack.json")``) and run from
-the command line with ``repro-experiments run attack.json``.  Adversaries are
-looked up in a string-keyed registry (``pipe_stoppage``, ``admission_flood``,
-``brute_force``); register your own with the ``repro.api.adversary``
-decorator.  The pre-Scenario entry points (``run_single``, ``run_many``,
-``run_attack_experiment``) are deprecated shims kept for compatibility.
+Scenarios and campaigns serialize to JSON (``campaign.save("sweep.json")``)
+and run from the command line with ``repro-experiments run`` /
+``repro-experiments campaign run`` (checkpointed and resumable with
+``--store``).  Adversaries are looked up in a string-keyed registry
+(``pipe_stoppage``, ``admission_flood``, ``brute_force``); register your own
+with the ``repro.api.adversary`` decorator.  The pre-Scenario entry points
+(``run_single``, ``run_many``, ``run_attack_experiment``) are deprecated
+shims kept for compatibility.
 
 See ``examples/`` for attack scenarios and ``benchmarks/`` for the
 figure/table regeneration harnesses.
@@ -38,6 +37,9 @@ figure/table regeneration harnesses.
 from .api import (
     AdversaryRegistry,
     AdversarySpec,
+    Campaign,
+    CampaignRunner,
+    ResultSet,
     ResultStore,
     Scenario,
     Session,
@@ -79,6 +81,9 @@ __all__ = [
     "smoke_config",
     "Scenario",
     "AdversarySpec",
+    "Campaign",
+    "CampaignRunner",
+    "ResultSet",
     "Session",
     "ResultStore",
     "AdversaryRegistry",

@@ -14,29 +14,65 @@ reproduction:
   bit-identical-to-serial results.
 * :class:`~repro.api.store.ResultStore` — digest-keyed JSON artifacts
   persisting per-seed runs and full experiment results across processes.
+* :class:`~repro.api.campaign.Campaign` / :class:`~repro.api.campaign.CampaignRunner`
+  — declarative parameter grids (with zip axes) over a base scenario,
+  executed resumably: completed points are checkpointed by digest and a
+  killed campaign picks up exactly where it stopped.
+* :class:`~repro.api.resultset.ResultSet` / :mod:`repro.api.observations` —
+  the queryable read path: typed per-run observation streams plus
+  filter/group/aggregate/export over a campaign's points.
 
 Quickstart::
 
-    from repro.api import AdversarySpec, Scenario, Session
+    from repro.api import AdversarySpec, Campaign, CampaignRunner, Scenario
 
-    scenario = Scenario(
-        name="pipe stoppage, 60 days, full coverage",
+    base = Scenario(
+        name="pipe stoppage",
         base="smoke",
-        adversary=AdversarySpec(
-            "pipe_stoppage", {"attack_duration_days": 60.0, "coverage": 1.0}
-        ),
+        adversary=AdversarySpec("pipe_stoppage", {}),
         seeds=(1, 2, 3),
     )
-    result = Session(workers=3).run(scenario)
-    print(result.assessment.delay_ratio)
+    campaign = Campaign.from_grid(
+        "stoppage-grid",
+        base,
+        {"adversary.coverage": [0.4, 1.0],
+         "adversary.attack_duration_days": [30.0, 90.0]},
+    )
+    results = CampaignRunner(workers=3).run(campaign)
+    print(results.rows("coverage", "attack_duration_days", "assessment.delay_ratio"))
 """
 
+from .campaign import (
+    Campaign,
+    CampaignPoint,
+    CampaignRunner,
+    CampaignStatus,
+    campaign_rows,
+    run_campaign,
+)
+from .observations import (
+    OBSERVATION_KINDS,
+    AdmissionObservation,
+    DamageObservation,
+    EffortObservation,
+    PollObservation,
+    RunObservations,
+    observe,
+)
 from .registry import (
     DEFAULT_REGISTRY,
     AdversaryEntry,
     AdversaryRegistry,
     CliOption,
     adversary,
+)
+from .resultset import (
+    ROW_EXPORTERS,
+    ObservationRecord,
+    PointResult,
+    ResultSet,
+    export_rows,
+    row_exporter,
 )
 from .scenario import (
     BASE_CONFIGS,
@@ -55,20 +91,39 @@ from .session import (
 from .store import ResultStore
 
 __all__ = [
+    "AdmissionObservation",
     "AdversaryEntry",
     "AdversaryRegistry",
     "AdversarySpec",
     "BASE_CONFIGS",
+    "Campaign",
+    "CampaignPoint",
+    "CampaignRunner",
+    "CampaignStatus",
     "CliOption",
     "DEFAULT_REGISTRY",
+    "DamageObservation",
+    "EffortObservation",
     "ExperimentResult",
+    "OBSERVATION_KINDS",
+    "ObservationRecord",
+    "PointResult",
+    "PollObservation",
+    "ROW_EXPORTERS",
+    "ResultSet",
     "ResultStore",
+    "RunObservations",
     "Scenario",
     "Session",
     "adversary",
+    "campaign_rows",
     "canonical_json",
     "config_digest",
     "default_session",
     "execute_point",
+    "export_rows",
+    "observe",
+    "row_exporter",
+    "run_campaign",
     "set_default_session",
 ]

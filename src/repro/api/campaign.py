@@ -1,0 +1,452 @@
+"""Declarative parameter-grid campaigns with resumable execution.
+
+A :class:`Campaign` is the multi-point counterpart of a
+:class:`~repro.api.scenario.Scenario`: a base scenario plus an ordered list
+of **axes**, each axis a mapping of parameter targets to value lists.  A
+single-target axis is a plain grid dimension; a multi-target axis advances
+its targets in lockstep (a *zip* axis — e.g. pinning a human-readable
+``params.poll_interval_months`` label to the ``protocol.poll_interval``
+override it describes).  Axes expand as a cartesian product in declaration
+order, first axis outermost, mirroring ``Scenario.expand``.
+
+Targets are ``"protocol.<field>"``, ``"sim.<field>"``,
+``"adversary.<param>"``, or ``"params.<label>"`` (a pure row label with no
+config effect).  Every expanded point is a concrete point scenario with the
+usual **content digest**, so points are persistable, deduplicatable, and
+resumable by identity rather than by position.
+
+:class:`CampaignRunner` executes campaigns through a
+:class:`~repro.api.session.Session`: every expanded point whose result
+artifact already exists in the attached
+:class:`~repro.api.store.ResultStore` is loaded instead of re-simulated, the
+remaining points stream through the session's (optionally parallel) task
+batch, and per-seed runs are checkpointed as they complete — so a killed
+campaign resumes exactly where it stopped and finishes with bit-identical
+result digests.  This is the record-and-replay discipline (digest-addressed
+recordings, cheap replay) applied to simulation fleets.
+
+Campaigns round-trip through JSON (``save`` / ``load``), which makes every
+figure of the paper a small campaign artifact runnable via
+``repro-experiments campaign run <campaign.json>``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from .resultset import PointResult, ResultSet, export_rows
+from .scenario import (
+    AXIS_SCOPES,
+    Scenario,
+    apply_axis_value,
+    canonical_json,
+    clone_point_scenario,
+    split_axis_target,
+)
+from .session import ExperimentResult, Session, default_session
+from .store import ResultStore
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One expanded grid point: its position and concrete scenario."""
+
+    index: int
+    scenario: Scenario
+
+    @property
+    def digest(self) -> str:
+        return self.scenario.digest
+
+    @property
+    def label(self) -> str:
+        return self.scenario.name
+
+    @property
+    def parameters(self) -> Dict[str, object]:
+        return self.scenario.parameters
+
+
+@dataclass
+class Campaign:
+    """A named parameter grid expanded over a base scenario."""
+
+    name: str
+    scenario: Scenario
+    #: Ordered axes; each axis maps targets to equal-length value lists.  A
+    #: one-target axis is a grid dimension, a multi-target axis zips.
+    axes: List[Dict[str, List[object]]] = field(default_factory=list)
+    #: Row-exporter name used by reports (see :mod:`repro.api.resultset`).
+    exporter: Optional[str] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if isinstance(self.scenario, dict):
+            self.scenario = Scenario.from_dict(self.scenario)
+        if self.scenario.is_sweep:
+            raise ValueError(
+                "campaign base scenario must be a point scenario; convert "
+                "sweep axes with Campaign.from_sweep()"
+            )
+        self.axes = [
+            {str(target): list(values) for target, values in axis.items()}
+            for axis in self.axes
+        ]
+        for axis in self.axes:
+            self._validate_axis(axis)
+
+    @staticmethod
+    def _validate_axis(axis: Mapping[str, Sequence[object]]) -> None:
+        if not axis:
+            raise ValueError("campaign axis must have at least one target")
+        lengths = set()
+        for target, values in axis.items():
+            split_axis_target(target, AXIS_SCOPES)
+            if not values:
+                raise ValueError("campaign axis target %r has no values" % target)
+            lengths.add(len(values))
+        if len(lengths) > 1:
+            raise ValueError(
+                "zip axis targets must have equal-length value lists "
+                "(got lengths %s)" % sorted(lengths)
+            )
+
+    # -- construction ------------------------------------------------------------------
+
+    @classmethod
+    def from_grid(
+        cls,
+        name: str,
+        scenario: Scenario,
+        grid: Mapping[str, Sequence[object]],
+        exporter: Optional[str] = None,
+        description: str = "",
+    ) -> "Campaign":
+        """One axis per grid entry, in insertion order (first outermost)."""
+        return cls(
+            name=name,
+            scenario=scenario,
+            axes=[{target: list(values)} for target, values in grid.items()],
+            exporter=exporter,
+            description=description,
+        )
+
+    @classmethod
+    def from_sweep(
+        cls,
+        scenario: Scenario,
+        name: Optional[str] = None,
+        exporter: Optional[str] = None,
+        description: str = "",
+    ) -> "Campaign":
+        """Convert a sweep scenario into the equivalent campaign.
+
+        Each sweep axis becomes one grid axis in the same order, so the
+        expanded points (and their digests) match ``Scenario.expand()``.
+        """
+        base = clone_point_scenario(scenario)
+        return cls(
+            name=name if name is not None else scenario.name,
+            scenario=base,
+            axes=[
+                {axis: list(values)} for axis, values in scenario.sweep.items()
+            ],
+            exporter=exporter,
+            description=description,
+        )
+
+    def add_axis(self, **targets: Sequence[object]) -> "Campaign":
+        """Append one axis (zip axis when several targets are given)."""
+        axis = {target: list(values) for target, values in targets.items()}
+        self._validate_axis(axis)
+        self.axes.append(axis)
+        return self
+
+    # -- expansion ---------------------------------------------------------------------
+
+    def expand(self) -> List[CampaignPoint]:
+        """Expand all axes into concrete point scenarios, first axis outermost."""
+        points: List[Scenario] = [clone_point_scenario(self.scenario)]
+        for axis in self.axes:
+            self._validate_axis(axis)
+            width = len(next(iter(axis.values())))
+            expanded: List[Scenario] = []
+            for point in points:
+                for position in range(width):
+                    child = clone_point_scenario(point)
+                    for target, values in axis.items():
+                        apply_axis_value(child, target, values[position])
+                    expanded.append(child)
+            points = expanded
+        return [
+            CampaignPoint(index=index, scenario=scenario)
+            for index, scenario in enumerate(points)
+        ]
+
+    def __len__(self) -> int:
+        size = 1
+        for axis in self.axes:
+            size *= len(next(iter(axis.values())))
+        return size
+
+    # -- identity ----------------------------------------------------------------------
+
+    @staticmethod
+    def digest_of(points: Sequence[CampaignPoint]) -> str:
+        """The campaign digest of an already-expanded point list."""
+        payload = {"points": [point.digest for point in points]}
+        return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+    @property
+    def digest(self) -> str:
+        """Content digest over the expanded point digests (order included).
+
+        Two differently-spelled campaigns (grid vs zip vs converted sweep)
+        that expand to the same points in the same order hash identically.
+        (Callers that already hold the expansion should prefer
+        :meth:`digest_of` — this property re-expands the grid.)
+        """
+        return self.digest_of(self.expand())
+
+    # -- serialization ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "exporter": self.exporter,
+            "scenario": self.scenario.to_dict(),
+            "axes": [
+                {target: list(values) for target, values in axis.items()}
+                for axis in self.axes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Campaign":
+        return cls(
+            name=str(payload.get("name", "campaign")),
+            scenario=Scenario.from_dict(payload["scenario"]),
+            axes=[dict(axis) for axis in payload.get("axes") or []],
+            exporter=payload.get("exporter"),
+            description=str(payload.get("description") or ""),
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Campaign":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Campaign":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+@dataclass
+class CampaignStatus:
+    """Completion state of one campaign against a result store."""
+
+    name: str
+    digest: str
+    total: int
+    completed: List[CampaignPoint]
+    pending: List[CampaignPoint]
+
+    @property
+    def complete(self) -> bool:
+        return not self.pending
+
+    def summary(self) -> str:
+        return "%s: %d/%d points complete (campaign digest %s)" % (
+            self.name,
+            len(self.completed),
+            self.total,
+            self.digest[:12],
+        )
+
+
+class CampaignRunner:
+    """Executes campaigns through a session, checkpointing into its store.
+
+    With a store attached, every per-seed run and every completed point
+    result is persisted by content digest as it finishes; ``run`` first
+    loads whatever the store already holds, so re-running (or resuming after
+    a kill) only simulates the missing work and reproduces the exact digests
+    an uninterrupted run would have produced.
+    """
+
+    def __init__(
+        self,
+        session: Optional[Session] = None,
+        store: Optional[ResultStore] = None,
+        workers: int = 1,
+    ):
+        if session is None:
+            session = Session(workers=workers, store=store)
+        elif store is not None and session.store is None:
+            session.store = store
+        self.session = session
+
+    @property
+    def store(self) -> Optional[ResultStore]:
+        return self.session.store
+
+    # -- state inspection ---------------------------------------------------------------
+
+    def _load_point(self, point: CampaignPoint) -> Optional[ExperimentResult]:
+        if self.store is None:
+            return None
+        payload = self.store.load_json("result", point.digest)
+        if not isinstance(payload, dict):
+            return None
+        try:
+            return ExperimentResult.from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def status(self, campaign: Campaign) -> CampaignStatus:
+        """Which points are already complete in the store, which are pending."""
+        points = campaign.expand()
+        completed = [point for point in points if self._load_point(point) is not None]
+        done = {point.index for point in completed}
+        return CampaignStatus(
+            name=campaign.name,
+            digest=Campaign.digest_of(points),
+            total=len(points),
+            completed=completed,
+            pending=[point for point in points if point.index not in done],
+        )
+
+    # -- execution ---------------------------------------------------------------------
+
+    def run(
+        self,
+        campaign: Campaign,
+        max_points: Optional[int] = None,
+    ) -> ResultSet:
+        """Run the campaign (resuming from the store) and return its results.
+
+        ``max_points`` caps how many *pending* points are executed this call
+        — the deterministic stand-in for a mid-campaign kill, used by the
+        resume tests and the CI smoke job.  The returned :class:`ResultSet`
+        holds the completed points in expansion order; check
+        :meth:`status` for completeness.
+        """
+        points = campaign.expand()
+        results: Dict[int, ExperimentResult] = {}
+        pending: List[CampaignPoint] = []
+        for point in points:
+            loaded = self._load_point(point)
+            if loaded is not None:
+                results[point.index] = loaded
+            else:
+                pending.append(point)
+
+        to_run = pending if max_points is None else pending[:max_points]
+        if to_run:
+            executed = self.session.run_all([point.scenario for point in to_run])
+            for point, result in zip(to_run, executed):
+                results[point.index] = result
+        self._write_manifest(campaign, points, results)
+
+        return ResultSet(
+            [
+                PointResult(point.index, point.scenario, results[point.index])
+                for point in points
+                if point.index in results
+            ]
+        )
+
+    def resume(self, campaign: Campaign) -> ResultSet:
+        """Finish whatever ``run`` (or a killed invocation) left pending."""
+        return self.run(campaign)
+
+    def result_set(self, campaign: Campaign) -> ResultSet:
+        """Load the campaign's results from the store without simulating.
+
+        Raises ``LookupError`` if any point is missing — run or resume first.
+        """
+        points = campaign.expand()
+        loaded: List[PointResult] = []
+        missing: List[CampaignPoint] = []
+        for point in points:
+            result = self._load_point(point)
+            if result is None:
+                missing.append(point)
+            else:
+                loaded.append(PointResult(point.index, point.scenario, result))
+        if missing:
+            raise LookupError(
+                "campaign %r is incomplete: %d/%d points missing from the "
+                "store (first missing: #%d %s)"
+                % (
+                    campaign.name,
+                    len(missing),
+                    len(points),
+                    missing[0].index,
+                    missing[0].digest[:12],
+                )
+            )
+        return ResultSet(loaded)
+
+    def rows(self, campaign: Campaign) -> List[Dict[str, object]]:
+        """The campaign's exported figure rows, loaded from the store."""
+        return export_rows(campaign.exporter, self.result_set(campaign))
+
+    # -- manifest ----------------------------------------------------------------------
+
+    def _write_manifest(
+        self,
+        campaign: Campaign,
+        points: Sequence[CampaignPoint],
+        results: Mapping[int, ExperimentResult],
+    ) -> None:
+        """Persist a human-readable completion manifest next to the results."""
+        if self.store is None:
+            return
+        self.store.save_json(
+            "campaign",
+            Campaign.digest_of(points),
+            {
+                "name": campaign.name,
+                "exporter": campaign.exporter,
+                "total": len(points),
+                "points": [
+                    {
+                        "index": point.index,
+                        "digest": point.digest,
+                        "label": point.label,
+                        "complete": point.index in results,
+                    }
+                    for point in points
+                ],
+            },
+        )
+
+
+def run_campaign(
+    campaign: Campaign,
+    session: Optional[Session] = None,
+    max_points: Optional[int] = None,
+) -> ResultSet:
+    """Run ``campaign`` through ``session`` (default: the shared session)."""
+    runner = CampaignRunner(session if session is not None else default_session())
+    return runner.run(campaign, max_points=max_points)
+
+
+def campaign_rows(
+    campaign: Campaign, session: Optional[Session] = None
+) -> List[Dict[str, object]]:
+    """Run ``campaign`` and export its rows via the campaign's exporter."""
+    return export_rows(campaign.exporter, run_campaign(campaign, session=session))

@@ -1,0 +1,174 @@
+"""Typed per-run observation stream.
+
+Experiment reporting used to reach into :class:`~repro.metrics.report.RunMetrics`
+fields and its free-form ``extras`` dict ad hoc — every figure module grabbed
+``run.extras.get("invitations_refused", 0.0)`` and friends with its own
+spelling.  This module replaces that field-grab with a small set of **typed
+observation records**, one per measurement family the paper reports on:
+
+* :class:`PollObservation` — poll outcomes (successful / failed / inconclusive,
+  alarms, mean time between successful polls);
+* :class:`AdmissionObservation` — admission decisions (invitations sent,
+  accepted, refused);
+* :class:`EffortObservation` — effort spent (loyal population, adversary,
+  per successful poll);
+* :class:`DamageObservation` — AU damage (access failure probability, peak
+  damage fraction, storage failures injected, repairs applied).
+
+:class:`RunObservations` bundles the four views of one run and is derived
+purely from an existing :class:`RunMetrics` (via :func:`observe` or
+``RunMetrics.observations()``), so adopting the typed stream changes no
+simulation behavior and no result digests.  The derived ratio helpers
+(``success_rate``, ``refusal_rate``) use exactly the arithmetic the figure
+modules used, so rows built from observations are bit-identical to rows built
+from raw fields.
+
+:class:`~repro.api.resultset.ResultSet` streams these records — tagged with
+their campaign point, seed, and attacked/baseline role — for filtering,
+grouping, and export to figure rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import ClassVar, Dict, Mapping, Tuple
+
+from ..metrics.report import RunMetrics
+
+#: Observation families, in stream order.
+OBSERVATION_KINDS: Tuple[str, ...] = ("polls", "admission", "effort", "damage")
+
+
+@dataclass(frozen=True)
+class PollObservation:
+    """Poll outcomes of one run."""
+
+    KIND: ClassVar[str] = "polls"
+
+    successful: int
+    failed: int
+    inconclusive: int
+    alarms: float
+    mean_time_between_successful_polls: float
+
+    @property
+    def total(self) -> int:
+        return self.successful + self.failed + self.inconclusive
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of concluded polls that succeeded (0 polls counts as 0)."""
+        return self.successful / max(1, self.total)
+
+
+@dataclass(frozen=True)
+class AdmissionObservation:
+    """Admission decisions of one run."""
+
+    KIND: ClassVar[str] = "admission"
+
+    invitations_sent: float
+    invitations_accepted: float
+    invitations_refused: float
+
+    @property
+    def refusal_rate(self) -> float:
+        """Fraction of sent invitations refused (0 sent counts as 0)."""
+        return self.invitations_refused / max(1.0, self.invitations_sent)
+
+
+@dataclass(frozen=True)
+class EffortObservation:
+    """Effort spent during one run, in seconds of compute."""
+
+    KIND: ClassVar[str] = "effort"
+
+    loyal: float
+    adversary: float
+    per_successful_poll: float
+
+
+@dataclass(frozen=True)
+class DamageObservation:
+    """AU damage measured over one run."""
+
+    KIND: ClassVar[str] = "damage"
+
+    access_failure_probability: float
+    max_damage_fraction: float
+    storage_failures: float
+    repairs_applied: float
+
+
+@dataclass(frozen=True)
+class RunObservations:
+    """The four typed views of one run, plus the raw leftovers.
+
+    ``extras`` keeps the *full* extras mapping of the underlying
+    :class:`RunMetrics` (events processed, etc.) so nothing is lost in the
+    typed projection; it is exposed read-only.
+    """
+
+    polls: PollObservation
+    admission: AdmissionObservation
+    effort: EffortObservation
+    damage: DamageObservation
+    observation_window: float
+    extras: Mapping[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_metrics(cls, run: RunMetrics) -> "RunObservations":
+        extras = run.extras
+        return cls(
+            polls=PollObservation(
+                successful=run.successful_polls,
+                failed=run.failed_polls,
+                inconclusive=run.inconclusive_polls,
+                alarms=extras.get("alarms", 0.0),
+                mean_time_between_successful_polls=(
+                    run.mean_time_between_successful_polls
+                ),
+            ),
+            admission=AdmissionObservation(
+                invitations_sent=extras.get("invitations_sent", 0.0),
+                invitations_accepted=extras.get("invitations_accepted", 0.0),
+                invitations_refused=extras.get("invitations_refused", 0.0),
+            ),
+            effort=EffortObservation(
+                loyal=run.loyal_effort,
+                adversary=run.adversary_effort,
+                per_successful_poll=run.effort_per_successful_poll,
+            ),
+            damage=DamageObservation(
+                access_failure_probability=run.access_failure_probability,
+                max_damage_fraction=extras.get("max_damage_fraction", 0.0),
+                storage_failures=extras.get("storage_failures", 0.0),
+                repairs_applied=extras.get("repairs_applied", 0.0),
+            ),
+            observation_window=run.observation_window,
+            extras=MappingProxyType(dict(extras)),
+        )
+
+    def get(self, kind: str):
+        """The observation record for one family (``"polls"`` etc.)."""
+        if kind not in OBSERVATION_KINDS:
+            raise KeyError(
+                "unknown observation kind %r (known: %s)"
+                % (kind, ", ".join(OBSERVATION_KINDS))
+            )
+        return getattr(self, kind)
+
+    def as_row(self, prefix: str = "") -> Dict[str, float]:
+        """Flatten into ``{"polls.successful": ..., ...}`` style columns."""
+        row: Dict[str, float] = {}
+        for kind in OBSERVATION_KINDS:
+            record = getattr(self, kind)
+            for name in record.__dataclass_fields__:
+                row["%s%s.%s" % (prefix, kind, name)] = getattr(record, name)
+        return row
+
+
+def observe(run: RunMetrics) -> RunObservations:
+    """Project one :class:`RunMetrics` into its typed observation views."""
+    return RunObservations.from_metrics(run)

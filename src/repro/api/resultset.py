@@ -1,0 +1,326 @@
+"""Queryable result layer over campaign executions.
+
+A :class:`ResultSet` wraps the ordered :class:`PointResult` list a campaign
+(or any batch of scenario points) produced and turns "script per figure" into
+"query over a campaign":
+
+* ``filter`` / ``group_by`` / ``values`` / ``aggregate`` — slice points by
+  their sweep parameters;
+* ``rows`` — export dotted-path columns (``"coverage"``,
+  ``"assessment.delay_ratio"``, ``"attacked.polls.successful"``) as plain
+  dict rows for tables and figures;
+* ``observations`` — stream the typed per-run observation records (see
+  :mod:`repro.api.observations`), tagged with point, seed, and
+  attacked/baseline role.
+
+Figure-specific row schemas are **row exporters**: named functions from a
+:class:`ResultSet` to a list of row dicts, registered with
+:func:`row_exporter`.  A :class:`~repro.api.campaign.Campaign` names its
+exporter, so ``repro-experiments campaign report`` can rebuild exactly the
+row payload (and therefore the result digest) of the matching benchmark
+artifact.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .observations import OBSERVATION_KINDS, RunObservations, observe
+from .scenario import Scenario
+from .session import ExperimentResult
+
+
+class PointResult:
+    """One expanded campaign point together with its experiment result."""
+
+    def __init__(self, index: int, scenario: Scenario, result: ExperimentResult):
+        self.index = index
+        self.scenario = scenario
+        self.result = result
+        self._attacked: Optional[RunObservations] = None
+        self._baseline: Optional[RunObservations] = None
+
+    # -- identity ----------------------------------------------------------------------
+
+    # Label and parameters come from the expanded point scenario, not the
+    # stored result: a scenario digest deliberately ignores pure row labels
+    # (``params.*`` axes), so two points distinguished only by labels share
+    # one result artifact — reading the artifact's copy would give every
+    # such point the labels of whichever one was persisted last.
+
+    @property
+    def label(self) -> str:
+        return self.scenario.name
+
+    @property
+    def digest(self) -> str:
+        return self.scenario.digest
+
+    @property
+    def parameters(self) -> Dict[str, object]:
+        return self.scenario.parameters
+
+    @property
+    def assessment(self):
+        return self.result.assessment
+
+    # -- typed observation views --------------------------------------------------------
+
+    @property
+    def attacked(self) -> RunObservations:
+        """Typed observations of the averaged attacked run."""
+        if self._attacked is None:
+            self._attacked = observe(self.result.assessment.attacked)
+        return self._attacked
+
+    @property
+    def baseline(self) -> RunObservations:
+        """Typed observations of the averaged baseline run."""
+        if self._baseline is None:
+            self._baseline = observe(self.result.assessment.baseline)
+        return self._baseline
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "PointResult(#%d %r)" % (self.index, self.label)
+
+
+class ObservationRecord:
+    """One typed observation, tagged with where it came from."""
+
+    __slots__ = ("point", "label", "parameters", "seed", "role", "kind", "observation")
+
+    def __init__(self, point, label, parameters, seed, role, kind, observation):
+        self.point = point
+        self.label = label
+        self.parameters = parameters
+        self.seed = seed
+        self.role = role  # "attacked" | "baseline"
+        self.kind = kind  # "polls" | "admission" | "effort" | "damage"
+        self.observation = observation
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "ObservationRecord(point=%d seed=%s role=%s kind=%s)" % (
+            self.point,
+            self.seed,
+            self.role,
+            self.kind,
+        )
+
+
+class ResultSet:
+    """An ordered, queryable collection of campaign point results."""
+
+    def __init__(self, points: Sequence[PointResult]):
+        self.points: List[PointResult] = list(points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[PointResult]:
+        return iter(self.points)
+
+    def __getitem__(self, index: int) -> PointResult:
+        return self.points[index]
+
+    # -- querying ----------------------------------------------------------------------
+
+    def filter(
+        self,
+        predicate: Optional[Callable[[PointResult], bool]] = None,
+        **params: object,
+    ) -> "ResultSet":
+        """Points matching ``predicate`` and/or exact parameter values."""
+
+        def matches(point: PointResult) -> bool:
+            if predicate is not None and not predicate(point):
+                return False
+            return all(
+                point.parameters.get(key) == value for key, value in params.items()
+            )
+
+        return ResultSet([point for point in self.points if matches(point)])
+
+    def group_by(self, *columns: str) -> "Dict[object, ResultSet]":
+        """Group points by one or more column values (insertion-ordered)."""
+        if not columns:
+            raise ValueError("group_by needs at least one column")
+        groups: Dict[object, List[PointResult]] = {}
+        for point in self.points:
+            values = tuple(self.value(point, column) for column in columns)
+            key = values[0] if len(values) == 1 else values
+            groups.setdefault(key, []).append(point)
+        return {key: ResultSet(points) for key, points in groups.items()}
+
+    def sort_by(self, *columns: str) -> "ResultSet":
+        """Points re-ordered by the given column values."""
+        return ResultSet(
+            sorted(
+                self.points,
+                key=lambda point: tuple(self.value(point, c) for c in columns),
+            )
+        )
+
+    # -- column resolution --------------------------------------------------------------
+
+    @staticmethod
+    def value(point: PointResult, column: str) -> object:
+        """Resolve one dotted column path against a point.
+
+        Supported paths: ``"label"`` / ``"digest"`` / ``"index"``, parameter
+        names (optionally as ``"params.<name>"``), ``"assessment.<metric>"``,
+        and observation paths ``"attacked.<kind>.<field>"`` /
+        ``"baseline.<kind>.<field>"`` (plus ``"<role>.extras.<key>"``).
+        """
+        if column == "label":
+            return point.label
+        if column == "digest":
+            return point.digest
+        if column == "index":
+            return point.index
+        scope, _, rest = column.partition(".")
+        if scope == "params":
+            return point.parameters.get(rest)
+        if scope == "assessment" and rest:
+            return getattr(point.assessment, rest)
+        if scope in ("attacked", "baseline") and rest:
+            run = point.attacked if scope == "attacked" else point.baseline
+            kind, _, fieldname = rest.partition(".")
+            if kind == "extras":
+                return run.extras.get(fieldname)
+            if kind in OBSERVATION_KINDS and fieldname:
+                return getattr(run.get(kind), fieldname)
+            raise KeyError("unknown observation path %r" % column)
+        return point.parameters.get(column)
+
+    def values(self, column: str) -> List[object]:
+        return [self.value(point, column) for point in self.points]
+
+    def aggregate(
+        self, column: str, reducer: Optional[Callable[[Sequence[float]], float]] = None
+    ) -> float:
+        """Reduce one numeric column over all points (default: mean)."""
+        values = [float(v) for v in self.values(column) if v is not None]
+        if not values:
+            raise ValueError("no values for column %r" % column)
+        if reducer is None:
+            return sum(values) / len(values)
+        return reducer(values)
+
+    def rows(self, *columns: str) -> List[Dict[str, object]]:
+        """Export one dict row per point.
+
+        Without explicit columns, emits the label, every parameter, and the
+        four assessment metrics — the generic campaign report.
+        """
+        if columns:
+            return [
+                {column: self.value(point, column) for column in columns}
+                for point in self.points
+            ]
+        rows = []
+        for point in self.points:
+            row: Dict[str, object] = {"label": point.label}
+            row.update(point.parameters)
+            assessment = point.assessment
+            row.update(
+                {
+                    "access_failure_probability": assessment.access_failure_probability,
+                    "delay_ratio": assessment.delay_ratio,
+                    "coefficient_of_friction": assessment.coefficient_of_friction,
+                    "cost_ratio": assessment.cost_ratio,
+                }
+            )
+            rows.append(row)
+        return rows
+
+    # -- observation stream -------------------------------------------------------------
+
+    def observations(
+        self,
+        kinds: Optional[Sequence[str]] = None,
+        roles: Sequence[str] = ("attacked", "baseline"),
+    ) -> Iterator[ObservationRecord]:
+        """Stream typed per-run observations across all points.
+
+        Yields one record per (point, seed, role, kind).  For points without
+        an adversary the baseline runs *are* the attacked runs; those
+        duplicates are skipped.
+        """
+        selected = tuple(kinds) if kinds is not None else OBSERVATION_KINDS
+        for kind in selected:
+            if kind not in OBSERVATION_KINDS:
+                raise KeyError(
+                    "unknown observation kind %r (known: %s)"
+                    % (kind, ", ".join(OBSERVATION_KINDS))
+                )
+        for point in self.points:
+            runs_by_role = {"attacked": point.result.attacked_runs}
+            # Without an adversary the baseline runs *are* the attacked runs
+            # (the scenario, not run-value coincidence, decides this).
+            if point.scenario.adversary is not None:
+                runs_by_role["baseline"] = point.result.baseline_runs
+            seeds = point.scenario.seeds
+            for role in roles:
+                for offset, run in enumerate(runs_by_role.get(role, ())):
+                    seed = seeds[offset] if offset < len(seeds) else None
+                    observed = observe(run)
+                    for kind in selected:
+                        yield ObservationRecord(
+                            point=point.index,
+                            label=point.label,
+                            parameters=point.parameters,
+                            seed=seed,
+                            role=role,
+                            kind=kind,
+                            observation=observed.get(kind),
+                        )
+
+
+# -- row exporters ---------------------------------------------------------------------
+
+RowExporter = Callable[[ResultSet], List[Dict[str, object]]]
+
+#: Named figure/table row schemas; campaigns reference exporters by name.
+ROW_EXPORTERS: Dict[str, RowExporter] = {}
+
+
+def row_exporter(name: str) -> Callable[[RowExporter], RowExporter]:
+    """Register a named ``ResultSet -> rows`` exporter (decorator)."""
+
+    def _register(fn: RowExporter) -> RowExporter:
+        if name in ROW_EXPORTERS:
+            raise ValueError("row exporter %r is already registered" % name)
+        ROW_EXPORTERS[name] = fn
+        return fn
+
+    return _register
+
+
+def export_rows(name: Optional[str], result_set: ResultSet) -> List[Dict[str, object]]:
+    """Run the named exporter (or the generic report for ``None``).
+
+    Exporters register at import time of their experiment module; importing
+    :mod:`repro.experiments` loads every built-in figure/table schema.
+    """
+    if name is None:
+        return result_set.rows()
+    if name not in ROW_EXPORTERS:
+        # The built-in exporters live in the experiment modules; pull them in
+        # before giving up, so `Campaign.load(...)` + report works cold.
+        import repro.experiments  # noqa: F401
+
+    if name not in ROW_EXPORTERS:
+        raise KeyError(
+            "unknown row exporter %r (registered: %s)"
+            % (name, ", ".join(sorted(ROW_EXPORTERS)) or "<none>")
+        )
+    return ROW_EXPORTERS[name](result_set)

@@ -100,6 +100,68 @@ class AdversarySpec:
         return AdversarySpec(kind=self.kind, params=merged)
 
 
+#: Axis scopes a plain scenario sweep may target.
+SWEEP_SCOPES: Tuple[str, ...] = ("protocol", "sim", "adversary")
+#: Axis scopes a campaign may target (adds pure row labels).
+AXIS_SCOPES: Tuple[str, ...] = SWEEP_SCOPES + ("params",)
+
+
+def split_axis_target(
+    target: str, scopes: Sequence[str] = AXIS_SCOPES
+) -> Tuple[str, str]:
+    """Validate and split an axis target like ``"protocol.poll_interval"``."""
+    scope, _, field_name = target.partition(".")
+    if scope not in scopes or not field_name:
+        raise ValueError(
+            "axis target %r must look like %s"
+            % (target, " or ".join("'%s.<name>'" % scope for scope in scopes))
+        )
+    return scope, field_name
+
+
+def clone_point_scenario(scenario: "Scenario") -> "Scenario":
+    """Copy a scenario deeply enough for independent point mutation."""
+    return dataclasses.replace(
+        scenario,
+        sweep={},
+        protocol=dict(scenario.protocol),
+        sim=dict(scenario.sim),
+        adversary=(
+            scenario.adversary.with_params() if scenario.adversary is not None else None
+        ),
+        parameters=dict(scenario.parameters),
+    )
+
+
+def apply_axis_value(
+    scenario: "Scenario",
+    target: str,
+    value: object,
+    scopes: Sequence[str] = AXIS_SCOPES,
+) -> str:
+    """Apply one axis value to a point scenario in place.
+
+    Sets the targeted override (or, for ``params.*``, only the label),
+    records the value in ``parameters`` under the target's final component,
+    and suffixes the scenario name with ``<label>=<value>``.  Returns the
+    recorded label.  Both ``Scenario.expand`` and ``Campaign.expand`` build
+    their grids through this one helper, so the two expansions cannot
+    drift.
+    """
+    scope, field_name = split_axis_target(target, scopes)
+    if scope == "adversary":
+        if scenario.adversary is None:
+            raise ValueError("axis target %r needs an adversary spec" % target)
+        scenario.adversary.params[field_name] = value
+    elif scope == "protocol":
+        scenario.protocol[field_name] = value
+    elif scope == "sim":
+        scenario.sim[field_name] = value
+    scenario.parameters[field_name] = value
+    scenario.name = "%s %s=%s" % (scenario.name, field_name, value)
+    return field_name
+
+
 def _coerce_overrides(base: object, overrides: Dict[str, object]) -> Dict[str, object]:
     """Coerce JSON-decoded override values back to the field types of ``base``.
 
@@ -224,51 +286,14 @@ class Scenario:
         """
         if not self.sweep:
             return [self]
-        points: List[Scenario] = [
-            dataclasses.replace(
-                self,
-                sweep={},
-                protocol=dict(self.protocol),
-                sim=dict(self.sim),
-                adversary=(
-                    self.adversary.with_params() if self.adversary is not None else None
-                ),
-                parameters=dict(self.parameters),
-            )
-        ]
+        points: List[Scenario] = [clone_point_scenario(self)]
         for axis, values in self.sweep.items():
-            scope, _, field_name = axis.partition(".")
-            if scope not in ("protocol", "sim", "adversary") or not field_name:
-                raise ValueError(
-                    "sweep axis %r must look like 'protocol.<field>', "
-                    "'sim.<field>', or 'adversary.<param>'" % axis
-                )
+            split_axis_target(axis, SWEEP_SCOPES)
             expanded: List[Scenario] = []
             for point in points:
                 for value in values:
-                    child = dataclasses.replace(
-                        point,
-                        protocol=dict(point.protocol),
-                        sim=dict(point.sim),
-                        adversary=(
-                            point.adversary.with_params()
-                            if point.adversary is not None
-                            else None
-                        ),
-                        parameters=dict(point.parameters),
-                    )
-                    if scope == "adversary":
-                        if child.adversary is None:
-                            raise ValueError(
-                                "sweep axis %r needs an adversary spec" % axis
-                            )
-                        child.adversary.params[field_name] = value
-                    elif scope == "protocol":
-                        child.protocol[field_name] = value
-                    else:
-                        child.sim[field_name] = value
-                    child.parameters[field_name] = value
-                    child.name = "%s %s=%s" % (point.name, field_name, value)
+                    child = clone_point_scenario(point)
+                    apply_axis_value(child, axis, value, SWEEP_SCOPES)
                     expanded.append(child)
             points = expanded
         return points

@@ -16,6 +16,7 @@ session produces bit-identical metrics to a serial one.
 from __future__ import annotations
 
 import concurrent.futures
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -130,6 +131,10 @@ class Session:
     store: Optional[ResultStore] = None
     registry: AdversaryRegistry = field(default=DEFAULT_REGISTRY, repr=False)
     _run_cache: Dict[str, RunMetrics] = field(default_factory=dict, repr=False)
+    _pool: Optional[concurrent.futures.ProcessPoolExecutor] = field(
+        default=None, repr=False
+    )
+    _pool_finalizer: Optional[weakref.finalize] = field(default=None, repr=False)
 
     # -- public API --------------------------------------------------------------------
 
@@ -216,10 +221,9 @@ class Session:
                 (task.scenario.to_json(indent=None), task.seed, task.baseline)
                 for task in pending
             ]
-            max_workers = min(self.workers, len(pending))
-            with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
-                futures = [pool.submit(_execute_payload, item) for item in payloads]
-                metrics = [future.result() for future in futures]
+            pool = self._executor()
+            futures = [pool.submit(_execute_payload, item) for item in payloads]
+            metrics = [future.result() for future in futures]
         else:
             metrics = [
                 execute_point(
@@ -275,6 +279,43 @@ class Session:
         if self.store is not None:
             self.store.save_json("result", scenario.digest, result.to_dict())
         return result
+
+    def _executor(self) -> concurrent.futures.ProcessPoolExecutor:
+        """The session's process pool, spawned once and reused across batches.
+
+        Re-spawning a pool per ``run_all`` call paid the worker startup cost
+        (interpreter + imports) for every scenario batch; a campaign
+        streaming dozens of batches through one session now amortizes it.
+        Results are gathered in submission order, so pool reuse cannot
+        affect determinism.
+        """
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers
+            )
+            # A pool that outlives its last batch must still be shut down —
+            # at the latest before interpreter teardown, or
+            # concurrent.futures' own exit hook trips over half-finalized
+            # pipes ("Bad file descriptor" noise on stderr).  A weakref
+            # finalizer fires on session garbage collection *or* at exit
+            # without keeping the session (and its run cache) alive.
+            self._pool_finalizer = weakref.finalize(
+                self, concurrent.futures.ProcessPoolExecutor.shutdown, self._pool
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the process pool (a later run lazily re-spawns it)."""
+        if self._pool_finalizer is not None:
+            self._pool_finalizer()
+            self._pool_finalizer = None
+        self._pool = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def clear_cache(self) -> None:
         """Drop the in-memory per-seed cache (the store is left untouched)."""

@@ -44,11 +44,27 @@ class ResultStore:
         return self.root / ("%s-%s.json" % (kind, digest))
 
     def save_json(self, kind: str, digest: str, payload: object) -> Path:
-        """Atomically write one artifact and return its path."""
+        """Atomically write one artifact and return its path.
+
+        The payload lands in a uniquely named temp file first and is moved
+        into place with ``os.replace``, so concurrent writers (parallel
+        campaign workers sharing one store) can never leave a torn JSON
+        artifact under the final name — a reader sees the old content or
+        the new, never a prefix.  Temp files orphaned by a kill are swept by
+        :meth:`prune` (``repro-experiments store prune``).
+        """
         path = self.path_for(kind, digest)
-        handle, tmp_name = tempfile.mkstemp(
-            prefix=path.name + ".", suffix=".tmp", dir=str(self.root)
-        )
+        try:
+            handle, tmp_name = tempfile.mkstemp(
+                prefix=path.name + ".", suffix=".tmp", dir=str(self.root)
+            )
+        except FileNotFoundError:
+            # The store directory was removed out from under us (tmpdir
+            # cleanup, aggressive prune); recreate it and retry once.
+            self.root.mkdir(parents=True, exist_ok=True)
+            handle, tmp_name = tempfile.mkstemp(
+                prefix=path.name + ".", suffix=".tmp", dir=str(self.root)
+            )
         try:
             with os.fdopen(handle, "w", encoding="utf-8") as tmp:
                 json.dump(payload, tmp, indent=2, sort_keys=True)
@@ -98,6 +114,30 @@ class ResultStore:
         """Delete every artifact; returns the number removed."""
         removed = 0
         for path in self.artifacts():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def prune(self, kind: Optional[str] = None) -> int:
+        """Sweep orphaned temp files, plus all artifacts of ``kind`` if given.
+
+        Killed or crashed campaign workers can leave ``*.tmp`` files behind
+        (never under a final artifact name — writes are atomic); pruning
+        removes them.  With ``kind`` (e.g. ``"runs"``, ``"result"``,
+        ``"campaign"``), every artifact of that kind is removed too, which
+        invalidates exactly that cache layer without touching the others.
+        Returns the number of files removed.
+        """
+        targets = list(self.root.glob("*.tmp"))
+        if kind is not None:
+            # Validate the kind the same way path_for does.
+            self.path_for(kind, "x")
+            targets.extend(self.root.glob("%s-*.json" % kind))
+        removed = 0
+        for path in targets:
             try:
                 path.unlink()
                 removed += 1

@@ -11,6 +11,11 @@ table:
 * ``table1``          — Table 1 (brute-force adversary defection points)
 * ``ablation``        — the defense ablations described in DESIGN.md
 * ``run``             — any scenario JSON file (see ``repro.api.Scenario``)
+* ``campaign``        — declarative parameter-grid campaigns
+  (``run`` / ``status`` / ``resume`` / ``report`` over a campaign JSON file
+  or a named bench artifact), resumable via the digest-keyed store
+* ``store``           — store housekeeping (``prune`` torn temp files or one
+  artifact kind)
 * ``list-adversaries``— the registered attack strategies
 * ``bench``           — the figure-benchmark suite with result-digest checks
   against the committed baseline, emitting the ``BENCH_PR2.json`` trajectory
@@ -26,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from . import units
@@ -34,9 +40,12 @@ from .api import (
     DEFAULT_REGISTRY,
     AdversaryEntry,
     AdversarySpec,
+    Campaign,
+    CampaignRunner,
     ResultStore,
     Scenario,
     Session,
+    export_rows,
 )
 from .api.session import ExperimentResult
 from .config import ProtocolConfig, SimulationConfig, scaled_config
@@ -293,6 +302,152 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_campaign(reference: str) -> Campaign:
+    """Resolve a campaign reference: a JSON file path or a bench artifact name."""
+    path = Path(reference)
+    if path.exists():
+        try:
+            return Campaign.load(path)
+        except KeyError as error:
+            raise SystemExit(
+                "%s is not a campaign file (missing %s); scenario JSON runs "
+                "via `repro-experiments run`" % (reference, error)
+            )
+    from .experiments import bench as bench_module
+
+    if reference in bench_module.ARTIFACTS:
+        return bench_module.artifact_campaign(reference)
+    raise SystemExit(
+        "no campaign file %r and no bench artifact of that name (known artifacts: %s)"
+        % (reference, ", ".join(sorted(bench_module.ARTIFACTS)))
+    )
+
+
+def _campaign_runner(args: argparse.Namespace) -> CampaignRunner:
+    return CampaignRunner(_session(args))
+
+
+def _print_campaign_rows(campaign: Campaign, results) -> None:
+    rows = export_rows(campaign.exporter, results)
+    columns: List[str] = []
+    for row in rows:
+        columns.extend(key for key in row if key not in columns)
+    _print_rows(rows, columns)
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    campaign = _load_campaign(args.campaign)
+    runner = _campaign_runner(args)
+    results = runner.run(campaign, max_points=args.max_points)
+    total = len(campaign)
+    if len(results) < total:
+        print(
+            "%s: %d/%d points complete" % (campaign.name, len(results), total)
+        )
+        if runner.store is not None:
+            print(
+                "resume with: repro-experiments campaign resume %s --store %s"
+                % (args.campaign, args.store)
+            )
+        else:
+            print("(no --store attached, nothing was checkpointed)")
+        return 0
+    print(
+        "Campaign %s (digest %s): %d points complete"
+        % (campaign.name, campaign.digest[:12], len(results))
+    )
+    _print_campaign_rows(campaign, results)
+    if args.store:
+        print("Results persisted under %s (digest-keyed JSON)." % args.store)
+    return 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    campaign = _load_campaign(args.campaign)
+    runner = _campaign_runner(args)
+    status = runner.status(campaign)
+    print(status.summary())
+    done = {point.index for point in status.completed}
+    rows = [
+        {
+            "index": point.index,
+            "state": "complete" if point.index in done else "pending",
+            "digest": point.digest[:12],
+            "label": point.label,
+        }
+        for point in campaign.expand()
+    ]
+    _print_rows(rows, ["index", "state", "digest", "label"])
+    return 0
+
+
+def _cmd_campaign_resume(args: argparse.Namespace) -> int:
+    campaign = _load_campaign(args.campaign)
+    runner = _campaign_runner(args)
+    if runner.store is None:
+        print("campaign resume needs --store (nothing was checkpointed without one)")
+        return 2
+    results = runner.resume(campaign)
+    print(
+        "Campaign %s (digest %s): %d points complete"
+        % (campaign.name, campaign.digest[:12], len(results))
+    )
+    _print_campaign_rows(campaign, results)
+    return 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from .experiments import bench as bench_module
+
+    campaign = _load_campaign(args.campaign)
+    runner = _campaign_runner(args)
+    if runner.store is None:
+        print("campaign report needs --store (it reads persisted results)")
+        return 2
+    try:
+        results = runner.result_set(campaign)
+    except LookupError as error:
+        print(str(error))
+        print("run or resume the campaign first")
+        return 2
+    rows = export_rows(campaign.exporter, results)
+    digest = bench_module.digest_rows(rows)
+    print("Campaign %s report (%d rows)" % (campaign.name, len(rows)))
+    _print_campaign_rows(campaign, results)
+    print("result digest: %s" % digest)
+    if args.check_digest:
+        baseline = bench_module.load_baseline(Path(args.check_digest))
+        key = args.artifact or campaign.name
+        if baseline is None or key not in baseline:
+            print(
+                "no baseline digest for %r in %s" % (key, args.check_digest)
+            )
+            return 1
+        if digest != baseline[key]:
+            print(
+                "RESULT DIGEST DRIFT: %s != baseline %s"
+                % (digest[:16], baseline[key][:16])
+            )
+            return 1
+        print("result digest matches the committed baseline for %r" % key)
+    return 0
+
+
+def _cmd_store_prune(args: argparse.Namespace) -> int:
+    if not args.store:
+        print("store prune needs --store DIR")
+        return 2
+    store = ResultStore(args.store)
+    try:
+        removed = store.prune(kind=args.kind)
+    except ValueError as error:
+        print(str(error))
+        return 2
+    what = "temp files" if args.kind is None else "temp files and %r artifacts" % args.kind
+    print("pruned %d file(s) (%s) from %s" % (removed, what, args.store))
+    return 0
+
+
 def _cmd_list_adversaries(args: argparse.Namespace) -> int:
     rows = [
         {
@@ -380,6 +535,83 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_session_arguments(run_parser)
     run_parser.set_defaults(func=_cmd_run)
+
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="declarative parameter-grid campaigns (run/status/resume/report)",
+    )
+    campaign_sub = campaign_parser.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    def _campaign_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "campaign",
+            help="a campaign JSON file, or a bench artifact name "
+            "(e.g. fig2_baseline; see `bench`)",
+        )
+        _add_session_arguments(sub)
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="run a campaign, resuming from the store when possible"
+    )
+    _campaign_common(campaign_run)
+    campaign_run.add_argument(
+        "--max-points",
+        type=int,
+        default=None,
+        help="stop after executing N pending points (checkpoint + exit; "
+        "finish later with `campaign resume`)",
+    )
+    campaign_run.set_defaults(func=_cmd_campaign_run)
+
+    campaign_status = campaign_sub.add_parser(
+        "status", help="show which campaign points the store already holds"
+    )
+    _campaign_common(campaign_status)
+    campaign_status.set_defaults(func=_cmd_campaign_status)
+
+    campaign_resume = campaign_sub.add_parser(
+        "resume", help="finish the pending points of a checkpointed campaign"
+    )
+    _campaign_common(campaign_resume)
+    campaign_resume.set_defaults(func=_cmd_campaign_resume)
+
+    campaign_report = campaign_sub.add_parser(
+        "report", help="rebuild the figure rows (and digest) from the store"
+    )
+    _campaign_common(campaign_report)
+    campaign_report.add_argument(
+        "--check-digest",
+        default=None,
+        metavar="BASELINE",
+        help="fail unless the row digest matches this bench baseline JSON "
+        "(e.g. benchmarks/bench_baseline.json)",
+    )
+    campaign_report.add_argument(
+        "--artifact",
+        default=None,
+        help="baseline key to compare against (default: the campaign name)",
+    )
+    campaign_report.set_defaults(func=_cmd_campaign_report)
+
+    store_parser = subparsers.add_parser(
+        "store", help="result-store housekeeping"
+    )
+    store_sub = store_parser.add_subparsers(dest="store_command", required=True)
+    store_prune = store_sub.add_parser(
+        "prune",
+        help="remove torn temp files (and optionally one artifact kind)",
+    )
+    store_prune.add_argument(
+        "--store", required=True, metavar="DIR", help="the store directory to prune"
+    )
+    store_prune.add_argument(
+        "--kind",
+        default=None,
+        help="also remove every artifact of this kind (runs, result, campaign)",
+    )
+    store_prune.set_defaults(func=_cmd_store_prune)
 
     list_parser = subparsers.add_parser(
         "list-adversaries", help="list registered attack strategies"

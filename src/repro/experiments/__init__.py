@@ -24,7 +24,16 @@ pre-Scenario entry points (``run_single``/``run_many``/
 ``run_attack_experiment``), kept as shims over the same machinery.
 """
 
-from .attacks import attack_sweep_rows, attack_sweep_scenario
+from .attacks import attack_sweep_campaign, attack_sweep_rows, attack_sweep_scenario
+
+# Importing the artifact modules registers their named row exporters
+# ("figure2", "table1", "ablation_*"), so `repro.api.resultset.export_rows`
+# can resolve any campaign loaded from JSON after `import repro.experiments`.
+from . import ablation as _ablation  # noqa: F401
+from . import admission_attack as _admission_attack  # noqa: F401
+from . import baseline as _baseline  # noqa: F401
+from . import effortful as _effortful  # noqa: F401
+from . import pipe_stoppage as _pipe_stoppage  # noqa: F401
 from .runner import ExperimentResult, run_attack_experiment, run_single
 from .world import World, build_world
 from .reporting import format_table
@@ -32,6 +41,7 @@ from .reporting import format_table
 __all__ = [
     "World",
     "build_world",
+    "attack_sweep_campaign",
     "attack_sweep_scenario",
     "attack_sweep_rows",
     "run_single",

@@ -2,9 +2,10 @@
 
 The paper argues for a *combination* of defenses; these ablations quantify
 what each one buys by re-running an attack with a single defense weakened or
-disabled.  Every variant is a declarative :class:`~repro.api.Scenario` — the
-weakened defense is just a protocol-config override — executed through the
-shared :class:`~repro.api.Session`:
+disabled.  Every ablation is a declarative
+:class:`~repro.api.campaign.Campaign` — the weakened defense is just a
+protocol-config axis over the base scenario — executed through the shared
+:class:`~repro.api.Session`:
 
 * **Admission control** — the garbage-invitation flood with the
   admission-control filter enabled vs. disabled
@@ -19,7 +20,8 @@ shared :class:`~repro.api.Session`:
 * **Desynchronization** — normal individually-scheduled solicitation spread
   over most of the poll interval vs. a compressed window where all votes must
   be produced almost simultaneously, which creates scheduling contention and
-  refusals even without an attack.
+  refusals even without an attack.  (This one is a zip axis: the ``mode``
+  label advances in lockstep with the two protocol fields it describes.)
 """
 
 from __future__ import annotations
@@ -27,10 +29,61 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from .. import units
-from ..api import AdversarySpec, Scenario, Session
-from ..api.session import default_session
+from ..api import AdversarySpec, Campaign, Scenario, Session
+from ..api.campaign import campaign_rows
+from ..api.resultset import ResultSet, row_exporter
 from ..config import ProtocolConfig, SimulationConfig
 from .configs import resolve_base_configs
+
+
+# -- admission control ------------------------------------------------------------------
+
+
+def admission_ablation_campaign(
+    attack_duration_days: float = 120.0,
+    coverage: float = 1.0,
+    invitations_per_victim_per_day: float = 96.0,
+    seeds: Sequence[int] = (1,),
+    protocol_config: Optional[ProtocolConfig] = None,
+    sim_config: Optional[SimulationConfig] = None,
+    name: str = "ablation-admission",
+) -> Campaign:
+    """Garbage flood with the admission-control defense on vs. off."""
+    base_protocol, base_sim = resolve_base_configs(protocol_config, sim_config)
+    base = Scenario.from_configs(
+        name,
+        base_protocol,
+        base_sim,
+        adversary=AdversarySpec(
+            "admission_flood",
+            {
+                "attack_duration_days": attack_duration_days,
+                "coverage": coverage,
+                "invitations_per_victim_per_day": invitations_per_victim_per_day,
+            },
+        ),
+        seeds=tuple(seeds),
+    )
+    campaign = Campaign(name=name, scenario=base, exporter="ablation_admission")
+    campaign.add_axis(**{"protocol.admission_control_enabled": [True, False]})
+    return campaign
+
+
+@row_exporter("ablation_admission")
+def admission_ablation_export(results: ResultSet) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for point in results:
+        assessment = point.assessment
+        rows.append(
+            {
+                "admission_control": point.parameters["admission_control_enabled"],
+                "coefficient_of_friction": assessment.coefficient_of_friction,
+                "delay_ratio": assessment.delay_ratio,
+                "access_failure_probability": assessment.access_failure_probability,
+                "loyal_effort": point.attacked.effort.loyal,
+            }
+        )
+    return rows
 
 
 def admission_control_ablation(
@@ -43,37 +96,64 @@ def admission_control_ablation(
     session: Optional[Session] = None,
 ) -> List[Dict[str, object]]:
     """Garbage-invitation flood with the admission-control defense on vs. off."""
-    base_protocol, base_sim = resolve_base_configs(protocol_config, sim_config)
-    session = session if session is not None else default_session()
+    campaign = admission_ablation_campaign(
+        attack_duration_days=attack_duration_days,
+        coverage=coverage,
+        invitations_per_victim_per_day=invitations_per_victim_per_day,
+        seeds=seeds,
+        protocol_config=protocol_config,
+        sim_config=sim_config,
+    )
+    return campaign_rows(campaign, session=session)
 
-    variants = (True, False)
-    scenarios = [
-        Scenario.from_configs(
-            "admission-flood admission_control=%s" % enabled,
-            base_protocol.with_overrides(admission_control_enabled=enabled),
-            base_sim,
-            adversary=AdversarySpec(
-                "admission_flood",
-                {
-                    "attack_duration_days": attack_duration_days,
-                    "coverage": coverage,
-                    "invitations_per_victim_per_day": invitations_per_victim_per_day,
-                },
-            ),
-            seeds=tuple(seeds),
-        )
-        for enabled in variants
-    ]
+
+# -- effort balancing -------------------------------------------------------------------
+
+
+def effort_ablation_campaign(
+    introductory_fractions: Sequence[float] = (0.20, 0.02),
+    seeds: Sequence[int] = (1,),
+    protocol_config: Optional[ProtocolConfig] = None,
+    sim_config: Optional[SimulationConfig] = None,
+    attempts_per_victim_au_per_day: float = 5.0,
+    name: str = "ablation-effort",
+) -> Campaign:
+    """Reservation attack under a sweep of introductory-effort tolls."""
+    base_protocol, base_sim = resolve_base_configs(protocol_config, sim_config)
+    base = Scenario.from_configs(
+        name,
+        base_protocol,
+        base_sim,
+        adversary=AdversarySpec(
+            "brute_force",
+            {
+                "defection": "intro",
+                "attempts_per_victim_au_per_day": attempts_per_victim_au_per_day,
+            },
+        ),
+        seeds=tuple(seeds),
+    )
+    campaign = Campaign(name=name, scenario=base, exporter="ablation_effort")
+    campaign.add_axis(
+        **{"protocol.introductory_effort_fraction": list(introductory_fractions)}
+    )
+    return campaign
+
+
+@row_exporter("ablation_effort")
+def effort_ablation_export(results: ResultSet) -> List[Dict[str, object]]:
     rows: List[Dict[str, object]] = []
-    for enabled, result in zip(variants, session.run_all(scenarios)):
-        assessment = result.assessment
+    for point in results:
+        assessment = point.assessment
         rows.append(
             {
-                "admission_control": enabled,
+                "introductory_effort_fraction": (
+                    point.parameters["introductory_effort_fraction"]
+                ),
+                "cost_ratio": assessment.cost_ratio,
                 "coefficient_of_friction": assessment.coefficient_of_friction,
-                "delay_ratio": assessment.delay_ratio,
                 "access_failure_probability": assessment.access_failure_probability,
-                "loyal_effort": assessment.attacked.loyal_effort,
+                "adversary_effort": point.attacked.effort.adversary,
             }
         )
     return rows
@@ -88,35 +168,79 @@ def effort_balancing_ablation(
     session: Optional[Session] = None,
 ) -> List[Dict[str, object]]:
     """Reservation (INTRO-defection) attack under different introductory tolls."""
-    base_protocol, base_sim = resolve_base_configs(protocol_config, sim_config)
-    session = session if session is not None else default_session()
+    campaign = effort_ablation_campaign(
+        introductory_fractions=introductory_fractions,
+        seeds=seeds,
+        protocol_config=protocol_config,
+        sim_config=sim_config,
+        attempts_per_victim_au_per_day=attempts_per_victim_au_per_day,
+    )
+    return campaign_rows(campaign, session=session)
 
-    scenarios = [
-        Scenario.from_configs(
-            "reservation-attack intro_fraction=%g" % fraction,
-            base_protocol.with_overrides(introductory_effort_fraction=fraction),
-            base_sim,
-            adversary=AdversarySpec(
-                "brute_force",
-                {
-                    "defection": "intro",
-                    "attempts_per_victim_au_per_day": attempts_per_victim_au_per_day,
-                },
-            ),
-            seeds=tuple(seeds),
-        )
-        for fraction in introductory_fractions
-    ]
+
+# -- desynchronization ------------------------------------------------------------------
+
+
+def desync_ablation_campaign(
+    seeds: Sequence[int] = (1,),
+    protocol_config: Optional[ProtocolConfig] = None,
+    sim_config: Optional[SimulationConfig] = None,
+    vote_cost_as_fraction_of_interval: float = 0.025,
+    name: str = "ablation-desync",
+) -> Campaign:
+    """Spread-out vs. compressed solicitation as one zip-axis campaign.
+
+    A laptop-scale population cannot reproduce the paper's 600-AU load
+    directly, so the heavy-load regime is emulated by scaling the per-vote
+    compute cost: each vote costs ``vote_cost_as_fraction_of_interval`` of
+    the inter-poll interval (the aggregate busyness a peer holding hundreds
+    of AUs would experience).  Under that load, the desynchronized protocol
+    (votes due only at evaluation time, most of an interval away) lets
+    voters queue the work, while the compressed variant (all solicitation
+    and voting squeezed into a few days) runs into scheduling refusals and
+    inquorate polls — the effect Section 5.2 describes.
+    """
+    base_protocol, base_sim = resolve_base_configs(protocol_config, sim_config)
+    # Emulate a heavily loaded peer: one vote costs a noticeable fraction of
+    # the poll interval.
+    vote_cost = base_protocol.poll_interval * vote_cost_as_fraction_of_interval
+    loaded_sim = base_sim.with_overrides(hash_rate=base_sim.au_size / vote_cost)
+    base = Scenario.from_configs(name, base_protocol, loaded_sim, seeds=tuple(seeds))
+    campaign = Campaign(name=name, scenario=base, exporter="ablation_desync")
+    campaign.add_axis(
+        **{
+            "params.mode": ["desynchronized", "synchronized"],
+            "protocol.solicitation_fraction": [
+                base_protocol.solicitation_fraction,
+                0.05,
+            ],
+            "protocol.outer_circle_fraction": [
+                base_protocol.outer_circle_fraction,
+                0.04,
+            ],
+        }
+    )
+    return campaign
+
+
+@row_exporter("ablation_desync")
+def desync_ablation_export(results: ResultSet) -> List[Dict[str, object]]:
     rows: List[Dict[str, object]] = []
-    for fraction, result in zip(introductory_fractions, session.run_all(scenarios)):
-        assessment = result.assessment
+    for point in results:
+        averaged = point.attacked
         rows.append(
             {
-                "introductory_effort_fraction": fraction,
-                "cost_ratio": assessment.cost_ratio,
-                "coefficient_of_friction": assessment.coefficient_of_friction,
-                "access_failure_probability": assessment.access_failure_probability,
-                "adversary_effort": assessment.attacked.adversary_effort,
+                "mode": point.parameters["mode"],
+                "successful_polls": averaged.polls.successful,
+                "failed_polls": averaged.polls.failed,
+                "success_rate": averaged.polls.success_rate,
+                "refusal_rate": averaged.admission.refusal_rate,
+                "mean_time_between_successful_polls_days": (
+                    averaged.polls.mean_time_between_successful_polls / units.DAY
+                ),
+                "access_failure_probability": (
+                    averaged.damage.access_failure_probability
+                ),
             }
         )
     return rows
@@ -129,58 +253,11 @@ def desynchronization_ablation(
     vote_cost_as_fraction_of_interval: float = 0.025,
     session: Optional[Session] = None,
 ) -> List[Dict[str, object]]:
-    """Spread-out (desynchronized) vs. compressed (synchronized) solicitation.
-
-    A laptop-scale population cannot reproduce the paper's 600-AU load
-    directly, so the heavy-load regime is emulated by scaling the per-vote
-    compute cost: each vote costs ``vote_cost_as_fraction_of_interval`` of the
-    inter-poll interval (the aggregate busyness a peer holding hundreds of
-    AUs would experience).  Under that load, the desynchronized protocol
-    (votes due only at evaluation time, most of an interval away) lets voters
-    queue the work, while the compressed variant (all solicitation and voting
-    squeezed into a few days) runs into scheduling refusals and inquorate
-    polls — the effect Section 5.2 describes.
-    """
-    base_protocol, base_sim = resolve_base_configs(protocol_config, sim_config)
-    session = session if session is not None else default_session()
-
-    # Emulate a heavily loaded peer: one vote costs a noticeable fraction of
-    # the poll interval.
-    vote_cost = base_protocol.poll_interval * vote_cost_as_fraction_of_interval
-    loaded_sim = base_sim.with_overrides(hash_rate=base_sim.au_size / vote_cost)
-
-    variants = (
-        ("desynchronized", base_protocol),
-        (
-            "synchronized",
-            base_protocol.with_overrides(
-                solicitation_fraction=0.05, outer_circle_fraction=0.04
-            ),
-        ),
+    """Spread-out (desynchronized) vs. compressed (synchronized) solicitation."""
+    campaign = desync_ablation_campaign(
+        seeds=seeds,
+        protocol_config=protocol_config,
+        sim_config=sim_config,
+        vote_cost_as_fraction_of_interval=vote_cost_as_fraction_of_interval,
     )
-    scenarios = [
-        Scenario.from_configs(
-            "solicitation %s" % label, protocol, loaded_sim, seeds=tuple(seeds)
-        )
-        for label, protocol in variants
-    ]
-    rows: List[Dict[str, object]] = []
-    for (label, _), result in zip(variants, session.run_all(scenarios)):
-        averaged = result.assessment.attacked
-        total_polls = max(1, averaged.total_polls)
-        invitations_sent = max(1.0, averaged.extras.get("invitations_sent", 0.0))
-        rows.append(
-            {
-                "mode": label,
-                "successful_polls": averaged.successful_polls,
-                "failed_polls": averaged.failed_polls,
-                "success_rate": averaged.successful_polls / total_polls,
-                "refusal_rate": averaged.extras.get("invitations_refused", 0.0)
-                / invitations_sent,
-                "mean_time_between_successful_polls_days": (
-                    averaged.mean_time_between_successful_polls / units.DAY
-                ),
-                "access_failure_probability": averaged.access_failure_probability,
-            }
-        )
-    return rows
+    return campaign_rows(campaign, session=session)

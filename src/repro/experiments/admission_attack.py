@@ -24,10 +24,10 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from .. import units
-from ..api import Scenario, Session
+from ..api import Campaign, Scenario, Session
 from ..api.registry import DEFAULT_REGISTRY
 from ..config import ProtocolConfig, SimulationConfig
-from .attacks import attack_sweep_rows, attack_sweep_scenario
+from .attacks import attack_sweep_campaign, attack_sweep_rows, attack_sweep_scenario
 from .reporting import format_table
 
 
@@ -70,6 +70,30 @@ def admission_flood_scenario(
         sim_config=sim_config,
         recuperation_days=recuperation_days,
         name="admission-flood",
+        invitations_per_victim_per_day=invitations_per_victim_per_day,
+    )
+
+
+def admission_flood_campaign(
+    durations_days: Sequence[float] = (10.0, 90.0, 270.0),
+    coverages: Sequence[float] = (0.4, 1.0),
+    seeds: Sequence[int] = (1,),
+    protocol_config: Optional[ProtocolConfig] = None,
+    sim_config: Optional[SimulationConfig] = None,
+    recuperation_days: float = 30.0,
+    invitations_per_victim_per_day: float = 4.0,
+    name: str = "admission-flood",
+) -> Campaign:
+    """The Figures 6–8 duration x coverage grid as a campaign."""
+    return attack_sweep_campaign(
+        "admission_flood",
+        durations_days=durations_days,
+        coverages=coverages,
+        seeds=seeds,
+        protocol_config=protocol_config,
+        sim_config=sim_config,
+        recuperation_days=recuperation_days,
+        name=name,
         invitations_per_victim_per_day=invitations_per_victim_per_day,
     )
 

@@ -1,19 +1,22 @@
-"""Generic duration x coverage attack sweeps over registry adversaries.
+"""Generic duration x coverage attack campaigns over registry adversaries.
 
 Both scheduled attack families of the paper (pipe stoppage, Figures 3–5;
 admission flood, Figures 6–8) share one experimental shape: sweep the attack
 duration and the population coverage, then report the paper's three metrics
 per point.  This module expresses that shape once, as a declarative
-:class:`~repro.api.Scenario` with sweep axes, so the per-figure modules and
-the generated CLI subcommands are thin labels over the same machinery.
+:class:`~repro.api.campaign.Campaign` (coverage axis outermost, duration axis
+innermost) plus the ``"attack_sweep"`` row exporter, so the per-figure
+modules and the generated CLI subcommands are thin labels over the same
+machinery.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from ..api import AdversarySpec, Scenario, Session
-from ..api.session import default_session
+from ..api import AdversarySpec, Campaign, Scenario, Session
+from ..api.campaign import campaign_rows
+from ..api.resultset import ResultSet, row_exporter
 from ..config import ProtocolConfig, SimulationConfig
 from .configs import resolve_base_configs
 
@@ -51,32 +54,69 @@ def attack_sweep_scenario(
     return scenario
 
 
-def attack_sweep_rows(
-    scenario: Scenario,
-    session: Optional[Session] = None,
-) -> List[Dict[str, object]]:
-    """Run a duration x coverage sweep scenario and emit one row per point."""
-    session = session if session is not None else default_session()
-    _, sim = scenario.resolve()
-    inflation = max(sim.storage_damage_inflation, 1e-9)
+def attack_sweep_campaign(
+    kind: str,
+    durations_days: Sequence[float],
+    coverages: Sequence[float],
+    seeds: Sequence[int] = (1,),
+    protocol_config: Optional[ProtocolConfig] = None,
+    sim_config: Optional[SimulationConfig] = None,
+    recuperation_days: float = 30.0,
+    name: Optional[str] = None,
+    **extra_params: object,
+) -> Campaign:
+    """The duration x coverage grid as a campaign with the figure exporter."""
+    scenario = attack_sweep_scenario(
+        kind,
+        durations_days=durations_days,
+        coverages=coverages,
+        seeds=seeds,
+        protocol_config=protocol_config,
+        sim_config=sim_config,
+        recuperation_days=recuperation_days,
+        name=name,
+        **extra_params,
+    )
+    return Campaign.from_sweep(scenario, name=name or kind, exporter="attack_sweep")
+
+
+@row_exporter("attack_sweep")
+def attack_sweep_export(results: ResultSet) -> List[Dict[str, object]]:
+    """One Figures 3–8 row per point, built from the typed observations."""
     rows: List[Dict[str, object]] = []
-    for result in session.sweep(scenario):
-        assessment = result.assessment
+    for point in results:
+        _, sim = point.scenario.resolve()
+        inflation = max(sim.storage_damage_inflation, 1e-9)
+        assessment = point.assessment
         rows.append(
             {
-                "attack_duration_days": result.parameters.get("attack_duration_days"),
-                "coverage": result.parameters.get("coverage"),
+                "attack_duration_days": point.parameters.get("attack_duration_days"),
+                "coverage": point.parameters.get("coverage"),
                 "access_failure_probability": assessment.access_failure_probability,
                 "baseline_access_failure_probability": (
-                    assessment.baseline.access_failure_probability
+                    point.baseline.damage.access_failure_probability
                 ),
                 "delay_ratio": assessment.delay_ratio,
                 "coefficient_of_friction": assessment.coefficient_of_friction,
-                "successful_polls": assessment.attacked.successful_polls,
-                "failed_polls": assessment.attacked.failed_polls,
+                "successful_polls": point.attacked.polls.successful,
+                "failed_polls": point.attacked.polls.failed,
                 "normalized_access_failure_probability": (
                     assessment.access_failure_probability / inflation
                 ),
             }
         )
     return rows
+
+
+def attack_sweep_rows(
+    scenario: Scenario,
+    session: Optional[Session] = None,
+) -> List[Dict[str, object]]:
+    """Run a duration x coverage sweep scenario and emit one row per point.
+
+    (The sweep scenario is converted into the equivalent campaign, so the
+    expanded points — and their digests — are identical to
+    ``Scenario.expand()``.)
+    """
+    campaign = Campaign.from_sweep(scenario, exporter="attack_sweep")
+    return campaign_rows(campaign, session=session)

@@ -21,8 +21,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from .. import units
-from ..api import Scenario, Session
-from ..api.session import default_session
+from ..api import Campaign, Scenario, Session
+from ..api.campaign import campaign_rows
+from ..api.resultset import ResultSet, row_exporter
 from ..config import ProtocolConfig, SimulationConfig
 from .configs import resolve_base_configs
 from .reporting import format_table
@@ -56,6 +57,74 @@ def baseline_scenario(
     )
 
 
+def baseline_campaign(
+    poll_intervals_months: Sequence[float] = (2.0, 3.0, 6.0, 12.0),
+    storage_mtbf_years: Sequence[float] = (1.0, 5.0),
+    collection_sizes: Sequence[int] = (2,),
+    seeds: Sequence[int] = (1,),
+    protocol_config: Optional[ProtocolConfig] = None,
+    sim_config: Optional[SimulationConfig] = None,
+    name: str = "figure2-baseline",
+) -> Campaign:
+    """The Figure 2 grid (collection x MTBF x poll interval) as a campaign.
+
+    The poll-interval axis is a zip axis: the ``protocol.poll_interval``
+    override (seconds) advances in lockstep with the human-readable
+    ``params.poll_interval_months`` row label.  Likewise the MTBF axis pins
+    the paper's ``storage_mtbf_years`` label to the
+    ``sim.storage_mtbf_disk_years`` config field.
+    """
+    base_protocol, base_sim = resolve_base_configs(protocol_config, sim_config)
+    base = Scenario.from_configs(name, base_protocol, base_sim, seeds=tuple(seeds))
+    campaign = Campaign(name=name, scenario=base, exporter="figure2")
+    campaign.add_axis(**{"sim.n_aus": list(collection_sizes)})
+    campaign.add_axis(
+        **{
+            "sim.storage_mtbf_disk_years": list(storage_mtbf_years),
+            "params.storage_mtbf_years": list(storage_mtbf_years),
+        }
+    )
+    campaign.add_axis(
+        **{
+            "protocol.poll_interval": [
+                units.months(interval) for interval in poll_intervals_months
+            ],
+            "params.poll_interval_months": list(poll_intervals_months),
+        }
+    )
+    return campaign
+
+
+@row_exporter("figure2")
+def figure2_export(results: ResultSet) -> List[Dict[str, object]]:
+    """One Figure 2 row per grid point, built from the typed observations."""
+    rows: List[Dict[str, object]] = []
+    for point in results:
+        _, sim = point.scenario.resolve()
+        inflation = max(sim.storage_damage_inflation, 1e-9)
+        averaged = point.attacked
+        rows.append(
+            {
+                "poll_interval_months": point.parameters["poll_interval_months"],
+                "storage_mtbf_years": point.parameters["storage_mtbf_years"],
+                "n_aus": point.parameters["n_aus"],
+                "access_failure_probability": (
+                    averaged.damage.access_failure_probability
+                ),
+                "normalized_access_failure_probability": (
+                    averaged.damage.access_failure_probability / inflation
+                ),
+                "successful_polls": averaged.polls.successful,
+                "failed_polls": averaged.polls.failed,
+                "mean_time_between_successful_polls_days": (
+                    averaged.polls.mean_time_between_successful_polls / units.DAY
+                ),
+                "effort_per_successful_poll": averaged.effort.per_successful_poll,
+            }
+        )
+    return rows
+
+
 def baseline_sweep(
     poll_intervals_months: Sequence[float] = (2.0, 3.0, 6.0, 12.0),
     storage_mtbf_years: Sequence[float] = (1.0, 5.0),
@@ -68,47 +137,19 @@ def baseline_sweep(
     """Sweep poll interval x storage MTBF x collection size without an attack.
 
     Returns one row per parameter combination with the measured access
-    failure probability and supporting counters.
+    failure probability and supporting counters.  The grid is expanded and
+    executed as one :class:`Campaign`, so every (grid point, seed) run lands
+    on the session's task batch together.
     """
-    session = session if session is not None else default_session()
-    scenarios = [
-        baseline_scenario(
-            poll_interval_months=interval_months,
-            storage_mtbf_years=mtbf,
-            n_aus=n_aus,
-            seeds=seeds,
-            protocol_config=protocol_config,
-            sim_config=sim_config,
-        )
-        for n_aus in collection_sizes
-        for mtbf in storage_mtbf_years
-        for interval_months in poll_intervals_months
-    ]
-    # One batch: every (grid point, seed) run lands on the session's process
-    # pool together instead of point by point.
-    rows: List[Dict[str, object]] = []
-    for scenario, result in zip(scenarios, session.run_all(scenarios)):
-        _, sim = scenario.resolve()
-        averaged = result.assessment.attacked
-        inflation = max(sim.storage_damage_inflation, 1e-9)
-        rows.append(
-            {
-                "poll_interval_months": scenario.parameters["poll_interval_months"],
-                "storage_mtbf_years": scenario.parameters["storage_mtbf_years"],
-                "n_aus": scenario.parameters["n_aus"],
-                "access_failure_probability": averaged.access_failure_probability,
-                "normalized_access_failure_probability": (
-                    averaged.access_failure_probability / inflation
-                ),
-                "successful_polls": averaged.successful_polls,
-                "failed_polls": averaged.failed_polls,
-                "mean_time_between_successful_polls_days": (
-                    averaged.mean_time_between_successful_polls / units.DAY
-                ),
-                "effort_per_successful_poll": averaged.effort_per_successful_poll,
-            }
-        )
-    return rows
+    campaign = baseline_campaign(
+        poll_intervals_months=poll_intervals_months,
+        storage_mtbf_years=storage_mtbf_years,
+        collection_sizes=collection_sizes,
+        seeds=seeds,
+        protocol_config=protocol_config,
+        sim_config=sim_config,
+    )
+    return campaign_rows(campaign, session=session)
 
 
 def baseline_reference_point(

@@ -28,15 +28,16 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import units
 from ..api import Session
+from ..api.campaign import Campaign, CampaignRunner
+from ..api.resultset import export_rows
 from ..api.scenario import AdversarySpec, Scenario, canonical_json
 from ..config import ProtocolConfig, SimulationConfig
 from ..crypto.hashing import NONCE_STREAM_VERSION
 from . import ablation as ablation_module
-from .admission_attack import admission_attack_sweep
-from .attacks import attack_sweep_rows, attack_sweep_scenario
-from .baseline import baseline_sweep
-from .effortful import effortful_table
-from .pipe_stoppage import pipe_stoppage_sweep
+from .admission_attack import admission_flood_campaign
+from .baseline import baseline_campaign
+from .effortful import effortful_campaign
+from .pipe_stoppage import pipe_stoppage_campaign
 
 #: Seeds used for every benchmark data point (the paper averages 3 runs per
 #: point; benchmarks use 1 to stay fast).
@@ -113,169 +114,197 @@ def paper_smoke_scenario(
 
 
 # -- artifact registry -----------------------------------------------------------------
+#
+# Every artifact is a *campaign factory*: the figure's parameter grid as a
+# declarative :class:`Campaign` (named after the artifact, so
+# ``repro-experiments campaign run fig2_baseline`` and ``campaign report
+# --check-digest`` resolve it) at the laptop bench scale.
 
 
-def _fig2(session: Session) -> List[Dict[str, object]]:
+def _fig2_campaign() -> Campaign:
     protocol, sim = bench_configs()
-    return baseline_sweep(
+    return baseline_campaign(
         poll_intervals_months=(2.0, 3.0, 6.0, 12.0),
         storage_mtbf_years=(5.0,),
         collection_sizes=(1,),
         seeds=BENCH_SEEDS,
         protocol_config=protocol,
         sim_config=sim,
-        session=session,
+        name="fig2_baseline",
     )
 
 
-def _fig3(session: Session) -> List[Dict[str, object]]:
+def _fig3_campaign() -> Campaign:
     protocol, sim = bench_configs()
-    return pipe_stoppage_sweep(
+    return pipe_stoppage_campaign(
         durations_days=(10.0, 60.0, 150.0),
         coverages=(0.4, 1.0),
         seeds=BENCH_SEEDS,
         protocol_config=protocol,
         sim_config=sim,
         recuperation_days=30.0,
-        session=session,
+        name="fig3_pipe_stoppage",
     )
 
 
-def _fig4(session: Session) -> List[Dict[str, object]]:
+def _fig4_campaign() -> Campaign:
     protocol, sim = bench_configs()
-    return pipe_stoppage_sweep(
+    return pipe_stoppage_campaign(
         durations_days=(10.0, 120.0),
         coverages=(1.0,),
         seeds=BENCH_SEEDS,
         protocol_config=protocol,
         sim_config=sim,
         recuperation_days=20.0,
-        session=session,
+        name="fig4_delay_ratio",
     )
 
 
-def _fig5(session: Session) -> List[Dict[str, object]]:
+def _fig5_campaign() -> Campaign:
     protocol, sim = bench_configs()
-    return pipe_stoppage_sweep(
+    return pipe_stoppage_campaign(
         durations_days=(5.0, 120.0),
         coverages=(1.0,),
         seeds=BENCH_SEEDS,
         protocol_config=protocol,
         sim_config=sim,
         recuperation_days=20.0,
-        session=session,
+        name="fig5_friction",
     )
 
 
-def _fig6(session: Session) -> List[Dict[str, object]]:
+def _fig6_campaign() -> Campaign:
     protocol, sim = bench_configs()
-    return admission_attack_sweep(
+    return admission_flood_campaign(
         durations_days=(30.0, 200.0),
         coverages=(1.0,),
         seeds=BENCH_SEEDS,
         protocol_config=protocol,
         sim_config=sim,
         invitations_per_victim_per_day=6.0,
-        session=session,
+        name="fig6_admission",
     )
 
 
-def _fig7(session: Session) -> List[Dict[str, object]]:
+def _fig7_campaign() -> Campaign:
     protocol, sim = bench_configs()
-    return admission_attack_sweep(
+    return admission_flood_campaign(
         durations_days=(90.0, 200.0),
         coverages=(1.0,),
         seeds=BENCH_SEEDS,
         protocol_config=protocol,
         sim_config=sim,
         invitations_per_victim_per_day=6.0,
-        session=session,
+        name="fig7_admission_delay",
     )
 
 
-def _fig8(session: Session) -> List[Dict[str, object]]:
+def _fig8_campaign() -> Campaign:
     protocol, sim = bench_configs()
-    return admission_attack_sweep(
+    return admission_flood_campaign(
         durations_days=(200.0,),
         coverages=(0.4, 1.0),
         seeds=BENCH_SEEDS,
         protocol_config=protocol,
         sim_config=sim,
         invitations_per_victim_per_day=8.0,
-        session=session,
+        name="fig8_admission_friction",
     )
 
 
-def _table1(session: Session) -> List[Dict[str, object]]:
+def _table1_campaign() -> Campaign:
     from ..adversary.brute_force import DefectionPoint
 
     protocol, sim = bench_configs()
-    return effortful_table(
+    return effortful_campaign(
         defections=(DefectionPoint.INTRO, DefectionPoint.REMAINING, DefectionPoint.NONE),
         collection_sizes=(1,),
         seeds=BENCH_SEEDS,
         protocol_config=protocol,
         sim_config=sim,
         attempts_per_victim_au_per_day=5.0,
-        session=session,
+        name="table1_effortful",
     )
 
 
-def _ablation_admission(session: Session) -> List[Dict[str, object]]:
+def _ablation_admission_campaign() -> Campaign:
     protocol, sim = bench_configs()
-    return ablation_module.admission_control_ablation(
+    return ablation_module.admission_ablation_campaign(
         attack_duration_days=120.0,
         coverage=1.0,
         invitations_per_victim_per_day=96.0,
         seeds=BENCH_SEEDS,
         protocol_config=protocol,
         sim_config=sim,
-        session=session,
+        name="ablation_admission",
     )
 
 
-def _ablation_effort(session: Session) -> List[Dict[str, object]]:
+def _ablation_effort_campaign() -> Campaign:
     protocol, sim = bench_configs()
-    return ablation_module.effort_balancing_ablation(
+    return ablation_module.effort_ablation_campaign(
         introductory_fractions=(0.20, 0.02),
         seeds=BENCH_SEEDS,
         protocol_config=protocol,
         sim_config=sim,
         attempts_per_victim_au_per_day=5.0,
-        session=session,
+        name="ablation_effort",
     )
 
 
-def _ablation_desync(session: Session) -> List[Dict[str, object]]:
+def _ablation_desync_campaign() -> Campaign:
     protocol, sim = bench_configs(n_aus=2)
-    return ablation_module.desynchronization_ablation(
+    return ablation_module.desync_ablation_campaign(
         seeds=BENCH_SEEDS,
         protocol_config=protocol,
         sim_config=sim,
-        session=session,
+        name="ablation_desync",
     )
 
 
-def _paper_smoke(session: Session) -> List[Dict[str, object]]:
-    scenario = paper_smoke_scenario()
-    return attack_sweep_rows(scenario, session=session)
+def _paper_smoke_campaign() -> Campaign:
+    return Campaign.from_sweep(
+        paper_smoke_scenario(), name="paper_smoke_100", exporter="attack_sweep"
+    )
 
 
-#: Every measured artifact, in report order: name -> (title, runner).
-ARTIFACTS: Dict[str, Tuple[str, Callable[[Session], List[Dict[str, object]]]]] = {
-    "fig2_baseline": ("Figure 2 - baseline access failure", _fig2),
-    "fig3_pipe_stoppage": ("Figure 3 - pipe stoppage access failure", _fig3),
-    "fig4_delay_ratio": ("Figure 4 - pipe stoppage delay ratio", _fig4),
-    "fig5_friction": ("Figure 5 - pipe stoppage friction", _fig5),
-    "fig6_admission": ("Figure 6 - admission flood access failure", _fig6),
-    "fig7_admission_delay": ("Figure 7 - admission flood delay ratio", _fig7),
-    "fig8_admission_friction": ("Figure 8 - admission flood friction", _fig8),
-    "table1_effortful": ("Table 1 - brute-force defection points", _table1),
-    "ablation_admission": ("Ablation - admission control on/off", _ablation_admission),
-    "ablation_effort": ("Ablation - introductory-effort toll", _ablation_effort),
-    "ablation_desync": ("Ablation - desynchronized solicitation", _ablation_desync),
-    "paper_smoke_100": ("Paper-scale smoke - 100 peers, pipe stoppage", _paper_smoke),
+#: Every measured artifact, in report order: name -> (title, campaign factory).
+ARTIFACTS: Dict[str, Tuple[str, Callable[[], Campaign]]] = {
+    "fig2_baseline": ("Figure 2 - baseline access failure", _fig2_campaign),
+    "fig3_pipe_stoppage": ("Figure 3 - pipe stoppage access failure", _fig3_campaign),
+    "fig4_delay_ratio": ("Figure 4 - pipe stoppage delay ratio", _fig4_campaign),
+    "fig5_friction": ("Figure 5 - pipe stoppage friction", _fig5_campaign),
+    "fig6_admission": ("Figure 6 - admission flood access failure", _fig6_campaign),
+    "fig7_admission_delay": ("Figure 7 - admission flood delay ratio", _fig7_campaign),
+    "fig8_admission_friction": (
+        "Figure 8 - admission flood friction",
+        _fig8_campaign,
+    ),
+    "table1_effortful": ("Table 1 - brute-force defection points", _table1_campaign),
+    "ablation_admission": (
+        "Ablation - admission control on/off",
+        _ablation_admission_campaign,
+    ),
+    "ablation_effort": ("Ablation - introductory-effort toll", _ablation_effort_campaign),
+    "ablation_desync": (
+        "Ablation - desynchronized solicitation",
+        _ablation_desync_campaign,
+    ),
+    "paper_smoke_100": (
+        "Paper-scale smoke - 100 peers, pipe stoppage",
+        _paper_smoke_campaign,
+    ),
 }
+
+
+def artifact_campaign(name: str) -> Campaign:
+    """Build the named artifact's campaign definition."""
+    if name not in ARTIFACTS:
+        raise KeyError(
+            "unknown bench artifact %r (known: %s)"
+            % (name, ", ".join(sorted(ARTIFACTS)))
+        )
+    return ARTIFACTS[name][1]()
 
 #: Artifacts run under ``--quick`` (CI-sized subset; same digests as full).
 QUICK_ARTIFACTS: Tuple[str, ...] = (
@@ -308,11 +337,13 @@ def _peak_rss_kb() -> Optional[int]:
 
 
 def run_artifact(name: str) -> Dict[str, object]:
-    """Run one artifact in a fresh session; return its measurement record."""
-    title, runner = ARTIFACTS[name]
+    """Run one artifact's campaign in a fresh session; return its record."""
+    title, factory = ARTIFACTS[name]
     session = Session()
     started = time.perf_counter()
-    rows = runner(session)
+    campaign = factory()
+    results = CampaignRunner(session).run(campaign)
+    rows = export_rows(campaign.exporter, results)
     wall = time.perf_counter() - started
     events = sum(
         run.extras.get("events_processed", 0.0)

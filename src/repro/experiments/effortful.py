@@ -25,9 +25,10 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..adversary.brute_force import DefectionPoint
-from ..api import AdversarySpec, Scenario, Session
+from ..api import AdversarySpec, Campaign, Scenario, Session
+from ..api.campaign import campaign_rows
 from ..api.registry import DEFAULT_REGISTRY
-from ..api.session import ExperimentResult, default_session
+from ..api.resultset import ResultSet, row_exporter
 from ..config import ProtocolConfig, SimulationConfig
 from .configs import resolve_base_configs
 from .reporting import format_table
@@ -83,6 +84,43 @@ def brute_force_scenario(
     )
 
 
+def effortful_campaign(
+    defections: Sequence[DefectionPoint] = (
+        DefectionPoint.INTRO,
+        DefectionPoint.REMAINING,
+        DefectionPoint.NONE,
+    ),
+    collection_sizes: Sequence[int] = (2,),
+    seeds: Sequence[int] = (1,),
+    protocol_config: Optional[ProtocolConfig] = None,
+    sim_config: Optional[SimulationConfig] = None,
+    attempts_per_victim_au_per_day: float = 5.0,
+    name: str = "table1-effortful",
+) -> Campaign:
+    """Table 1 (defection outer, collection size inner) as a campaign."""
+    base_protocol, base_sim = resolve_base_configs(protocol_config, sim_config)
+    defection_values = [
+        d.value if isinstance(d, DefectionPoint) else str(d) for d in defections
+    ]
+    base = Scenario.from_configs(
+        name,
+        base_protocol,
+        base_sim,
+        adversary=AdversarySpec(
+            "brute_force",
+            {
+                "defection": defection_values[0] if defection_values else "none",
+                "attempts_per_victim_au_per_day": attempts_per_victim_au_per_day,
+            },
+        ),
+        seeds=tuple(seeds),
+    )
+    campaign = Campaign(name=name, scenario=base, exporter="table1")
+    campaign.add_axis(**{"adversary.defection": defection_values})
+    campaign.add_axis(**{"sim.n_aus": list(collection_sizes)})
+    return campaign
+
+
 def effortful_table(
     defections: Sequence[DefectionPoint] = (
         DefectionPoint.INTRO,
@@ -97,46 +135,44 @@ def effortful_table(
     session: Optional[Session] = None,
 ) -> List[Dict[str, object]]:
     """Regenerate the rows of Table 1 (defection point x collection size)."""
-    session = session if session is not None else default_session()
-    scenarios = [
-        brute_force_scenario(
-            defection=defection,
-            n_aus=n_aus,
-            seeds=seeds,
-            protocol_config=protocol_config,
-            sim_config=sim_config,
-            attempts_per_victim_au_per_day=attempts_per_victim_au_per_day,
-        )
-        for defection in defections
-        for n_aus in collection_sizes
-    ]
+    campaign = effortful_campaign(
+        defections=defections,
+        collection_sizes=collection_sizes,
+        seeds=seeds,
+        protocol_config=protocol_config,
+        sim_config=sim_config,
+        attempts_per_victim_au_per_day=attempts_per_victim_au_per_day,
+    )
+    return campaign_rows(campaign, session=session)
+
+
+@row_exporter("table1")
+def table1_export(results: ResultSet) -> List[Dict[str, object]]:
+    """One Table 1 row per point, built from the typed observations."""
     rows: List[Dict[str, object]] = []
-    for scenario, result in zip(scenarios, session.run_all(scenarios)):
-        _, sim = scenario.resolve()
-        row = _row_from_result(result)
+    for point in results:
+        _, sim = point.scenario.resolve()
         inflation = max(sim.storage_damage_inflation, 1e-9)
-        row["normalized_access_failure_probability"] = (
-            row["access_failure_probability"] / inflation
+        assessment = point.assessment
+        rows.append(
+            {
+                "defection": point.parameters["defection"],
+                "n_aus": point.parameters["n_aus"],
+                "coefficient_of_friction": assessment.coefficient_of_friction,
+                "cost_ratio": assessment.cost_ratio,
+                "delay_ratio": assessment.delay_ratio,
+                "access_failure_probability": assessment.access_failure_probability,
+                "baseline_access_failure_probability": (
+                    point.baseline.damage.access_failure_probability
+                ),
+                "adversary_effort": point.attacked.effort.adversary,
+                "loyal_effort": point.attacked.effort.loyal,
+                "normalized_access_failure_probability": (
+                    assessment.access_failure_probability / inflation
+                ),
+            }
         )
-        rows.append(row)
     return rows
-
-
-def _row_from_result(result: ExperimentResult) -> Dict[str, object]:
-    assessment = result.assessment
-    return {
-        "defection": result.parameters["defection"],
-        "n_aus": result.parameters["n_aus"],
-        "coefficient_of_friction": assessment.coefficient_of_friction,
-        "cost_ratio": assessment.cost_ratio,
-        "delay_ratio": assessment.delay_ratio,
-        "access_failure_probability": assessment.access_failure_probability,
-        "baseline_access_failure_probability": (
-            assessment.baseline.access_failure_probability
-        ),
-        "adversary_effort": assessment.attacked.adversary_effort,
-        "loyal_effort": assessment.attacked.loyal_effort,
-    }
 
 
 def paper_scale_parameters() -> Dict[str, object]:

@@ -22,10 +22,10 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from .. import units
-from ..api import Scenario, Session
+from ..api import Campaign, Scenario, Session
 from ..api.registry import DEFAULT_REGISTRY
 from ..config import ProtocolConfig, SimulationConfig
-from .attacks import attack_sweep_rows, attack_sweep_scenario
+from .attacks import attack_sweep_campaign, attack_sweep_rows, attack_sweep_scenario
 from .reporting import format_table
 
 
@@ -65,6 +65,28 @@ def pipe_stoppage_scenario(
         sim_config=sim_config,
         recuperation_days=recuperation_days,
         name="pipe-stoppage",
+    )
+
+
+def pipe_stoppage_campaign(
+    durations_days: Sequence[float] = (5.0, 30.0, 90.0),
+    coverages: Sequence[float] = (0.4, 1.0),
+    seeds: Sequence[int] = (1,),
+    protocol_config: Optional[ProtocolConfig] = None,
+    sim_config: Optional[SimulationConfig] = None,
+    recuperation_days: float = 30.0,
+    name: str = "pipe-stoppage",
+) -> Campaign:
+    """The Figures 3–5 duration x coverage grid as a campaign."""
+    return attack_sweep_campaign(
+        "pipe_stoppage",
+        durations_days=durations_days,
+        coverages=coverages,
+        seeds=seeds,
+        protocol_config=protocol_config,
+        sim_config=sim_config,
+        recuperation_days=recuperation_days,
+        name=name,
     )
 
 

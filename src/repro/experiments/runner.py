@@ -41,12 +41,10 @@ __all__ = [
 ]
 
 
-def _deprecated(name: str) -> None:
-    warnings.warn(
+def _deprecation_message(name: str) -> str:
+    return (
         "repro.experiments.runner.%s is deprecated; use repro.api.Scenario "
-        "with repro.api.Session instead" % name,
-        DeprecationWarning,
-        stacklevel=3,
+        "with repro.api.Session instead" % name
     )
 
 
@@ -57,7 +55,11 @@ def run_single(
     keep_poll_records: bool = False,
 ) -> RunMetrics:
     """Build and run one world, returning its metrics.  (Deprecated shim.)"""
-    _deprecated("run_single")
+    # stacklevel=2 attributes the warning to the caller of the shim, so the
+    # default "once per location" filter fires once per call *site*.
+    warnings.warn(
+        _deprecation_message("run_single"), DeprecationWarning, stacklevel=2
+    )
     return _run_single(
         protocol_config,
         sim_config,
@@ -88,7 +90,7 @@ def run_many(
     adversary_factory: Optional[AdversaryFactory] = None,
 ) -> List[RunMetrics]:
     """Run the same configuration once per seed.  (Deprecated shim.)"""
-    _deprecated("run_many")
+    warnings.warn(_deprecation_message("run_many"), DeprecationWarning, stacklevel=2)
     return _run_many(protocol_config, sim_config, seeds, adversary_factory)
 
 
@@ -167,7 +169,9 @@ def run_attack_experiment(
     (Deprecated shim: equivalent to ``Session().run()`` on a Scenario whose
     adversary spec resolves to ``adversary_factory``.)
     """
-    _deprecated("run_attack_experiment")
+    warnings.warn(
+        _deprecation_message("run_attack_experiment"), DeprecationWarning, stacklevel=2
+    )
     attacked = _run_many(protocol_config, sim_config, seeds, adversary_factory)
     baseline = baseline_runs(protocol_config, sim_config, seeds, use_cache=use_baseline_cache)
     assessment = compare_runs(average_metrics(attacked), average_metrics(baseline))

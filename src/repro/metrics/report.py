@@ -45,6 +45,18 @@ class RunMetrics:
     def total_polls(self) -> int:
         return self.successful_polls + self.failed_polls + self.inconclusive_polls
 
+    def observations(self):
+        """This run as typed observation records (polls/admission/effort/damage).
+
+        The typed view (:mod:`repro.api.observations`) replaces ad-hoc
+        field-grabs over ``extras`` in reporting code; it is a pure
+        projection of this object, so it never changes result digests.
+        """
+        # Imported lazily: metrics is a lower layer than the api package.
+        from ..api.observations import RunObservations
+
+        return RunObservations.from_metrics(self)
+
     def to_dict(self) -> Dict[str, object]:
         """Plain-JSON representation (used by the persistent result store)."""
         return {

@@ -1,0 +1,211 @@
+"""Tests for the typed observation stream and the queryable ResultSet."""
+
+import pytest
+
+from repro import units
+from repro.api import (
+    AdversarySpec,
+    Campaign,
+    CampaignRunner,
+    Scenario,
+    Session,
+    observe,
+)
+from repro.api.observations import OBSERVATION_KINDS, RunObservations
+from repro.metrics.report import RunMetrics
+
+
+def make_metrics(**overrides):
+    fields = dict(
+        access_failure_probability=0.02,
+        mean_time_between_successful_polls=units.days(30),
+        successful_polls=10,
+        failed_polls=2,
+        inconclusive_polls=1,
+        loyal_effort=500.0,
+        adversary_effort=50.0,
+        observation_window=units.months(6),
+        extras={
+            "alarms": 1.0,
+            "invitations_sent": 40.0,
+            "invitations_accepted": 30.0,
+            "invitations_refused": 8.0,
+            "max_damage_fraction": 0.3,
+            "storage_failures": 4.0,
+            "repairs_applied": 3.0,
+            "events_processed": 12345.0,
+        },
+    )
+    fields.update(overrides)
+    return RunMetrics(**fields)
+
+
+class TestTypedObservations:
+    def test_projection_matches_the_metrics_fields(self):
+        run = make_metrics()
+        obs = observe(run)
+        assert obs.polls.successful == 10
+        assert obs.polls.failed == 2
+        assert obs.polls.inconclusive == 1
+        assert obs.polls.alarms == 1.0
+        assert obs.polls.total == 13
+        assert obs.admission.invitations_sent == 40.0
+        assert obs.admission.invitations_refused == 8.0
+        assert obs.effort.loyal == 500.0
+        assert obs.effort.adversary == 50.0
+        assert obs.effort.per_successful_poll == run.effort_per_successful_poll
+        assert obs.damage.access_failure_probability == 0.02
+        assert obs.damage.max_damage_fraction == 0.3
+        assert obs.observation_window == run.observation_window
+        # Untyped leftovers stay reachable (and read-only).
+        assert obs.extras["events_processed"] == 12345.0
+        with pytest.raises(TypeError):
+            obs.extras["events_processed"] = 0.0
+
+    def test_derived_ratios_match_the_legacy_arithmetic(self):
+        obs = observe(make_metrics())
+        assert obs.polls.success_rate == 10 / 13
+        assert obs.admission.refusal_rate == 8.0 / 40.0
+        # Degenerate runs divide by the legacy floor, not by zero.
+        empty = observe(
+            make_metrics(
+                successful_polls=0,
+                failed_polls=0,
+                inconclusive_polls=0,
+                extras={},
+            )
+        )
+        assert empty.polls.success_rate == 0.0
+        assert empty.admission.refusal_rate == 0.0
+
+    def test_run_metrics_observations_method(self):
+        run = make_metrics()
+        obs = run.observations()
+        assert isinstance(obs, RunObservations)
+        assert obs == observe(run)
+
+    def test_get_and_as_row(self):
+        obs = observe(make_metrics())
+        assert obs.get("polls") is obs.polls
+        with pytest.raises(KeyError):
+            obs.get("bogus")
+        row = obs.as_row()
+        assert row["polls.successful"] == 10
+        assert row["damage.repairs_applied"] == 3.0
+        assert set(key.split(".")[0] for key in row) == set(OBSERVATION_KINDS)
+
+
+@pytest.fixture(scope="module")
+def attack_results():
+    scenario = Scenario(
+        name="resultset test",
+        base="smoke",
+        sim={"duration": units.months(5)},
+        adversary=AdversarySpec(
+            "pipe_stoppage",
+            {"attack_duration_days": 45.0, "coverage": 1.0, "recuperation_days": 15.0},
+        ),
+        seeds=(1, 2),
+    )
+    campaign = Campaign.from_grid(
+        "resultset", scenario, {"adversary.coverage": [0.4, 1.0]}
+    )
+    return CampaignRunner(Session()).run(campaign)
+
+
+class TestResultSet:
+    def test_filter_by_parameter_value(self, attack_results):
+        subset = attack_results.filter(coverage=1.0)
+        assert len(subset) == 1
+        assert subset[0].parameters["coverage"] == 1.0
+        assert len(attack_results.filter(coverage=99.0)) == 0
+
+    def test_filter_by_predicate(self, attack_results):
+        subset = attack_results.filter(
+            lambda point: point.assessment.delay_ratio >= 1.0
+        )
+        assert len(subset) == len(attack_results)
+
+    def test_group_by_parameter(self, attack_results):
+        groups = attack_results.group_by("coverage")
+        assert list(groups) == [0.4, 1.0]
+        assert all(len(group) == 1 for group in groups.values())
+
+    def test_dotted_column_resolution(self, attack_results):
+        point = attack_results[0]
+        assert attack_results.value(point, "coverage") == 0.4
+        assert attack_results.value(point, "params.coverage") == 0.4
+        assert (
+            attack_results.value(point, "assessment.delay_ratio")
+            == point.assessment.delay_ratio
+        )
+        assert (
+            attack_results.value(point, "attacked.polls.successful")
+            == point.attacked.polls.successful
+        )
+        assert (
+            attack_results.value(point, "baseline.damage.access_failure_probability")
+            == point.baseline.damage.access_failure_probability
+        )
+        assert attack_results.value(point, "attacked.extras.events_processed") > 0
+        with pytest.raises(KeyError):
+            attack_results.value(point, "attacked.bogus.field")
+
+    def test_rows_with_explicit_columns(self, attack_results):
+        rows = attack_results.rows("coverage", "assessment.delay_ratio")
+        assert [row["coverage"] for row in rows] == [0.4, 1.0]
+        assert all(row["assessment.delay_ratio"] >= 1.0 for row in rows)
+
+    def test_default_rows_carry_parameters_and_metrics(self, attack_results):
+        rows = attack_results.rows()
+        assert rows[0]["coverage"] == 0.4
+        for column in (
+            "label",
+            "access_failure_probability",
+            "delay_ratio",
+            "coefficient_of_friction",
+            "cost_ratio",
+        ):
+            assert column in rows[0]
+
+    def test_aggregate_and_values(self, attack_results):
+        ratios = attack_results.values("assessment.delay_ratio")
+        assert attack_results.aggregate("assessment.delay_ratio") == pytest.approx(
+            sum(ratios) / len(ratios)
+        )
+        assert attack_results.aggregate(
+            "assessment.delay_ratio", reducer=max
+        ) == max(ratios)
+
+    def test_sort_by_reorders_points(self, attack_results):
+        descending = attack_results.sort_by("coverage").points[::-1]
+        assert [p.parameters["coverage"] for p in descending] == [1.0, 0.4]
+
+    def test_observation_stream_tags_point_seed_and_role(self, attack_results):
+        records = list(attack_results.observations(kinds=("polls",)))
+        # 2 points x 2 seeds x 2 roles (attacked + distinct baseline).
+        assert len(records) == 8
+        assert {record.role for record in records} == {"attacked", "baseline"}
+        assert {record.seed for record in records} == {1, 2}
+        assert {record.point for record in records} == {0, 1}
+        assert all(record.kind == "polls" for record in records)
+        assert all(record.observation.total >= 0 for record in records)
+
+    def test_observation_stream_full_kinds(self, attack_results):
+        records = list(attack_results.observations())
+        assert len(records) == 8 * len(OBSERVATION_KINDS)
+        with pytest.raises(KeyError):
+            next(attack_results.observations(kinds=("bogus",)))
+
+    def test_observation_stream_skips_duplicate_baselines(self):
+        scenario = Scenario(
+            name="no adversary",
+            base="smoke",
+            sim={"duration": units.months(4)},
+            seeds=(1,),
+        )
+        results = CampaignRunner(Session()).run(
+            Campaign(name="baseline-only", scenario=scenario)
+        )
+        records = list(results.observations(kinds=("polls",)))
+        assert [record.role for record in records] == ["attacked"]

@@ -113,6 +113,35 @@ class TestParallelExecution:
         assert [r.parameters for r in parallel] == [r.parameters for r in serial]
 
 
+class TestPoolReuse:
+    def test_one_pool_is_reused_across_batches(self, monkeypatch):
+        import concurrent.futures
+
+        created = []
+        real_executor = concurrent.futures.ProcessPoolExecutor
+
+        class CountingExecutor(real_executor):
+            def __init__(self, *args, **kwargs):
+                created.append(self)
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", CountingExecutor
+        )
+        with Session(workers=2) as session:
+            session.run(smoke_scenario(seeds=(1, 2)))
+            # A second batch with different work must not re-spawn the pool.
+            session.run(smoke_scenario(seeds=(3, 4)))
+            assert len(created) == 1
+        # close() dropped the pool; the next batch lazily spawns a fresh one.
+        assert session._pool is None
+
+    def test_close_is_idempotent_without_a_pool(self):
+        session = Session()
+        session.close()
+        session.close()
+
+
 class TestResultStore:
     def test_runs_round_trip(self, tmp_path):
         store = ResultStore(tmp_path)

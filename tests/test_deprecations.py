@@ -1,0 +1,70 @@
+"""The legacy runner entry points emit real, caller-attributed warnings."""
+
+import warnings
+
+import pytest
+
+from repro import units
+from repro.config import smoke_config
+from repro.experiments.pipe_stoppage import make_pipe_stoppage_factory
+from repro.experiments.runner import run_attack_experiment, run_many, run_single
+
+
+@pytest.fixture
+def smoke():
+    protocol, sim = smoke_config()
+    return protocol, sim.with_overrides(duration=units.months(4))
+
+
+def test_run_single_warns_once_per_call_site(smoke):
+    protocol, sim = smoke
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("default")
+        for _ in range(2):
+            run_single(protocol, sim)  # one call site, exercised twice
+    deprecations = [w for w in caught if w.category is DeprecationWarning]
+    # The default filter shows a warning once per (message, category,
+    # location); stacklevel=2 attributes it to *this* file, so the second
+    # call from the same line is deduplicated.
+    assert len(deprecations) == 1
+    assert deprecations[0].filename == __file__
+    assert "run_single is deprecated" in str(deprecations[0].message)
+
+
+def test_run_many_warns_once_per_call_site(smoke):
+    protocol, sim = smoke
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("default")
+        for _ in range(2):
+            run_many(protocol, sim, seeds=(1,))
+    deprecations = [w for w in caught if w.category is DeprecationWarning]
+    assert len(deprecations) == 1
+    assert deprecations[0].filename == __file__
+    assert "run_many is deprecated" in str(deprecations[0].message)
+
+
+def test_run_attack_experiment_warns_once_per_call_site(smoke):
+    protocol, sim = smoke
+    factory = make_pipe_stoppage_factory(
+        attack_duration=units.days(60), coverage=1.0, recuperation=units.days(15)
+    )
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("default")
+        for _ in range(2):
+            run_attack_experiment("pipe", protocol, sim, factory, seeds=(1,))
+    deprecations = [w for w in caught if w.category is DeprecationWarning]
+    assert len(deprecations) == 1
+    assert deprecations[0].filename == __file__
+    assert "run_attack_experiment is deprecated" in str(deprecations[0].message)
+
+
+def test_distinct_call_sites_each_warn(smoke):
+    protocol, sim = smoke
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("default")
+        run_single(protocol, sim)
+        run_single(protocol, sim)  # a second, distinct call site
+    deprecations = [w for w in caught if w.category is DeprecationWarning]
+    assert len(deprecations) == 2
+    assert {w.filename for w in deprecations} == {__file__}
+    assert deprecations[0].lineno != deprecations[1].lineno
