@@ -1,0 +1,133 @@
+"""Adaptive policies: which vectors a composed adversary runs each window.
+
+An :class:`AdaptivePolicy` is consulted at every window begin with the
+per-vector outcome deltas of the previous window (each vector's
+:meth:`~repro.adversary.vectors.AttackVector.observed` counters, differenced
+between consecutive windows).  Everything a policy sees is the adversary's
+own telemetry — invitations sent, admissions observed via PollAcks, votes
+received — matching the paper's conservative model in which the adversary
+has complete knowledge of *its own* state but must infer the defenders'.
+
+Policies are deterministic functions of ``(window index, deltas)``, so an
+adaptive attack has exactly one sample path per seed and stays
+digest-reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .components import ADAPTIVE_REGISTRY, StrategyComponent
+
+#: Per-vector outcome deltas for one window: ``deltas[i][counter] -> change``.
+VectorDeltas = Sequence[Dict[str, float]]
+
+
+def admission_rate(delta: Dict[str, float]) -> float:
+    """Observed admissions per invitation in one window (1.0 with no sends).
+
+    "No invitations sent" yields 1.0 — no evidence of refusal — so policies
+    keyed on a *falling* admission rate never switch on an idle window.
+    """
+    sent = delta.get("invitations_sent", 0.0)
+    if sent <= 0:
+        return 1.0
+    return delta.get("invitations_admitted", 0.0) / sent
+
+
+def refusal_rate(delta: Dict[str, float]) -> float:
+    """The complement of :func:`admission_rate` (0.0 with no sends)."""
+    return 1.0 - admission_rate(delta)
+
+
+_METRICS = {"admission_rate": admission_rate, "refusal_rate": refusal_rate}
+
+
+class AdaptivePolicy(StrategyComponent):
+    """Base class: selects the active vector indices for one window."""
+
+    def select(self, window_index: int, n_vectors: int, deltas: VectorDeltas) -> List[int]:
+        raise NotImplementedError
+
+
+@ADAPTIVE_REGISTRY.register("all")
+class AllVectors(AdaptivePolicy):
+    """Run every vector concurrently in every window (the combined attack)."""
+
+    defaults: Dict[str, object] = {}
+
+    def select(self, window_index, n_vectors, deltas) -> List[int]:
+        return list(range(n_vectors))
+
+
+@ADAPTIVE_REGISTRY.register("rotate")
+class RotateVectors(AdaptivePolicy):
+    """One vector per window, cycling through the stack in order."""
+
+    defaults: Dict[str, object] = {}
+
+    def select(self, window_index, n_vectors, deltas) -> List[int]:
+        if n_vectors == 0:
+            return []
+        return [window_index % n_vectors]
+
+
+@ADAPTIVE_REGISTRY.register("threshold_switch")
+class ThresholdSwitch(AdaptivePolicy):
+    """Probe with one vector; escalate to another when a metric degrades.
+
+    Runs ``probe`` alone for at least ``grace_windows`` windows, then keeps
+    watching the probe vector's per-window ``metric`` (``admission_rate`` or
+    ``refusal_rate``).  The first window whose metric falls strictly below
+    ``threshold`` (for ``admission_rate``; rises above, for
+    ``refusal_rate``) triggers a permanent switch to ``escalation`` — the
+    paper's adaptive attacker abandoning an attrition vector the defenses
+    have blunted in favour of a blunter instrument.
+    """
+
+    defaults = {
+        "metric": "admission_rate",
+        "threshold": 0.5,
+        "probe": 0,
+        "escalation": 1,
+        "grace_windows": 1,
+    }
+
+    def __init__(
+        self,
+        metric: str = "admission_rate",
+        threshold: float = 0.5,
+        probe: int = 0,
+        escalation: int = 1,
+        grace_windows: int = 1,
+    ) -> None:
+        if metric not in _METRICS:
+            raise ValueError(
+                "unknown adaptive metric %r (known: %s)"
+                % (metric, ", ".join(sorted(_METRICS)))
+            )
+        if grace_windows < 1:
+            raise ValueError("grace_windows must be at least 1")
+        self.metric = metric
+        self.threshold = float(threshold)
+        self.probe = int(probe)
+        self.escalation = int(escalation)
+        self.grace_windows = int(grace_windows)
+        self.switched_at: int = -1  # window index of the switch, -1 = never
+
+    def select(self, window_index, n_vectors, deltas) -> List[int]:
+        probe = self.probe % max(1, n_vectors)
+        escalation = self.escalation % max(1, n_vectors)
+        if self.switched_at >= 0:
+            return [escalation]
+        if window_index >= self.grace_windows and probe < len(deltas):
+            value = _METRICS[self.metric](deltas[probe])
+            degraded = (
+                value < self.threshold
+                if self.metric == "admission_rate"
+                else value > self.threshold
+            )
+            if degraded:
+                self.switched_at = window_index
+                return [escalation]
+        return [probe]

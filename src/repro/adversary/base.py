@@ -29,6 +29,13 @@ class AttackSchedule:
     paper fixes recuperation at 30 days); a fresh random subset of the loyal
     population of size ``coverage * len(population)`` is targeted in each
     cycle.
+
+    .. note::
+       The composable strategy API factors this class into two components:
+       the timing half is :class:`repro.adversary.schedule.OnOffSchedule`,
+       the targeting half :class:`repro.adversary.targeting.RandomSubsetTargeting`.
+       ``AttackSchedule`` remains the legacy single-object spelling used by
+       the monolithic reference adversaries.
     """
 
     attack_duration: float
@@ -48,9 +55,19 @@ class AttackSchedule:
         return self.attack_duration + self.recuperation
 
     def pick_victims(self, rng: random.Random, population: Sequence[str]) -> List[str]:
-        """Choose this cycle's victims."""
-        count = max(1, int(round(self.coverage * len(population))))
-        count = min(count, len(population))
+        """Choose this cycle's victims.
+
+        Pinned behaviour (the one implementation lives in
+        :func:`repro.adversary.targeting.victim_count`, covered by tests):
+        an active attack always targets **at least one** victim, even when
+        ``coverage * len(population)`` rounds to zero — e.g.
+        ``coverage=0.04`` against 10 peers targets 1 peer, not 0.  The
+        paper's adversary never mounts an attack cycle against nobody; a
+        coverage of exactly zero is rejected at construction instead.
+        """
+        from .targeting import victim_count
+
+        count = victim_count(self.coverage, len(population))
         return rng.sample(list(population), count)
 
 

@@ -1,0 +1,368 @@
+"""The generic composed adversary: targeting x schedule x attack vectors.
+
+:class:`ComposedAdversary` replaces per-attack adversary subclasses with one
+driver over orthogonal strategy components: a
+:class:`~repro.adversary.targeting.TargetingPolicy` chooses each window's
+victims, a :class:`~repro.adversary.schedule.Schedule` decides when windows
+run and how intensely, any number of
+:class:`~repro.adversary.vectors.AttackVector` instances do the attacking,
+and an optional :class:`~repro.adversary.adaptive.AdaptivePolicy` decides
+which vectors are active per window from the adversary's own observed
+outcomes.  The paper's combined and adaptive attackers (Section 6.2) are
+just component stacks; the three classic attacks are single-vector stacks.
+
+RNG discipline: in ``shared`` lane mode every component draws from the one
+stream the adversary was given — this is how the rewired built-in kinds
+replay the legacy monolithic sample paths bit for bit.  In ``per_component``
+mode each component draws from its own named child lane
+(:meth:`repro.sim.randomness.RandomStreams.lanes`): the targeting policy
+from ``targeting``, each vector from ``vector-<kind>`` (a counter suffix
+distinguishes same-kind duplicates).  One component consuming more or less
+randomness therefore never perturbs the others, and adding/removing/
+reordering vectors of *other* kinds never renames — and so never re-seeds —
+a vector's lane.  (Duplicates of the same kind are numbered in stack order;
+reordering those does reassign their lanes.)
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from typing import Dict, List, Optional, Sequence
+
+from ..crypto.effort import EffortScheme
+from ..sim.engine import Simulator
+from ..sim.network import Network
+from ..sim.randomness import RandomLanes
+from .adaptive import ADAPTIVE_REGISTRY, AdaptivePolicy, AllVectors
+from .base import Adversary
+from .components import (
+    COMPONENT_REGISTRIES,
+    SCHEDULE_REGISTRY,
+    TARGETING_REGISTRY,
+    VECTOR_REGISTRY,
+)
+from .schedule import OnOffSchedule, Schedule
+from .targeting import RandomSubsetTargeting, TargetingPolicy
+from .vectors import AttackVector
+
+#: Lane modes for component RNG assignment.
+RNG_LANE_MODES = ("shared", "per_component")
+
+
+class ComposedAdversary(Adversary):
+    """An adversary assembled from pluggable strategy components."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        network: Network,
+        rng: random.Random,
+        victims: Sequence,  # Sequence[Peer]; kept loose to avoid an import cycle
+        au_ids: Sequence[str],
+        protocol_config,
+        cost_model,
+        end_time: float,
+        targeting: Optional[TargetingPolicy] = None,
+        schedule: Optional[Schedule] = None,
+        vectors: Sequence[AttackVector] = (),
+        adaptive: Optional[AdaptivePolicy] = None,
+        lanes: Optional[RandomLanes] = None,
+        node_id: str = "composed-adversary",
+        effort_scheme: Optional[EffortScheme] = None,
+    ) -> None:
+        super().__init__(node_id, simulator, network, rng, effort_scheme=effort_scheme)
+        if not vectors:
+            raise ValueError("composed adversary needs at least one attack vector")
+        self.victims = list(victims)
+        self.population: List[str] = [peer.peer_id for peer in self.victims]
+        self._victim_index = {peer.peer_id: peer for peer in self.victims}
+        self.au_ids = list(au_ids)
+        self.protocol_config = protocol_config
+        self.cost_model = cost_model
+        self.end_time = end_time
+        self.targeting = targeting if targeting is not None else RandomSubsetTargeting()
+        self.schedule = schedule if schedule is not None else OnOffSchedule()
+        self.vectors: List[AttackVector] = list(vectors)
+        self.adaptive = adaptive if adaptive is not None else AllVectors()
+        self._targeting_rng = lanes.lane("targeting") if lanes is not None else rng
+        # Lanes are named by vector *kind* (with a counter only for same-kind
+        # duplicates), so adding, removing, or reordering other kinds never
+        # renames — and therefore never re-seeds — this vector's lane.
+        kind_counts: Dict[str, int] = {}
+        for vector in self.vectors:
+            kind = vector.kind or "vector"
+            seen = kind_counts.get(kind, 0)
+            kind_counts[kind] = seen + 1
+            lane_id = "vector-%s" % kind if seen == 0 else (
+                "vector-%s-%d" % (kind, seen + 1)
+            )
+            vector.bind(self, lanes.lane(lane_id) if lanes is not None else rng)
+
+        self.cycles_started = 0
+        self.current_victims: List[str] = []
+        #: Which vector indices were engaged in each begun window (telemetry
+        #: for tests and adaptive-attack inspection).
+        self.window_log: List[List[int]] = []
+        self._window_index = 0
+        self._pending_gap = 0.0
+        self._engaged: List[int] = []
+        self._last_observed: List[Dict[str, float]] = [
+            dict(vector.observed()) for vector in self.vectors
+        ]
+
+    # -- conservative-oracle views ---------------------------------------------------------
+
+    def victim_peer(self, peer_id: str):
+        """The Peer behind ``peer_id`` (None for unknown ids)."""
+        return self._victim_index.get(peer_id)
+
+    def victim_weight(self, peer_id: str) -> float:
+        """Damage-aware targeting weight: currently damaged replica count."""
+        peer = self._victim_index.get(peer_id)
+        if peer is None:
+            return 0.0
+        return float(peer.replicas.damaged_count())
+
+    # -- lifecycle -------------------------------------------------------------------------
+
+    def install(self, peers: Sequence) -> None:
+        for vector in self.vectors:
+            vector.install(peers)
+
+    def start(self) -> None:
+        self.active = True
+        if self.schedule.open_ended:
+            # Constant schedules engage synchronously (the legacy brute-force
+            # event pattern: recurrences only, no begin/end window events).
+            self._begin_window()
+        else:
+            self.simulator.schedule(0.0, self._begin_window)
+
+    def stop(self) -> None:
+        super().stop()
+        self._disengage_all()
+
+    # -- window machinery -------------------------------------------------------------------
+
+    def _observed_deltas(self) -> List[Dict[str, float]]:
+        """Per-vector counter changes since the last window boundary."""
+        deltas: List[Dict[str, float]] = []
+        for index, vector in enumerate(self.vectors):
+            current = dict(vector.observed())
+            previous = self._last_observed[index]
+            deltas.append(
+                {
+                    key: value - previous.get(key, 0.0)
+                    for key, value in current.items()
+                }
+            )
+            self._last_observed[index] = current
+        return deltas
+
+    def _begin_window(self) -> None:
+        now = self.simulator.now
+        if not self.active or now >= self.end_time:
+            self._disengage_all()
+            return
+        window = self.schedule.window(self._window_index)
+        if window is None:
+            return
+        self.cycles_started += 1
+        active = self.adaptive.select(
+            self._window_index, len(self.vectors), self._observed_deltas()
+        )
+        window_end = min(now + window.duration, self.end_time)
+        if window.intensity > 0 and active:
+            victims = self.targeting.pick(
+                self._targeting_rng, self.population, self._window_index, self
+            )
+            self.current_victims = list(victims)
+            self._engaged = list(active)
+            self.window_log.append(list(active))
+            for index in self._engaged:
+                self.vectors[index].engage(victims, window_end, window.intensity)
+        else:
+            self.window_log.append([])
+        self._window_index += 1
+        self._pending_gap = window.gap
+        if not self.schedule.open_ended:
+            self.simulator.schedule_at(window_end, self._end_window)
+
+    def _end_window(self) -> None:
+        self._disengage_all()
+        if not self.active or self.simulator.now >= self.end_time:
+            return
+        self.simulator.schedule(self._pending_gap, self._begin_window)
+
+    def _disengage_all(self) -> None:
+        for index in self._engaged:
+            self.vectors[index].disengage()
+        self._engaged = []
+        self.current_victims = []
+
+    # -- feedback ---------------------------------------------------------------------------
+
+    def receive_message(self, message) -> None:
+        payload = message.payload
+        for vector in self.vectors:
+            if vector.on_message(payload):
+                return
+
+    # -- aggregated telemetry (legacy attribute compatibility) --------------------------------
+
+    def _vector_sum(self, counter: str) -> float:
+        return sum(getattr(vector, counter, 0) for vector in self.vectors)
+
+    @property
+    def invitations_sent(self) -> int:
+        return int(self._vector_sum("invitations_sent"))
+
+    @property
+    def invitations_admitted(self) -> int:
+        return int(self._vector_sum("invitations_admitted"))
+
+    @property
+    def votes_received(self) -> int:
+        return int(self._vector_sum("votes_received"))
+
+    @property
+    def oracle_skips(self) -> int:
+        return int(self._vector_sum("oracle_skips"))
+
+    @property
+    def total_blackout_peer_seconds(self) -> float:
+        return float(self._vector_sum("total_blackout_peer_seconds"))
+
+    def observed(self) -> List[Dict[str, float]]:
+        """Every vector's outcome counters, in stack order."""
+        return [dict(vector.observed()) for vector in self.vectors]
+
+
+# -- structured composition specs -------------------------------------------------------
+
+#: Default component specs of the ``"composed"`` registry kind.
+DEFAULT_COMPOSED_PARAMS: Dict[str, object] = {
+    "targeting": {"kind": "random_subset", "coverage": 1.0},
+    "schedule": {"kind": "on_off", "attack_duration_days": 30.0, "recuperation_days": 30.0},
+    "vectors": [{"kind": "pipe_stoppage"}],
+    "adaptive": None,
+    "rng_lanes": "per_component",
+    "node_id": "composed-adversary",
+}
+
+
+def _component_specs(params: Dict[str, object]) -> Dict[str, object]:
+    """Validate the shape of one structured composition parameter set."""
+    vectors = params.get("vectors")
+    if not isinstance(vectors, (list, tuple)) or not vectors:
+        raise ValueError(
+            "composed adversary spec needs a non-empty 'vectors' list, got %r"
+            % (vectors,)
+        )
+    rng_lanes = params.get("rng_lanes", "per_component")
+    if rng_lanes not in RNG_LANE_MODES:
+        raise ValueError(
+            "rng_lanes must be one of %s, got %r" % (RNG_LANE_MODES, rng_lanes)
+        )
+    return params
+
+
+def _resolve_component(
+    spec: Optional[Dict[str, object]], default: Dict[str, object]
+) -> Dict[str, object]:
+    """Resolve one component spec against its composition-level default.
+
+    A missing spec is the default; a *partial* spec (no ``kind`` — e.g. the
+    product of a campaign axis like ``adversary.targeting.coverage`` applied
+    to a spec that omitted the component) merges into the default component,
+    so sweeping one parameter never requires spelling the whole component
+    out.  A spec that names its kind stands alone.
+    """
+    if not spec:
+        return dict(default)
+    if "kind" not in spec:
+        merged = dict(default)
+        merged.update(spec)
+        return merged
+    return dict(spec)
+
+
+def build_composition(params: Dict[str, object]) -> Dict[str, object]:
+    """Build the component objects described by one structured spec.
+
+    Returns a dict with ``targeting``, ``schedule``, ``vectors`` (list),
+    ``adaptive`` component instances plus the passthrough ``rng_lanes`` and
+    ``node_id`` values.  Unknown component kinds and parameters fail fast
+    with the registry's error message.
+    """
+    params = _component_specs(params)
+    adaptive_spec = _resolve_component(params.get("adaptive"), {"kind": "all"})
+    return {
+        "targeting": TARGETING_REGISTRY.build(
+            _resolve_component(
+                params.get("targeting"), DEFAULT_COMPOSED_PARAMS["targeting"]
+            )
+        ),
+        "schedule": SCHEDULE_REGISTRY.build(
+            _resolve_component(
+                params.get("schedule"), DEFAULT_COMPOSED_PARAMS["schedule"]
+            )
+        ),
+        "vectors": [VECTOR_REGISTRY.build(spec) for spec in params["vectors"]],
+        "adaptive": ADAPTIVE_REGISTRY.build(adaptive_spec),
+        "rng_lanes": params.get("rng_lanes", "per_component"),
+        "node_id": str(params.get("node_id", "composed-adversary")),
+    }
+
+
+def canonical_composed_params(params: Dict[str, object]) -> Dict[str, object]:
+    """Canonicalize a structured spec for content hashing.
+
+    Every component spec gets its registry defaults merged in, the omitted
+    adaptive policy becomes the explicit ``{"kind": "all"}`` it runs as, and
+    passthrough keys keep their effective values — so two spellings of the
+    same composition produce the same scenario digest.
+    """
+    params = _component_specs(dict(params))
+    return {
+        "targeting": TARGETING_REGISTRY.canonical(
+            _resolve_component(
+                params.get("targeting"), DEFAULT_COMPOSED_PARAMS["targeting"]
+            )
+        ),
+        "schedule": SCHEDULE_REGISTRY.canonical(
+            _resolve_component(
+                params.get("schedule"), DEFAULT_COMPOSED_PARAMS["schedule"]
+            )
+        ),
+        "vectors": [VECTOR_REGISTRY.canonical(spec) for spec in params["vectors"]],
+        "adaptive": ADAPTIVE_REGISTRY.canonical(
+            _resolve_component(params.get("adaptive"), {"kind": "all"})
+        ),
+        "rng_lanes": params.get("rng_lanes", "per_component"),
+        "node_id": str(params.get("node_id", "composed-adversary")),
+    }
+
+
+def composition_spec(
+    targeting: Optional[Dict[str, object]] = None,
+    schedule: Optional[Dict[str, object]] = None,
+    vectors: Optional[Sequence[Dict[str, object]]] = None,
+    adaptive: Optional[Dict[str, object]] = None,
+    rng_lanes: str = "per_component",
+    node_id: str = "composed-adversary",
+) -> Dict[str, object]:
+    """Convenience constructor for a structured composition parameter set."""
+    params = copy.deepcopy(DEFAULT_COMPOSED_PARAMS)
+    if targeting is not None:
+        params["targeting"] = dict(targeting)
+    if schedule is not None:
+        params["schedule"] = dict(schedule)
+    if vectors is not None:
+        params["vectors"] = [dict(spec) for spec in vectors]
+    if adaptive is not None:
+        params["adaptive"] = dict(adaptive)
+    params["rng_lanes"] = rng_lanes
+    params["node_id"] = node_id
+    return _component_specs(params)

@@ -1,0 +1,204 @@
+"""Attack schedules: when a composed attack is on, and at what intensity.
+
+A :class:`Schedule` generalizes the legacy ``AttackSchedule`` (fixed
+attack/recuperation cycles) into a sequence of **windows**.  Window ``i`` has
+a duration, an intensity multiplier applied to the active vectors' rates, and
+a gap (recuperation) before window ``i + 1``.  Schedules are pure functions
+of the window index — they consume no randomness — so the timing skeleton of
+every composed attack is exactly reproducible.
+
+``open_ended`` schedules (the constant schedule) engage once, synchronously
+at adversary start, and never schedule a window-end event: this mirrors the
+legacy brute-force adversary's event pattern exactly, which keeps its
+composed reformulation event-count-identical.  Cyclic schedules mirror the
+legacy pipe-stoppage/admission-flood pattern: one begin event at t=0, then
+one end event per window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .. import units
+from .components import SCHEDULE_REGISTRY, StrategyComponent
+
+
+@dataclass(frozen=True)
+class Window:
+    """One attack window: how long, how hard, and the recuperation after it."""
+
+    duration: float  # seconds
+    intensity: float  # rate multiplier applied to vectors (0 skips the window)
+    gap: float  # seconds of recuperation before the next window
+
+
+class Schedule(StrategyComponent):
+    """Base class: maps a window index to a :class:`Window` (or None)."""
+
+    #: Open-ended schedules engage synchronously at start and never end
+    #: (vector recurrences bound themselves with the experiment horizon).
+    open_ended = False
+
+    def window(self, index: int) -> Optional[Window]:
+        raise NotImplementedError
+
+
+@SCHEDULE_REGISTRY.register("constant")
+class ConstantSchedule(Schedule):
+    """Attack continuously from start to the experiment horizon."""
+
+    defaults = {"intensity": 1.0}
+    open_ended = True
+
+    def __init__(self, intensity: float = 1.0) -> None:
+        if intensity <= 0:
+            raise ValueError("intensity must be positive")
+        self.intensity = intensity
+
+    def window(self, index: int) -> Optional[Window]:
+        if index > 0:
+            return None
+        return Window(duration=float("inf"), intensity=self.intensity, gap=0.0)
+
+
+@SCHEDULE_REGISTRY.register("on_off")
+class OnOffSchedule(Schedule):
+    """The paper's cycle: attack for a duration, recuperate, repeat.
+
+    Equivalent to the legacy ``AttackSchedule`` timing (the paper fixes
+    recuperation at 30 days), with targeting factored out into the
+    :mod:`~repro.adversary.targeting` policies.
+    """
+
+    defaults = {
+        "attack_duration_days": 30.0,
+        "recuperation_days": 30.0,
+        "intensity": 1.0,
+    }
+
+    def __init__(
+        self,
+        attack_duration_days: float = 30.0,
+        recuperation_days: float = 30.0,
+        intensity: float = 1.0,
+    ) -> None:
+        if attack_duration_days <= 0:
+            raise ValueError("attack_duration_days must be positive")
+        if recuperation_days < 0:
+            raise ValueError("recuperation_days must be non-negative")
+        if intensity <= 0:
+            raise ValueError("intensity must be positive")
+        self.attack_duration_days = attack_duration_days
+        self.recuperation_days = recuperation_days
+        self.intensity = intensity
+
+    def window(self, index: int) -> Optional[Window]:
+        return Window(
+            duration=units.days(self.attack_duration_days),
+            intensity=self.intensity,
+            gap=units.days(self.recuperation_days),
+        )
+
+
+@SCHEDULE_REGISTRY.register("ramp")
+class RampSchedule(Schedule):
+    """On/off cycles whose intensity ramps up by ``step`` each cycle.
+
+    Models the adversary who probes gently and escalates: window ``i`` runs
+    at ``min(max_intensity, initial_intensity + i * step)`` times the
+    vectors' configured rates.
+    """
+
+    defaults = {
+        "attack_duration_days": 30.0,
+        "recuperation_days": 30.0,
+        "initial_intensity": 0.25,
+        "step": 0.25,
+        "max_intensity": 1.0,
+    }
+
+    def __init__(
+        self,
+        attack_duration_days: float = 30.0,
+        recuperation_days: float = 30.0,
+        initial_intensity: float = 0.25,
+        step: float = 0.25,
+        max_intensity: float = 1.0,
+    ) -> None:
+        if attack_duration_days <= 0:
+            raise ValueError("attack_duration_days must be positive")
+        if recuperation_days < 0:
+            raise ValueError("recuperation_days must be non-negative")
+        if initial_intensity <= 0 or max_intensity < initial_intensity:
+            raise ValueError(
+                "need 0 < initial_intensity <= max_intensity"
+            )
+        if step < 0:
+            raise ValueError("step must be non-negative")
+        self.attack_duration_days = attack_duration_days
+        self.recuperation_days = recuperation_days
+        self.initial_intensity = initial_intensity
+        self.step = step
+        self.max_intensity = max_intensity
+
+    def window(self, index: int) -> Optional[Window]:
+        intensity = min(self.max_intensity, self.initial_intensity + index * self.step)
+        return Window(
+            duration=units.days(self.attack_duration_days),
+            intensity=intensity,
+            gap=units.days(self.recuperation_days),
+        )
+
+
+@SCHEDULE_REGISTRY.register("piecewise")
+class PiecewiseSchedule(Schedule):
+    """An explicit phase list, optionally repeated.
+
+    Each phase is ``{"duration_days": ..., "intensity": ..., "gap_days": ...}``
+    (intensity defaults to 1, gap to 0).  A zero-intensity phase is a pure
+    pause: the composed adversary begins no attack (and draws no targeting
+    randomness) during it.  With ``repeat`` the phase list cycles for the
+    whole experiment; without it the attack ends after the last phase.
+    """
+
+    defaults = {"phases": [{"duration_days": 30.0, "intensity": 1.0, "gap_days": 30.0}],
+                "repeat": True}
+
+    def __init__(
+        self,
+        phases: Sequence[Dict[str, object]] = (
+            {"duration_days": 30.0, "intensity": 1.0, "gap_days": 30.0},
+        ),
+        repeat: bool = True,
+    ) -> None:
+        if not phases:
+            raise ValueError("piecewise schedule needs at least one phase")
+        parsed: List[Window] = []
+        for phase in phases:
+            duration_days = float(phase.get("duration_days", 0.0))
+            if duration_days <= 0:
+                raise ValueError("phase duration_days must be positive")
+            intensity = float(phase.get("intensity", 1.0))
+            if intensity < 0:
+                raise ValueError("phase intensity must be non-negative")
+            gap_days = float(phase.get("gap_days", 0.0))
+            if gap_days < 0:
+                raise ValueError("phase gap_days must be non-negative")
+            parsed.append(
+                Window(
+                    duration=units.days(duration_days),
+                    intensity=intensity,
+                    gap=units.days(gap_days),
+                )
+            )
+        self.phases = [dict(phase) for phase in phases]
+        self.repeat = bool(repeat)
+        self._windows = parsed
+
+    def window(self, index: int) -> Optional[Window]:
+        if self.repeat:
+            return self._windows[index % len(self._windows)]
+        if index >= len(self._windows):
+            return None
+        return self._windows[index]

@@ -1,0 +1,175 @@
+"""Targeting policies: which loyal peers an attack cycle aims at.
+
+A :class:`TargetingPolicy` turns the loyal population into this cycle's
+victim list.  Policies are pure functions of ``(rng state, population, cycle
+index, view)``, so a composed adversary's victim choice is deterministic per
+RNG lane and never depends on wall-clock or dict-iteration accidents.
+
+The victim-count rule is shared by every coverage-based policy and pinned by
+tests: an *active* attack always targets at least one victim, even when
+``coverage * len(population)`` rounds to zero — the paper's adversary does
+not mount an attack cycle against nobody.  (``coverage=0.04`` against 10
+peers therefore targets 1 peer, not 0.)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from .components import TARGETING_REGISTRY, StrategyComponent
+
+
+def victim_count(coverage: float, population_size: int) -> int:
+    """Number of victims a coverage-based policy targets per cycle.
+
+    ``max(1, round(coverage * N))`` clamped to the population size: the
+    banker's rounding of ``round`` applies above 0.5, and the ``max(1, ...)``
+    floor pins the documented at-least-one-victim behaviour for coverages
+    small enough that the product rounds to zero.
+    """
+    count = max(1, int(round(coverage * population_size)))
+    return min(count, population_size)
+
+
+class TargetingPolicy(StrategyComponent):
+    """Base class: yields one victim list per attack cycle."""
+
+    def pick(
+        self,
+        rng: random.Random,
+        population: Sequence[str],
+        cycle_index: int,
+        view: Optional[object] = None,
+    ) -> List[str]:
+        """Choose the victims of cycle ``cycle_index``.
+
+        ``view`` (optional) is the composed adversary, giving
+        information-aware policies access to its conservative
+        total-information oracle (e.g. per-victim damage weights).
+        """
+        raise NotImplementedError
+
+
+@TARGETING_REGISTRY.register("random_subset")
+class RandomSubsetTargeting(TargetingPolicy):
+    """A fresh random ``coverage`` fraction of the population every cycle.
+
+    Draw-for-draw identical to the legacy ``AttackSchedule.pick_victims``
+    (one ``rng.sample`` per cycle), which is what keeps the rewired built-in
+    adversaries bit-identical to their monolithic formulations.
+    """
+
+    defaults = {"coverage": 1.0}
+
+    def __init__(self, coverage: float = 1.0) -> None:
+        if not 0.0 < coverage <= 1.0:
+            raise ValueError("coverage must be in (0, 1]")
+        self.coverage = coverage
+
+    def pick(self, rng, population, cycle_index, view=None) -> List[str]:
+        count = victim_count(self.coverage, len(population))
+        return rng.sample(list(population), count)
+
+
+@TARGETING_REGISTRY.register("sticky")
+class StickyTargeting(TargetingPolicy):
+    """One random victim subset, drawn on the first cycle and kept forever.
+
+    Models the adversary who concentrates on the same victims across attack
+    cycles instead of spreading damage; consumes RNG only on the first pick.
+    """
+
+    defaults = {"coverage": 1.0}
+
+    def __init__(self, coverage: float = 1.0) -> None:
+        if not 0.0 < coverage <= 1.0:
+            raise ValueError("coverage must be in (0, 1]")
+        self.coverage = coverage
+        self._chosen: Optional[List[str]] = None
+
+    def pick(self, rng, population, cycle_index, view=None) -> List[str]:
+        if self._chosen is None:
+            count = victim_count(self.coverage, len(population))
+            self._chosen = rng.sample(list(population), count)
+        return list(self._chosen)
+
+
+@TARGETING_REGISTRY.register("round_robin")
+class RoundRobinTargeting(TargetingPolicy):
+    """Walk the population in order, one ``coverage``-sized slice per cycle.
+
+    Deterministic and RNG-free: cycle ``i`` targets the slice starting at
+    ``(i * count) mod N``, wrapping around, so every peer is attacked equally
+    often.  With ``coverage=1.0`` it returns the whole population in order —
+    the victim set of the legacy brute-force adversary.
+    """
+
+    defaults = {"coverage": 1.0}
+
+    def __init__(self, coverage: float = 1.0) -> None:
+        if not 0.0 < coverage <= 1.0:
+            raise ValueError("coverage must be in (0, 1]")
+        self.coverage = coverage
+
+    def pick(self, rng, population, cycle_index, view=None) -> List[str]:
+        population = list(population)
+        size = len(population)
+        if size == 0:
+            return []
+        count = victim_count(self.coverage, size)
+        if count >= size:
+            return population
+        start = (cycle_index * count) % size
+        doubled = population + population
+        return doubled[start : start + count]
+
+
+@TARGETING_REGISTRY.register("weighted_damage")
+class WeightedDamageTargeting(TargetingPolicy):
+    """Weight victims by their current replica damage (reputation proxy).
+
+    The paper's conservative adversary has total information awareness, so it
+    can aim follow-up cycles at the peers it has already hurt the most: each
+    victim is drawn without replacement with probability proportional to
+    ``(1 + damaged_replicas) ** exponent``.  With no view (or no damage
+    anywhere) every weight is 1 and the policy degenerates to a random
+    subset, implemented with explicit ``rng.random()`` draws so the sample
+    path stays stable as weights change.
+    """
+
+    defaults = {"coverage": 1.0, "exponent": 1.0}
+
+    def __init__(self, coverage: float = 1.0, exponent: float = 1.0) -> None:
+        if not 0.0 < coverage <= 1.0:
+            raise ValueError("coverage must be in (0, 1]")
+        if exponent < 0:
+            raise ValueError("exponent must be non-negative")
+        self.coverage = coverage
+        self.exponent = exponent
+
+    def pick(self, rng, population, cycle_index, view=None) -> List[str]:
+        population = list(population)
+        count = victim_count(self.coverage, len(population))
+        weigh = getattr(view, "victim_weight", None)
+        weights = [
+            (1.0 + float(weigh(peer_id)) if weigh is not None else 1.0)
+            ** self.exponent
+            for peer_id in population
+        ]
+        victims: List[str] = []
+        for _ in range(count):
+            total = sum(weights)
+            if total <= 0:
+                break
+            mark = rng.random() * total
+            cumulative = 0.0
+            chosen = len(population) - 1
+            for index, weight in enumerate(weights):
+                cumulative += weight
+                if mark < cumulative:
+                    chosen = index
+                    break
+            victims.append(population.pop(chosen))
+            weights.pop(chosen)
+        return victims

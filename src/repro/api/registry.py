@@ -28,11 +28,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
-from .. import units
-from ..adversary.admission_flood import AdmissionControlAdversary
-from ..adversary.base import AttackSchedule
-from ..adversary.brute_force import BruteForceAdversary, DefectionPoint
-from ..adversary.pipe_stoppage import PipeStoppageAdversary
+from ..adversary.brute_force import DefectionPoint
+from ..adversary.composed import (
+    ComposedAdversary,
+    DEFAULT_COMPOSED_PARAMS,
+    build_composition,
+    canonical_composed_params,
+)
+from ..adversary.schedule import ConstantSchedule, OnOffSchedule
+from ..adversary.targeting import RandomSubsetTargeting, RoundRobinTargeting
+from ..adversary.vectors import (
+    AdmissionFloodVector,
+    BruteForcePollVector,
+    PipeStoppageVector,
+)
 
 #: Builder signature: ``builder(world, **params) -> adversary``.
 AdversaryBuilder = Callable[..., object]
@@ -62,6 +71,10 @@ class AdversaryEntry:
     cli_command: Optional[str] = None
     cli_help: str = ""
     cli_options: Tuple[CliOption, ...] = ()
+    #: Optional params-canonicalization hook used for content hashing: maps
+    #: a defaults-merged parameter dict to its fully-resolved form (e.g.
+    #: merging nested component defaults of structured composition specs).
+    canonicalize: Optional[Callable[[Dict[str, object]], Dict[str, object]]] = None
 
     def build(self, world: object, **params: object) -> object:
         merged = dict(self.defaults)
@@ -93,6 +106,9 @@ class AdversaryRegistry:
         cli_command: Optional[str] = None,
         cli_help: str = "",
         cli_options: Tuple[CliOption, ...] = (),
+        canonicalize: Optional[
+            Callable[[Dict[str, object]], Dict[str, object]]
+        ] = None,
         replace: bool = False,
     ):
         """Register ``builder`` under ``name``; usable as a decorator."""
@@ -109,6 +125,7 @@ class AdversaryRegistry:
                 cli_command=cli_command,
                 cli_help=cli_help,
                 cli_options=tuple(cli_options),
+                canonicalize=canonicalize,
             )
             return fn
 
@@ -224,20 +241,23 @@ def build_pipe_stoppage(
     attack_duration_days: float,
     coverage: float,
     recuperation_days: float,
-) -> PipeStoppageAdversary:
-    """Suppress all communication for a fraction of the population."""
-    schedule = AttackSchedule(
-        attack_duration=units.days(attack_duration_days),
-        coverage=coverage,
-        recuperation=units.days(recuperation_days),
-    )
-    return PipeStoppageAdversary(
-        simulator=world.simulator,
-        network=world.network,
-        rng=world.streams.stream("adversary/pipe-stoppage"),
-        schedule=schedule,
-        victims_pool=world.peer_ids(),
-        end_time=world.sim_config.duration,
+) -> ComposedAdversary:
+    """Suppress all communication for a fraction of the population.
+
+    A thin composition (random-subset targeting x on/off schedule x the
+    pipe-stoppage vector) in *shared* RNG-lane mode, replaying the legacy
+    monolithic ``PipeStoppageAdversary`` sample path bit for bit.
+    """
+    return _composed_for_world(
+        world,
+        stream="adversary/pipe-stoppage",
+        node_id="pipe-stoppage-adversary",
+        targeting=RandomSubsetTargeting(coverage=coverage),
+        schedule=OnOffSchedule(
+            attack_duration_days=attack_duration_days,
+            recuperation_days=recuperation_days,
+        ),
+        vectors=[PipeStoppageVector()],
     )
 
 
@@ -273,22 +293,27 @@ def build_admission_flood(
     coverage: float,
     recuperation_days: float,
     invitations_per_victim_per_day: float,
-) -> AdmissionControlAdversary:
-    """Flood victims with cheap garbage invitations from unknown identities."""
-    schedule = AttackSchedule(
-        attack_duration=units.days(attack_duration_days),
-        coverage=coverage,
-        recuperation=units.days(recuperation_days),
-    )
-    return AdmissionControlAdversary(
-        simulator=world.simulator,
-        network=world.network,
-        rng=world.streams.stream("adversary/admission-flood"),
-        schedule=schedule,
-        victims_pool=world.peer_ids(),
-        au_ids=[au.au_id for au in world.aus],
-        end_time=world.sim_config.duration,
-        invitations_per_victim_per_day=invitations_per_victim_per_day,
+) -> ComposedAdversary:
+    """Flood victims with cheap garbage invitations from unknown identities.
+
+    A thin composition (random-subset targeting x on/off schedule x the
+    admission-flood vector) in shared RNG-lane mode, replaying the legacy
+    monolithic ``AdmissionControlAdversary`` sample path bit for bit.
+    """
+    return _composed_for_world(
+        world,
+        stream="adversary/admission-flood",
+        node_id="admission-flood-adversary",
+        targeting=RandomSubsetTargeting(coverage=coverage),
+        schedule=OnOffSchedule(
+            attack_duration_days=attack_duration_days,
+            recuperation_days=recuperation_days,
+        ),
+        vectors=[
+            AdmissionFloodVector(
+                invitations_per_victim_per_day=invitations_per_victim_per_day,
+            )
+        ],
     )
 
 
@@ -309,20 +334,111 @@ def build_brute_force(
     attempts_per_victim_au_per_day: float,
     identity_pool_size: int,
     use_schedule_oracle: bool,
-) -> BruteForceAdversary:
-    """Pay real introductory effort, then defect at INTRO/REMAINING/NONE."""
+) -> ComposedAdversary:
+    """Pay real introductory effort, then defect at INTRO/REMAINING/NONE.
+
+    A thin composition (round-robin full-coverage targeting x constant
+    schedule x the brute-force-poll vector) in shared RNG-lane mode,
+    replaying the legacy monolithic ``BruteForceAdversary`` sample path bit
+    for bit.
+    """
     if not isinstance(defection, DefectionPoint):
         defection = DefectionPoint(str(defection).lower())
-    return BruteForceAdversary(
+    return _composed_for_world(
+        world,
+        stream="adversary/brute-force",
+        node_id="brute-force-adversary",
+        targeting=RoundRobinTargeting(coverage=1.0),
+        schedule=ConstantSchedule(),
+        vectors=[
+            BruteForcePollVector(
+                defection=defection,
+                attempts_per_victim_au_per_day=attempts_per_victim_au_per_day,
+                identity_pool_size=identity_pool_size,
+                use_schedule_oracle=use_schedule_oracle,
+            )
+        ],
+    )
+
+
+def _composed_for_world(
+    world,
+    stream: str,
+    node_id: str,
+    targeting,
+    schedule,
+    vectors,
+    adaptive=None,
+    lanes=None,
+) -> ComposedAdversary:
+    """Assemble a :class:`ComposedAdversary` against a built world."""
+    return ComposedAdversary(
         simulator=world.simulator,
         network=world.network,
-        rng=world.streams.stream("adversary/brute-force"),
+        rng=world.streams.stream(stream),
         victims=world.peers,
+        au_ids=[au.au_id for au in world.aus],
         protocol_config=world.protocol_config,
         cost_model=world.cost_model,
-        defection=defection,
         end_time=world.sim_config.duration,
-        attempts_per_victim_au_per_day=attempts_per_victim_au_per_day,
-        identity_pool_size=identity_pool_size,
-        use_schedule_oracle=use_schedule_oracle,
+        targeting=targeting,
+        schedule=schedule,
+        vectors=vectors,
+        adaptive=adaptive,
+        lanes=lanes,
+        node_id=node_id,
+    )
+
+
+@adversary(
+    "composed",
+    defaults=dict(DEFAULT_COMPOSED_PARAMS),
+    description=(
+        "Generic composed attack: targeting x schedule x attack-vector stack, "
+        "optionally adaptive"
+    ),
+    canonicalize=canonical_composed_params,
+)
+def build_composed(
+    world,
+    *,
+    targeting,
+    schedule,
+    vectors,
+    adaptive,
+    rng_lanes,
+    node_id,
+) -> ComposedAdversary:
+    """Build a composed adversary from a structured component spec.
+
+    Component specs are ``{"kind": ..., <param>: ...}`` objects resolved
+    against the component registries (see
+    :mod:`repro.adversary.components`).  ``rng_lanes`` picks the component
+    RNG discipline: ``"per_component"`` (default — every component gets its
+    own named child lane under ``adversary/<node_id>``) or ``"shared"``
+    (all components draw from one stream, the legacy monolithic discipline).
+    """
+    parts = build_composition(
+        {
+            "targeting": targeting,
+            "schedule": schedule,
+            "vectors": vectors,
+            "adaptive": adaptive,
+            "rng_lanes": rng_lanes,
+            "node_id": node_id,
+        }
+    )
+    stream = "adversary/%s" % parts["node_id"]
+    lanes = (
+        world.streams.lanes(stream) if parts["rng_lanes"] == "per_component" else None
+    )
+    return _composed_for_world(
+        world,
+        stream=stream,
+        node_id=parts["node_id"],
+        targeting=parts["targeting"],
+        schedule=parts["schedule"],
+        vectors=parts["vectors"],
+        adaptive=parts["adaptive"],
+        lanes=lanes,
     )

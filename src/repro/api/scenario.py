@@ -16,6 +16,7 @@ and the baseline cache in :mod:`repro.experiments.runner`.
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 import enum
 import hashlib
@@ -82,7 +83,14 @@ def config_digest(
 
 @dataclass
 class AdversarySpec:
-    """Registry-keyed adversary description: a kind plus builder parameters."""
+    """Registry-keyed adversary description: a kind plus builder parameters.
+
+    Parameters may be *structured*: the ``"composed"`` kind nests component
+    specs (``{"targeting": {...}, "schedule": {...}, "vectors": [...]}``),
+    addressable by dotted axis targets like ``adversary.targeting.coverage``
+    or ``adversary.vectors.0.invitations_per_victim_per_day``.  Copies are
+    deep so expanded sweep/campaign points never share nested structure.
+    """
 
     kind: str
     params: Dict[str, object] = field(default_factory=dict)
@@ -92,12 +100,59 @@ class AdversarySpec:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "AdversarySpec":
-        return cls(kind=str(payload["kind"]), params=dict(payload.get("params") or {}))
+        return cls(
+            kind=str(payload["kind"]),
+            params=copy.deepcopy(dict(payload.get("params") or {})),
+        )
 
     def with_params(self, **params: object) -> "AdversarySpec":
-        merged = dict(self.params)
+        merged = copy.deepcopy(self.params)
         merged.update(params)
         return AdversarySpec(kind=self.kind, params=merged)
+
+    def set_param(self, path: str, value: object) -> None:
+        """Set a (possibly nested) parameter by dotted ``path``.
+
+        Plain names assign directly; dotted paths walk nested dicts and
+        lists (integer segments index lists), creating intermediate dicts
+        for missing dict segments.
+        """
+        set_nested(self.params, path, value)
+
+
+def set_nested(container: object, path: str, value: object) -> None:
+    """Assign ``value`` at dotted ``path`` inside nested dicts/lists."""
+    segments = path.split(".")
+    current = container
+    for position, segment in enumerate(segments[:-1]):
+        if isinstance(current, list):
+            current = current[int(segment)]
+        else:
+            nested = current.get(segment)
+            if nested is None:
+                # A kindless partial dict is fine — composed specs merge it
+                # into the component's default — but a list index cannot be
+                # conjured: fail here, not later at digest/build time.
+                following = segments[position + 1]
+                if following.isdigit():
+                    raise ValueError(
+                        "cannot apply %r: %r indexes a list, but the spec "
+                        "has no %r list to index — spell the list out in "
+                        "the adversary spec" % (path, following, segment)
+                    )
+                nested = {}
+                current[segment] = nested
+            current = nested
+    last = segments[-1]
+    if isinstance(current, list):
+        current[int(last)] = value
+    elif isinstance(current, dict):
+        current[last] = value
+    else:
+        raise TypeError(
+            "cannot set %r: segment %r resolves to %r, not a dict or list"
+            % (path, ".".join(segments[:-1]), type(current).__name__)
+        )
 
 
 #: Axis scopes a plain scenario sweep may target.
@@ -152,7 +207,9 @@ def apply_axis_value(
     if scope == "adversary":
         if scenario.adversary is None:
             raise ValueError("axis target %r needs an adversary spec" % target)
-        scenario.adversary.params[field_name] = value
+        # ``field_name`` may itself be a dotted path into a structured spec
+        # ("targeting.coverage", "vectors.0.invitations_per_victim_per_day").
+        scenario.adversary.set_param(field_name, value)
     elif scope == "protocol":
         scenario.protocol[field_name] = value
     elif scope == "sim":
@@ -363,9 +420,13 @@ class Scenario:
 
         payload = self.adversary.to_dict()
         if self.adversary.kind in DEFAULT_REGISTRY:
-            defaults = DEFAULT_REGISTRY.get(self.adversary.kind).defaults
-            merged = dict(defaults)
+            entry = DEFAULT_REGISTRY.get(self.adversary.kind)
+            merged = dict(entry.defaults)
             merged.update(payload["params"])
+            if entry.canonicalize is not None:
+                # Structured specs resolve nested component defaults too, so
+                # an omitted component default hashes like a spelled-out one.
+                merged = entry.canonicalize(merged)
             payload = {"kind": payload["kind"], "params": _jsonable(merged)}
         return payload
 

@@ -462,6 +462,34 @@ def _cmd_list_adversaries(args: argparse.Namespace) -> int:
     ]
     print("Registered adversaries")
     _print_rows(rows, ["name", "cli_command", "description", "defaults"])
+    if getattr(args, "components", False):
+        from .adversary.components import COMPONENT_REGISTRIES
+
+        for category in ("targeting", "schedule", "vector", "adaptive"):
+            registry = COMPONENT_REGISTRIES[category]
+            print()
+            print(
+                "%s components (spec: {\"kind\": <name>, <param>: <value>, ...})"
+                % category.capitalize()
+            )
+            component_rows = [
+                {
+                    "kind": record["kind"],
+                    "description": record["description"],
+                    "defaults": ", ".join(
+                        "%s=%s" % (key, value)
+                        for key, value in sorted(record["defaults"].items())
+                    ) or "-",
+                }
+                for record in registry.catalog()
+            ]
+            _print_rows(component_rows, ["kind", "description", "defaults"])
+        print()
+        print(
+            'Compose them as {"kind": "composed", "params": {"targeting": ..., '
+            '"schedule": ..., "vectors": [...], "adaptive": ...}} in any '
+            "scenario or campaign JSON (see docs/ADVERSARIES.md)."
+        )
     return 0
 
 
@@ -615,6 +643,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     list_parser = subparsers.add_parser(
         "list-adversaries", help="list registered attack strategies"
+    )
+    list_parser.add_argument(
+        "--components",
+        action="store_true",
+        help="also list the composable strategy components "
+        "(targeting / schedule / vector / adaptive catalogs)",
     )
     list_parser.set_defaults(func=_cmd_list_adversaries)
 

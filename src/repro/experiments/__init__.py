@@ -14,6 +14,9 @@ Each module corresponds to one artifact of Section 7:
 * :mod:`repro.experiments.ablation` — ablations of individual defenses
   (admission control, effort balancing, desynchronization) called out in
   DESIGN.md.
+* :mod:`repro.experiments.composed` — the composed-adversary families
+  (combined multi-vector attack, adaptive vector switching, and the
+  targeting x vector matrix; see docs/ADVERSARIES.md).
 
 :mod:`repro.experiments.world` builds a simulated world from configuration;
 :mod:`repro.experiments.attacks` expresses the duration x coverage attack
@@ -32,6 +35,7 @@ from .attacks import attack_sweep_campaign, attack_sweep_rows, attack_sweep_scen
 from . import ablation as _ablation  # noqa: F401
 from . import admission_attack as _admission_attack  # noqa: F401
 from . import baseline as _baseline  # noqa: F401
+from . import composed as _composed  # noqa: F401
 from . import effortful as _effortful  # noqa: F401
 from . import pipe_stoppage as _pipe_stoppage  # noqa: F401
 from .runner import ExperimentResult, run_attack_experiment, run_single

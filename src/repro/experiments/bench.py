@@ -36,6 +36,11 @@ from ..crypto.hashing import NONCE_STREAM_VERSION
 from . import ablation as ablation_module
 from .admission_attack import admission_flood_campaign
 from .baseline import baseline_campaign
+from .composed import (
+    adaptive_attack_campaign,
+    adversary_matrix_campaign,
+    combined_attack_campaign,
+)
 from .effortful import effortful_campaign
 from .pipe_stoppage import pipe_stoppage_campaign
 
@@ -268,6 +273,41 @@ def _paper_smoke_campaign() -> Campaign:
     )
 
 
+def _combined_attack_campaign() -> Campaign:
+    protocol, sim = bench_configs()
+    return combined_attack_campaign(
+        coverages=(0.4, 1.0),
+        attack_duration_days=30.0,
+        recuperation_days=30.0,
+        invitations_per_victim_per_day=6.0,
+        seeds=BENCH_SEEDS,
+        protocol_config=protocol,
+        sim_config=sim,
+        name="combined_attack",
+    )
+
+
+def _adaptive_attack_campaign() -> Campaign:
+    protocol, sim = bench_configs()
+    return adaptive_attack_campaign(
+        thresholds=(0.05, 0.95),
+        seeds=BENCH_SEEDS,
+        protocol_config=protocol,
+        sim_config=sim,
+        name="adaptive_attack",
+    )
+
+
+def _adversary_matrix_campaign() -> Campaign:
+    protocol, sim = bench_configs()
+    return adversary_matrix_campaign(
+        seeds=BENCH_SEEDS,
+        protocol_config=protocol,
+        sim_config=sim,
+        name="adversary_matrix",
+    )
+
+
 #: Every measured artifact, in report order: name -> (title, campaign factory).
 ARTIFACTS: Dict[str, Tuple[str, Callable[[], Campaign]]] = {
     "fig2_baseline": ("Figure 2 - baseline access failure", _fig2_campaign),
@@ -293,6 +333,18 @@ ARTIFACTS: Dict[str, Tuple[str, Callable[[], Campaign]]] = {
     "paper_smoke_100": (
         "Paper-scale smoke - 100 peers, pipe stoppage",
         _paper_smoke_campaign,
+    ),
+    "combined_attack": (
+        "Combined attack - admission flood + effortful brute force",
+        _combined_attack_campaign,
+    ),
+    "adaptive_attack": (
+        "Adaptive attack - brute force escalating to pipe stoppage",
+        _adaptive_attack_campaign,
+    ),
+    "adversary_matrix": (
+        "Adversary matrix - 2x2 targeting x vector smoke grid",
+        _adversary_matrix_campaign,
     ),
 }
 

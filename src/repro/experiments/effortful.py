@@ -22,6 +22,7 @@ limits prevent the adversary from bringing its unlimited resources to bear.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..adversary.brute_force import DefectionPoint
@@ -30,7 +31,7 @@ from ..api.campaign import campaign_rows
 from ..api.registry import DEFAULT_REGISTRY
 from ..api.resultset import ResultSet, row_exporter
 from ..config import ProtocolConfig, SimulationConfig
-from .configs import resolve_base_configs
+from .configs import FACTORY_DEPRECATION, resolve_base_configs
 from .reporting import format_table
 
 
@@ -42,8 +43,16 @@ def make_brute_force_factory(
 ):
     """Adversary factory for one defection strategy.
 
-    (Compatibility wrapper over the ``"brute_force"`` registry entry.)
+    .. deprecated::
+       Compatibility wrapper over the ``"brute_force"`` registry entry.
+       Use ``DEFAULT_REGISTRY.factory("brute_force", ...)`` or an
+       :class:`~repro.api.AdversarySpec` instead.
     """
+    warnings.warn(
+        FACTORY_DEPRECATION % "make_brute_force_factory",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return DEFAULT_REGISTRY.factory(
         "brute_force",
         defection=defection,

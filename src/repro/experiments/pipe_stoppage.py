@@ -19,6 +19,7 @@ leaves the access failure probability in the low 10^-3 range.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Sequence
 
 from .. import units
@@ -26,6 +27,7 @@ from ..api import Campaign, Scenario, Session
 from ..api.registry import DEFAULT_REGISTRY
 from ..config import ProtocolConfig, SimulationConfig
 from .attacks import attack_sweep_campaign, attack_sweep_rows, attack_sweep_scenario
+from .configs import FACTORY_DEPRECATION
 from .reporting import format_table
 
 
@@ -36,9 +38,19 @@ def make_pipe_stoppage_factory(
 ):
     """Adversary factory for one (duration, coverage) attack point.
 
-    (Compatibility wrapper over the ``"pipe_stoppage"`` registry entry;
-    durations here are in seconds, as in the original helper.)
+    .. deprecated::
+       Compatibility wrapper over the ``"pipe_stoppage"`` registry entry
+       with the original seconds-based kwargs.  Use
+       ``DEFAULT_REGISTRY.factory("pipe_stoppage", ...)`` (days-based
+       parameters) or an :class:`~repro.api.AdversarySpec` instead.
     """
+    # stacklevel=2 attributes the warning to the caller, so the default
+    # filter fires once per call *site* (the PR 3 runner-shim pattern).
+    warnings.warn(
+        FACTORY_DEPRECATION % "make_pipe_stoppage_factory",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return DEFAULT_REGISTRY.factory(
         "pipe_stoppage",
         attack_duration_days=attack_duration / units.DAY,

@@ -47,8 +47,47 @@ class RandomStreams:
         """Return a child factory whose streams are independent of this one's."""
         return RandomStreams(derive_seed(self.master_seed, "spawn/" + name))
 
+    def lanes(self, parent: str) -> "RandomLanes":
+        """Named per-component child lanes under the stream name ``parent``."""
+        return RandomLanes(self, parent)
+
     def __contains__(self, name: str) -> bool:
         return name in self._streams
+
+
+class RandomLanes:
+    """Deterministic per-component RNG lanes under one parent stream name.
+
+    A *lane* is an ordinary named stream whose name is
+    ``"<parent>/<component>"``, so one subsystem built from several pluggable
+    components (e.g. a composed adversary's targeting policy, schedule, and
+    attack vectors) gives each component its own independent sample path.
+    Every lane is a pure function of ``(master_seed, parent, component)``:
+    as long as a component keeps its lane *name*, no change to its siblings
+    — their count, order, or randomness consumption — perturbs its draws.
+    (Callers choose stable names; the composed adversary keys vector lanes
+    by kind, not stack position, for exactly this reason.)  This is the
+    property that keeps composed attacks digest-reproducible and
+    campaign-resumable.
+    """
+
+    __slots__ = ("_streams", "parent")
+
+    def __init__(self, streams: RandomStreams, parent: str) -> None:
+        self._streams = streams
+        self.parent = parent
+
+    def lane(self, component: str) -> random.Random:
+        """The RNG lane for ``component`` (memoized by the parent factory)."""
+        return self._streams.stream(lane_name(self.parent, component))
+
+    def __contains__(self, component: str) -> bool:
+        return lane_name(self.parent, component) in self._streams
+
+
+def lane_name(parent: str, component: str) -> str:
+    """The stream name backing one component lane (``"<parent>/<component>"``)."""
+    return "%s/%s" % (parent, component)
 
 
 def exponential(rng: random.Random, rate: float) -> float:

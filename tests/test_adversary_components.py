@@ -1,0 +1,243 @@
+"""Unit tests for the composable adversary strategy components."""
+
+import random
+
+import pytest
+
+from repro import units
+from repro.adversary.adaptive import (
+    ADAPTIVE_REGISTRY,
+    AllVectors,
+    RotateVectors,
+    ThresholdSwitch,
+    admission_rate,
+    refusal_rate,
+)
+from repro.adversary.components import (
+    COMPONENT_REGISTRIES,
+    SCHEDULE_REGISTRY,
+    TARGETING_REGISTRY,
+    VECTOR_REGISTRY,
+)
+from repro.adversary.schedule import (
+    ConstantSchedule,
+    OnOffSchedule,
+    PiecewiseSchedule,
+    RampSchedule,
+)
+from repro.adversary.targeting import (
+    RandomSubsetTargeting,
+    RoundRobinTargeting,
+    StickyTargeting,
+    WeightedDamageTargeting,
+    victim_count,
+)
+
+POPULATION = ["peer-%02d" % index for index in range(10)]
+
+
+class TestVictimCount:
+    def test_floor_of_one_victim(self):
+        # 0.04 * 10 rounds to 0; the documented floor is one victim.
+        assert victim_count(0.04, 10) == 1
+
+    def test_rounds_above_the_floor(self):
+        assert victim_count(0.55, 10) == 6
+        assert victim_count(0.44, 10) == 4
+
+    def test_clamped_to_population(self):
+        assert victim_count(1.0, 3) == 3
+
+
+class TestTargetingPolicies:
+    def test_random_subset_is_deterministic_per_seed(self):
+        policy = TARGETING_REGISTRY.build({"kind": "random_subset", "coverage": 0.5})
+        first = policy.pick(random.Random(3), POPULATION, 0)
+        second = policy.pick(random.Random(3), POPULATION, 0)
+        assert first == second
+        assert len(first) == 5
+
+    def test_sticky_draws_once_and_repeats(self):
+        policy = StickyTargeting(coverage=0.3)
+        rng = random.Random(9)
+        first = policy.pick(rng, POPULATION, 0)
+        state_after_first = rng.getstate()
+        later = policy.pick(rng, POPULATION, 5)
+        assert later == first
+        # No further randomness was consumed after the first pick.
+        assert rng.getstate() == state_after_first
+
+    def test_round_robin_consumes_no_rng_and_rotates(self):
+        policy = RoundRobinTargeting(coverage=0.3)
+        rng = random.Random(1)
+        state = rng.getstate()
+        first = policy.pick(rng, POPULATION, 0)
+        second = policy.pick(rng, POPULATION, 1)
+        third = policy.pick(rng, POPULATION, 2)
+        assert rng.getstate() == state
+        assert first == POPULATION[0:3]
+        assert second == POPULATION[3:6]
+        assert third == POPULATION[6:9]
+        # Full coverage returns the population in order (the legacy
+        # brute-force victim order).
+        assert RoundRobinTargeting(coverage=1.0).pick(rng, POPULATION, 4) == POPULATION
+
+    def test_weighted_damage_prefers_damaged_victims(self):
+        class View:
+            def victim_weight(self, peer_id):
+                return 50.0 if peer_id == "peer-07" else 0.0
+
+        policy = WeightedDamageTargeting(coverage=0.1, exponent=1.0)
+        hits = sum(
+            "peer-07" in policy.pick(random.Random(seed), POPULATION, 0, View())
+            for seed in range(40)
+        )
+        assert hits > 30  # weight 51 vs 1 for the other nine peers
+
+    def test_weighted_damage_without_view_is_uniform_but_deterministic(self):
+        policy = WeightedDamageTargeting(coverage=0.5)
+        first = policy.pick(random.Random(11), POPULATION, 0)
+        second = policy.pick(random.Random(11), POPULATION, 0)
+        assert first == second
+        assert len(first) == 5
+
+    def test_coverage_validation(self):
+        for kind in ("random_subset", "sticky", "round_robin", "weighted_damage"):
+            with pytest.raises(ValueError):
+                TARGETING_REGISTRY.build({"kind": kind, "coverage": 0.0})
+
+
+class TestSchedules:
+    def test_constant_is_open_ended(self):
+        schedule = ConstantSchedule()
+        assert schedule.open_ended
+        window = schedule.window(0)
+        assert window.duration == float("inf")
+        assert schedule.window(1) is None
+
+    def test_on_off_matches_legacy_cycle(self):
+        schedule = OnOffSchedule(attack_duration_days=45.0, recuperation_days=15.0)
+        for index in range(3):
+            window = schedule.window(index)
+            assert window.duration == units.days(45.0)
+            assert window.gap == units.days(15.0)
+            assert window.intensity == 1.0
+
+    def test_ramp_escalates_and_caps(self):
+        schedule = RampSchedule(initial_intensity=0.25, step=0.5, max_intensity=1.0)
+        assert schedule.window(0).intensity == 0.25
+        assert schedule.window(1).intensity == 0.75
+        assert schedule.window(2).intensity == 1.0
+        assert schedule.window(9).intensity == 1.0
+
+    def test_piecewise_repeats_and_pauses(self):
+        schedule = PiecewiseSchedule(
+            phases=[
+                {"duration_days": 10.0, "intensity": 1.0, "gap_days": 5.0},
+                {"duration_days": 20.0, "intensity": 0.0},
+            ],
+            repeat=True,
+        )
+        assert schedule.window(0).duration == units.days(10.0)
+        assert schedule.window(1).intensity == 0.0  # a pure pause
+        assert schedule.window(2).duration == units.days(10.0)  # wrapped
+
+    def test_piecewise_without_repeat_ends(self):
+        schedule = PiecewiseSchedule(
+            phases=[{"duration_days": 10.0}], repeat=False
+        )
+        assert schedule.window(0) is not None
+        assert schedule.window(1) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnOffSchedule(attack_duration_days=0.0)
+        with pytest.raises(ValueError):
+            RampSchedule(initial_intensity=0.5, max_intensity=0.25)
+        with pytest.raises(ValueError):
+            PiecewiseSchedule(phases=[])
+
+
+class TestAdaptivePolicies:
+    def test_all_runs_every_vector(self):
+        assert AllVectors().select(3, 4, []) == [0, 1, 2, 3]
+
+    def test_rotate_cycles(self):
+        policy = RotateVectors()
+        assert [policy.select(i, 3, []) for i in range(4)] == [[0], [1], [2], [0]]
+
+    def test_metrics(self):
+        assert admission_rate({"invitations_sent": 10.0, "invitations_admitted": 4.0}) == 0.4
+        assert admission_rate({}) == 1.0  # no sends -> no evidence of refusal
+        assert refusal_rate({"invitations_sent": 10.0, "invitations_admitted": 4.0}) == 0.6
+
+    def test_threshold_switch_escalates_once_and_sticks(self):
+        policy = ThresholdSwitch(threshold=0.5, grace_windows=1)
+        deltas_ok = [{"invitations_sent": 10.0, "invitations_admitted": 8.0}, {}]
+        deltas_bad = [{"invitations_sent": 10.0, "invitations_admitted": 1.0}, {}]
+        assert policy.select(0, 2, deltas_bad) == [0]  # grace window
+        assert policy.select(1, 2, deltas_ok) == [0]  # healthy probe
+        assert policy.select(2, 2, deltas_bad) == [1]  # degraded -> switch
+        assert policy.switched_at == 2
+        assert policy.select(3, 2, deltas_ok) == [1]  # permanent
+
+    def test_threshold_switch_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdSwitch(metric="nonsense")
+        with pytest.raises(ValueError):
+            ThresholdSwitch(grace_windows=0)
+
+
+class TestComponentRegistries:
+    def test_catalogs_are_complete(self):
+        assert TARGETING_REGISTRY.names() == [
+            "random_subset",
+            "round_robin",
+            "sticky",
+            "weighted_damage",
+        ]
+        assert SCHEDULE_REGISTRY.names() == ["constant", "on_off", "piecewise", "ramp"]
+        assert VECTOR_REGISTRY.names() == [
+            "admission_flood",
+            "brute_force_poll",
+            "effort_attrition",
+            "pipe_stoppage",
+        ]
+        assert ADAPTIVE_REGISTRY.names() == ["all", "rotate", "threshold_switch"]
+        assert set(COMPONENT_REGISTRIES) == {
+            "targeting",
+            "schedule",
+            "vector",
+            "adaptive",
+        }
+
+    def test_unknown_kind_and_param_fail_fast(self):
+        with pytest.raises(KeyError):
+            TARGETING_REGISTRY.build({"kind": "nope"})
+        with pytest.raises(TypeError):
+            SCHEDULE_REGISTRY.build({"kind": "on_off", "bogus": 1})
+        with pytest.raises(ValueError):
+            VECTOR_REGISTRY.build({"no_kind": True})
+
+    def test_canonical_merges_defaults(self):
+        canonical = SCHEDULE_REGISTRY.canonical({"kind": "on_off"})
+        assert canonical == {
+            "kind": "on_off",
+            "attack_duration_days": 30.0,
+            "recuperation_days": 30.0,
+            "intensity": 1.0,
+        }
+        # Spelling a default out changes nothing.
+        assert canonical == SCHEDULE_REGISTRY.canonical(
+            {"kind": "on_off", "intensity": 1.0}
+        )
+
+    def test_build_to_spec_round_trip(self):
+        spec = {"kind": "ramp", "initial_intensity": 0.5}
+        component = SCHEDULE_REGISTRY.build(spec)
+        assert component.to_spec() == SCHEDULE_REGISTRY.canonical(spec)
+
+    def test_catalog_rows_describe_components(self):
+        rows = {row["kind"]: row for row in TARGETING_REGISTRY.catalog()}
+        assert rows["random_subset"]["defaults"] == {"coverage": 1.0}
+        assert rows["random_subset"]["description"]

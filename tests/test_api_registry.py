@@ -2,9 +2,13 @@
 
 import pytest
 
-from repro.adversary.admission_flood import AdmissionControlAdversary
-from repro.adversary.brute_force import BruteForceAdversary, DefectionPoint
-from repro.adversary.pipe_stoppage import PipeStoppageAdversary
+from repro.adversary.brute_force import DefectionPoint
+from repro.adversary.composed import ComposedAdversary
+from repro.adversary.vectors import (
+    AdmissionFloodVector,
+    BruteForcePollVector,
+    PipeStoppageVector,
+)
 from repro.api import DEFAULT_REGISTRY, AdversaryRegistry
 from repro.config import smoke_config
 from repro.experiments.world import build_world
@@ -21,16 +25,21 @@ class TestBuiltins:
         assert "pipe_stoppage" in DEFAULT_REGISTRY
         assert "admission_flood" in DEFAULT_REGISTRY
         assert "brute_force" in DEFAULT_REGISTRY
+        assert "composed" in DEFAULT_REGISTRY
 
-    def test_factories_build_the_right_types(self, world):
+    def test_factories_build_thin_compositions(self, world):
+        """The builtin kinds are single-vector stacks over ComposedAdversary."""
         cases = {
-            "pipe_stoppage": PipeStoppageAdversary,
-            "admission_flood": AdmissionControlAdversary,
-            "brute_force": BruteForceAdversary,
+            "pipe_stoppage": PipeStoppageVector,
+            "admission_flood": AdmissionFloodVector,
+            "brute_force": BruteForcePollVector,
         }
-        for kind, expected_type in cases.items():
+        for kind, vector_type in cases.items():
             factory = DEFAULT_REGISTRY.factory(kind)
-            assert isinstance(factory(world), expected_type)
+            built = factory(world)
+            assert isinstance(built, ComposedAdversary)
+            assert len(built.vectors) == 1
+            assert isinstance(built.vectors[0], vector_type)
 
     def test_factory_records_its_kind_and_params(self):
         factory = DEFAULT_REGISTRY.factory("pipe_stoppage", coverage=0.4)
@@ -39,13 +48,14 @@ class TestBuiltins:
 
     def test_brute_force_accepts_string_defection(self, world):
         built = DEFAULT_REGISTRY.create("brute_force", world, defection="intro")
-        assert built.defection is DefectionPoint.INTRO
+        assert built.vectors[0].defection is DefectionPoint.INTRO
 
     def test_params_override_defaults(self, world):
         built = DEFAULT_REGISTRY.create(
             "pipe_stoppage", world, attack_duration_days=5.0, coverage=0.5
         )
-        assert built.schedule.coverage == 0.5
+        assert built.targeting.coverage == 0.5
+        assert built.schedule.attack_duration_days == 5.0
 
 
 class TestRegistration:

@@ -97,8 +97,50 @@ class TestScenarioCommands:
         exit_code = main(["list-adversaries"])
         output = capsys.readouterr().out
         assert exit_code == 0
-        for kind in ("pipe_stoppage", "admission_flood", "brute_force"):
+        for kind in ("pipe_stoppage", "admission_flood", "brute_force", "composed"):
             assert kind in output
+        assert "Targeting components" not in output
+
+    def test_list_adversaries_components_shows_the_catalogs(self, capsys):
+        exit_code = main(["list-adversaries", "--components"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        for heading in (
+            "Targeting components",
+            "Schedule components",
+            "Vector components",
+            "Adaptive components",
+        ):
+            assert heading in output
+        for kind in (
+            "random_subset",
+            "sticky",
+            "round_robin",
+            "weighted_damage",
+            "on_off",
+            "ramp",
+            "piecewise",
+            "brute_force_poll",
+            "effort_attrition",
+            "threshold_switch",
+        ):
+            assert kind in output
+
+    def test_campaign_run_structured_spec_matrix(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "campaign",
+                "run",
+                "examples/campaigns/adversary_matrix.json",
+                "--store",
+                str(tmp_path / "store"),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "4 points complete" in output
+        assert "targeting.kind" in output
+        assert "vectors.0.kind" in output
 
     def test_run_point_scenario_from_file(self, tmp_path, capsys):
         from repro import units

@@ -45,9 +45,13 @@ def test_run_many_warns_once_per_call_site(smoke):
 
 def test_run_attack_experiment_warns_once_per_call_site(smoke):
     protocol, sim = smoke
-    factory = make_pipe_stoppage_factory(
-        attack_duration=units.days(60), coverage=1.0, recuperation=units.days(15)
-    )
+    with warnings.catch_warnings():
+        # The factory helper has its own deprecation (tested below); keep
+        # this test's warning ledger about run_attack_experiment only.
+        warnings.simplefilter("ignore", DeprecationWarning)
+        factory = make_pipe_stoppage_factory(
+            attack_duration=units.days(60), coverage=1.0, recuperation=units.days(15)
+        )
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("default")
         for _ in range(2):
@@ -56,6 +60,55 @@ def test_run_attack_experiment_warns_once_per_call_site(smoke):
     assert len(deprecations) == 1
     assert deprecations[0].filename == __file__
     assert "run_attack_experiment is deprecated" in str(deprecations[0].message)
+
+
+def test_make_factory_helpers_warn_once_per_call_site():
+    """The seconds-based ``make_*_factory`` kwargs are deprecation shims."""
+    from repro.experiments.admission_attack import make_admission_flood_factory
+    from repro.experiments.effortful import make_brute_force_factory
+    from repro.adversary.brute_force import DefectionPoint
+
+    helpers = [
+        (
+            "make_pipe_stoppage_factory",
+            lambda: make_pipe_stoppage_factory(
+                attack_duration=units.days(30), coverage=1.0
+            ),
+        ),
+        (
+            "make_admission_flood_factory",
+            lambda: make_admission_flood_factory(
+                attack_duration=units.days(30), coverage=1.0
+            ),
+        ),
+        (
+            "make_brute_force_factory",
+            lambda: make_brute_force_factory(DefectionPoint.NONE),
+        ),
+    ]
+    for name, call in helpers:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("default")
+            for _ in range(2):
+                call()  # one call site, exercised twice
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1, name
+        # stacklevel=2 attributes the warning to the caller of the shim.
+        assert deprecations[0].filename == __file__, name
+        assert name in str(deprecations[0].message)
+
+
+def test_make_factory_still_builds_a_working_factory(smoke):
+    """The shim still returns the registry-backed factory it always did."""
+    protocol, sim = smoke
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        factory = make_pipe_stoppage_factory(
+            attack_duration=units.days(30), coverage=0.5
+        )
+    assert factory.adversary_kind == "pipe_stoppage"
+    assert factory.adversary_params["attack_duration_days"] == 30.0
+    assert factory.adversary_params["coverage"] == 0.5
 
 
 def test_distinct_call_sites_each_warn(smoke):

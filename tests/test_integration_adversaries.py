@@ -5,11 +5,36 @@ import pytest
 from repro import units
 from repro.adversary.base import AttackSchedule
 from repro.adversary.brute_force import DefectionPoint
+from repro.adversary.targeting import victim_count
+from repro.api.registry import DEFAULT_REGISTRY
 from repro.config import smoke_config
-from repro.experiments.admission_attack import make_admission_flood_factory
-from repro.experiments.effortful import make_brute_force_factory
-from repro.experiments.pipe_stoppage import make_pipe_stoppage_factory
 from repro.experiments.world import build_world
+
+
+def pipe_stoppage_factory(attack_duration_days, coverage, recuperation_days=30.0):
+    return DEFAULT_REGISTRY.factory(
+        "pipe_stoppage",
+        attack_duration_days=attack_duration_days,
+        coverage=coverage,
+        recuperation_days=recuperation_days,
+    )
+
+
+def admission_flood_factory(
+    attack_duration_days, coverage, invitations_per_victim_per_day=4.0
+):
+    return DEFAULT_REGISTRY.factory(
+        "admission_flood",
+        attack_duration_days=attack_duration_days,
+        coverage=coverage,
+        invitations_per_victim_per_day=invitations_per_victim_per_day,
+    )
+
+
+def brute_force_factory(defection, **params):
+    return DEFAULT_REGISTRY.factory(
+        "brute_force", defection=defection.value, **params
+    )
 
 
 def run_world(adversary_factory=None, seed=3, **sim_overrides):
@@ -40,6 +65,40 @@ class TestAttackSchedule:
         assert len(victims) == 5
         assert set(victims) <= set(population)
 
+    def test_pick_victims_targets_at_least_one_victim(self):
+        """Pinned edge: an active attack never targets an empty victim set.
+
+        ``coverage * len(population) < 0.5`` rounds to zero, but the
+        documented behaviour is a floor of one victim — the paper's
+        adversary does not mount an attack cycle against nobody (a zero
+        coverage is rejected at construction instead).
+        """
+        import random
+
+        schedule = AttackSchedule(attack_duration=units.DAY, coverage=0.04)
+        population = ["p%d" % i for i in range(10)]  # 0.04 * 10 = 0.4 -> 0
+        victims = schedule.pick_victims(random.Random(7), population)
+        assert len(victims) == 1
+        # The shared victim-count rule agrees with the schedule...
+        assert victim_count(0.04, 10) == 1
+        # ...clamps to the population...
+        assert victim_count(1.0, 3) == 3
+        # ...and rounds (not truncates) above the floor.
+        assert victim_count(0.55, 10) == 6
+
+    def test_pick_victims_matches_random_subset_targeting_draws(self):
+        """The composed targeting policy replays the legacy sample path."""
+        import random
+
+        from repro.adversary.targeting import RandomSubsetTargeting
+
+        schedule = AttackSchedule(attack_duration=units.DAY, coverage=0.3)
+        policy = RandomSubsetTargeting(coverage=0.3)
+        population = ["p%d" % i for i in range(17)]
+        legacy = schedule.pick_victims(random.Random(42), population)
+        composed = policy.pick(random.Random(42), population, 0)
+        assert legacy == composed
+
     def test_cycle_length(self):
         schedule = AttackSchedule(
             attack_duration=10 * units.DAY, coverage=1.0, recuperation=30 * units.DAY
@@ -50,9 +109,7 @@ class TestAttackSchedule:
 class TestPipeStoppage:
     def test_full_coverage_long_attack_suppresses_polls(self):
         baseline_world, baseline = run_world()
-        factory = make_pipe_stoppage_factory(
-            attack_duration=units.days(120), coverage=1.0, recuperation=units.days(15)
-        )
+        factory = pipe_stoppage_factory(120.0, 1.0, recuperation_days=15.0)
         attacked_world, attacked = run_world(adversary_factory=factory)
         assert attacked.successful_polls < baseline.successful_polls
         assert attacked.failed_polls > baseline.failed_polls
@@ -62,14 +119,12 @@ class TestPipeStoppage:
         )
 
     def test_attack_is_effortless(self):
-        factory = make_pipe_stoppage_factory(attack_duration=units.days(30), coverage=0.5)
+        factory = pipe_stoppage_factory(30.0, 0.5)
         _, attacked = run_world(adversary_factory=factory)
         assert attacked.adversary_effort == 0.0
 
     def test_blackout_is_released_during_recuperation(self):
-        factory = make_pipe_stoppage_factory(
-            attack_duration=units.days(10), coverage=1.0, recuperation=units.days(30)
-        )
+        factory = pipe_stoppage_factory(10.0, 1.0, recuperation_days=30.0)
         world, _ = run_world(adversary_factory=factory)
         # By the end of the run every blackout has been lifted or will be
         # lifted; the network must not stay permanently blocked.
@@ -77,12 +132,8 @@ class TestPipeStoppage:
         assert len(world.network.blocked_identities()) <= world.sim_config.n_peers
 
     def test_partial_coverage_hurts_less_than_full(self):
-        small_factory = make_pipe_stoppage_factory(
-            attack_duration=units.days(120), coverage=0.2, recuperation=units.days(15)
-        )
-        full_factory = make_pipe_stoppage_factory(
-            attack_duration=units.days(120), coverage=1.0, recuperation=units.days(15)
-        )
+        small_factory = pipe_stoppage_factory(120.0, 0.2, recuperation_days=15.0)
+        full_factory = pipe_stoppage_factory(120.0, 1.0, recuperation_days=15.0)
         _, small = run_world(adversary_factory=small_factory)
         _, full = run_world(adversary_factory=full_factory)
         assert full.successful_polls < small.successful_polls
@@ -90,11 +141,7 @@ class TestPipeStoppage:
 
 class TestAdmissionFlood:
     def test_flood_triggers_refractory_periods(self):
-        factory = make_admission_flood_factory(
-            attack_duration=units.days(200),
-            coverage=1.0,
-            invitations_per_victim_per_day=8.0,
-        )
+        factory = admission_flood_factory(200.0, 1.0, invitations_per_victim_per_day=8.0)
         world, _ = run_world(adversary_factory=factory)
         triggers = sum(
             peer.au_state(au.au_id).admission.refractory.triggers
@@ -106,27 +153,17 @@ class TestAdmissionFlood:
 
     def test_flood_barely_moves_poll_success(self):
         _, baseline = run_world()
-        factory = make_admission_flood_factory(
-            attack_duration=units.days(200),
-            coverage=1.0,
-            invitations_per_victim_per_day=8.0,
-        )
+        factory = admission_flood_factory(200.0, 1.0, invitations_per_victim_per_day=8.0)
         _, attacked = run_world(adversary_factory=factory)
         assert attacked.successful_polls >= 0.8 * baseline.successful_polls
 
     def test_flood_is_effortless_for_the_adversary(self):
-        factory = make_admission_flood_factory(
-            attack_duration=units.days(60), coverage=0.5
-        )
+        factory = admission_flood_factory(60.0, 0.5)
         _, attacked = run_world(adversary_factory=factory)
         assert attacked.adversary_effort == 0.0
 
     def test_garbage_invitations_never_earn_good_grades(self):
-        factory = make_admission_flood_factory(
-            attack_duration=units.days(200),
-            coverage=1.0,
-            invitations_per_victim_per_day=8.0,
-        )
+        factory = admission_flood_factory(200.0, 1.0, invitations_per_victim_per_day=8.0)
         world, _ = run_world(adversary_factory=factory)
         from repro.core.reputation import Grade
 
@@ -142,9 +179,7 @@ class TestAdmissionFlood:
 class TestBruteForce:
     def test_full_participation_raises_friction(self):
         _, baseline = run_world()
-        factory = make_brute_force_factory(
-            DefectionPoint.NONE, attempts_per_victim_au_per_day=5.0
-        )
+        factory = brute_force_factory(DefectionPoint.NONE, attempts_per_victim_au_per_day=5.0)
         world, attacked = run_world(adversary_factory=factory)
         baseline_friction = baseline.loyal_effort / max(1, baseline.successful_polls)
         attacked_friction = attacked.loyal_effort / max(1, attacked.successful_polls)
@@ -153,24 +188,24 @@ class TestBruteForce:
         assert world.adversary.votes_received > 0
 
     def test_intro_defection_never_sends_poll_proof(self):
-        factory = make_brute_force_factory(DefectionPoint.INTRO)
+        factory = brute_force_factory(DefectionPoint.INTRO)
         world, attacked = run_world(adversary_factory=factory)
         assert world.adversary.invitations_admitted > 0
         assert world.adversary.votes_received == 0
 
     def test_remaining_defection_receives_votes_but_wastes_them(self):
-        factory = make_brute_force_factory(DefectionPoint.REMAINING)
+        factory = brute_force_factory(DefectionPoint.REMAINING)
         world, _ = run_world(adversary_factory=factory)
         assert world.adversary.votes_received > 0
 
     def test_attack_barely_moves_poll_success(self):
         _, baseline = run_world()
-        factory = make_brute_force_factory(DefectionPoint.NONE)
+        factory = brute_force_factory(DefectionPoint.NONE)
         _, attacked = run_world(adversary_factory=factory)
         assert attacked.successful_polls >= 0.75 * baseline.successful_polls
 
     def test_adversary_identities_start_in_debt(self):
-        factory = make_brute_force_factory(DefectionPoint.INTRO)
+        factory = brute_force_factory(DefectionPoint.INTRO)
         protocol, sim = smoke_config(seed=3)
         world = build_world(protocol, sim, adversary_factory=factory)
         world.start()
@@ -183,7 +218,7 @@ class TestBruteForce:
             assert known.grade_of(identity, world.simulator.now) is Grade.DEBT
 
     def test_oracle_skips_busy_victims(self):
-        factory = make_brute_force_factory(DefectionPoint.INTRO)
+        factory = brute_force_factory(DefectionPoint.INTRO)
         protocol, sim = smoke_config(seed=3)
         world = build_world(protocol, sim, adversary_factory=factory)
         # Saturate every victim's schedule so the oracle skips all attempts.
