@@ -94,6 +94,9 @@ class Adversary(Node):
         self.effort = EffortAccount()
         self.identities: List[str] = []
         self.active = False
+        #: Replay tap (see :mod:`repro.replay`); attached by the record-mode
+        #: wiring, never consulted on the adversary's own hot paths.
+        self.tracer = None
         # The adversary cluster is generously provisioned: a fast link so
         # that its own connectivity never limits the attack.
         self._link = LinkProperties(bandwidth_bps=units.mbps(1000), latency=0.002)

@@ -180,10 +180,16 @@ class ComposedAdversary(Adversary):
             self.current_victims = list(victims)
             self._engaged = list(active)
             self.window_log.append(list(active))
+            if self.tracer is not None:
+                self.tracer.window(
+                    now, self.node_id, self._window_index, self._engaged, self.current_victims
+                )
             for index in self._engaged:
                 self.vectors[index].engage(victims, window_end, window.intensity)
         else:
             self.window_log.append([])
+            if self.tracer is not None:
+                self.tracer.window(now, self.node_id, self._window_index, [], [])
         self._window_index += 1
         self._pending_gap = window.gap
         if not self.schedule.open_ended:

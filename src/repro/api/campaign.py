@@ -291,11 +291,15 @@ class CampaignRunner:
         session: Optional[Session] = None,
         store: Optional[ResultStore] = None,
         workers: int = 1,
+        record: bool = False,
     ):
         if session is None:
-            session = Session(workers=workers, store=store)
-        elif store is not None and session.store is None:
-            session.store = store
+            session = Session(workers=workers, store=store, record=record)
+        else:
+            if store is not None and session.store is None:
+                session.store = store
+            if record:
+                session.record = True
         self.session = session
 
     @property

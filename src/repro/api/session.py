@@ -70,16 +70,17 @@ class ExperimentResult:
         )
 
 
-def execute_point(
+def build_point_world(
     scenario: Scenario,
     seed: int,
     baseline: bool = False,
     registry: Optional[AdversaryRegistry] = None,
-) -> RunMetrics:
-    """Build and run one world for ``scenario`` at ``seed``.
+):
+    """Build (but do not run) the world for one scenario point.
 
-    With ``baseline=True`` the adversary spec is ignored, producing the
-    matching no-attack run the paper's ratio metrics are defined against.
+    The unrun world is what the replay subsystem needs: record mode
+    attaches its tracer before the first event, and checkpoint workflows
+    advance it in stages.
     """
     # Imported lazily so that ``repro.experiments`` (whose runner imports
     # this package) is never re-entered during module initialization.
@@ -92,19 +93,44 @@ def execute_point(
         factory = active_registry.factory(
             scenario.adversary.kind, **scenario.adversary.params
         )
-    world = build_world(protocol, sim, adversary_factory=factory)
+    return build_world(protocol, sim, adversary_factory=factory)
+
+
+def execute_point(
+    scenario: Scenario,
+    seed: int,
+    baseline: bool = False,
+    registry: Optional[AdversaryRegistry] = None,
+    trace_path: Optional[str] = None,
+) -> RunMetrics:
+    """Build and run one world for ``scenario`` at ``seed``.
+
+    With ``baseline=True`` the adversary spec is ignored, producing the
+    matching no-attack run the paper's ratio metrics are defined against.
+    With ``trace_path`` the run is captured as a replay trace (see
+    :mod:`repro.replay`); recording never perturbs the metrics.
+    """
+    if trace_path is not None:
+        from ..replay import record_run
+
+        return record_run(
+            scenario, seed, trace_path, baseline=baseline, registry=registry
+        )
+    world = build_point_world(scenario, seed, baseline=baseline, registry=registry)
     return world.run()
 
 
-def _execute_payload(payload: Tuple[str, int, bool]) -> RunMetrics:
-    """Process-pool entry point: run one (scenario JSON, seed, baseline) task.
+def _execute_payload(payload: Tuple[str, int, bool, Optional[str]]) -> RunMetrics:
+    """Process-pool entry point: one (scenario JSON, seed, baseline, trace path) task.
 
     Worker processes resolve adversary kinds against the default registry, so
     custom adversaries must be registered at import time of an importable
     module to be available under ``workers > 1``.
     """
-    scenario_json, seed, baseline = payload
-    return execute_point(Scenario.from_json(scenario_json), seed, baseline=baseline)
+    scenario_json, seed, baseline, trace_path = payload
+    return execute_point(
+        Scenario.from_json(scenario_json), seed, baseline=baseline, trace_path=trace_path
+    )
 
 
 @dataclass
@@ -125,10 +151,14 @@ class Session:
     result as digest-keyed JSON, shared across processes and invocations.
     ``registry`` resolves adversary kinds; a non-default registry forces
     serial execution because worker processes only see the default one.
+    ``record=True`` captures every *computed* run (cache misses only) as a
+    ``trace-<digest>.jsonl.gz`` replay artifact in the store, which is then
+    required.
     """
 
     workers: int = 1
     store: Optional[ResultStore] = None
+    record: bool = False
     registry: AdversaryRegistry = field(default=DEFAULT_REGISTRY, repr=False)
     _run_cache: Dict[str, RunMetrics] = field(default_factory=dict, repr=False)
     _pool: Optional[concurrent.futures.ProcessPoolExecutor] = field(
@@ -211,6 +241,10 @@ class Session:
             elif all(task.digest != other.digest for other in pending):
                 pending.append(task)
 
+        trace_paths = {
+            task.digest: str(self._trace_target(task.digest)) for task in pending
+        } if self.record else {}
+
         use_pool = (
             self.workers > 1
             and len(pending) > 1
@@ -218,7 +252,12 @@ class Session:
         )
         if use_pool:
             payloads = [
-                (task.scenario.to_json(indent=None), task.seed, task.baseline)
+                (
+                    task.scenario.to_json(indent=None),
+                    task.seed,
+                    task.baseline,
+                    trace_paths.get(task.digest),
+                )
                 for task in pending
             ]
             pool = self._executor()
@@ -227,7 +266,11 @@ class Session:
         else:
             metrics = [
                 execute_point(
-                    task.scenario, task.seed, baseline=task.baseline, registry=self.registry
+                    task.scenario,
+                    task.seed,
+                    baseline=task.baseline,
+                    registry=self.registry,
+                    trace_path=trace_paths.get(task.digest),
                 )
                 for task in pending
             ]
@@ -236,6 +279,11 @@ class Session:
             results[task.digest] = run
             self._remember(task.digest, run)
         return results
+
+    def _trace_target(self, digest: str):
+        if self.store is None:
+            raise ValueError("Session(record=True) requires a result store")
+        return self.store.trace_path(digest)
 
     def _lookup(self, digest: str) -> Optional[RunMetrics]:
         run = self._run_cache.get(digest)

@@ -14,6 +14,12 @@ Two artifact kinds are used by the session layer:
 * ``result-<digest>.json`` — a full :class:`~repro.api.session.ExperimentResult`
   (assessment + runs + parameters) for one scenario point.
 
+Record-mode sessions (see :mod:`repro.replay`) additionally persist one
+``trace-<digest>.jsonl.gz`` per run — a gzipped replay trace keyed by the
+same per-run digest as its ``runs`` artifact.  Traces are binary artifacts
+handled by the replay subsystem; the store only names, lists, and prunes
+them.
+
 Writes are atomic (temp file + ``os.replace``); unreadable or corrupt
 artifacts are treated as cache misses rather than errors.
 """
@@ -104,11 +110,24 @@ class ResultStore:
         except (KeyError, TypeError, ValueError):
             return None
 
+    # -- replay traces ------------------------------------------------------------------
+
+    def trace_path(self, digest: str) -> Path:
+        """Where the replay trace for per-run ``digest`` lives (may not exist)."""
+        return self.root / ("trace-%s.jsonl.gz" % digest)
+
+    def has_trace(self, digest: str) -> bool:
+        return self.trace_path(digest).exists()
+
+    def trace_paths(self) -> List[Path]:
+        """All finished replay traces in the store (sorted by name)."""
+        return sorted(self.root.glob("trace-*.jsonl.gz"))
+
     # -- housekeeping -------------------------------------------------------------------
 
     def artifacts(self) -> List[Path]:
         """All artifact files currently in the store (sorted by name)."""
-        return sorted(self.root.glob("*-*.json"))
+        return sorted(self.root.glob("*-*.json")) + self.trace_paths()
 
     def clear(self) -> int:
         """Delete every artifact; returns the number removed."""
@@ -125,14 +144,17 @@ class ResultStore:
         """Sweep orphaned temp files, plus all artifacts of ``kind`` if given.
 
         Killed or crashed campaign workers can leave ``*.tmp`` files behind
-        (never under a final artifact name — writes are atomic); pruning
-        removes them.  With ``kind`` (e.g. ``"runs"``, ``"result"``,
-        ``"campaign"``), every artifact of that kind is removed too, which
+        (never under a final artifact name — writes are atomic, and trace
+        writers stream to ``<name>.tmp`` until finalized); pruning removes
+        them.  With ``kind`` (e.g. ``"runs"``, ``"result"``, ``"campaign"``,
+        ``"trace"``), every artifact of that kind is removed too, which
         invalidates exactly that cache layer without touching the others.
         Returns the number of files removed.
         """
         targets = list(self.root.glob("*.tmp"))
-        if kind is not None:
+        if kind == "trace":
+            targets.extend(self.trace_paths())
+        elif kind is not None:
             # Validate the kind the same way path_for does.
             self.path_for(kind, "x")
             targets.extend(self.root.glob("%s-*.json" % kind))

@@ -15,7 +15,14 @@ table:
   (``run`` / ``status`` / ``resume`` / ``report`` over a campaign JSON file
   or a named bench artifact), resumable via the digest-keyed store
 * ``store``           — store housekeeping (``prune`` torn temp files or one
-  artifact kind)
+  artifact kind, replay traces included)
+* ``replay``          — verify a recorded trace by re-running it (or list its
+  records with ``--kinds``/``--peer``/``--from``/``--until`` filters)
+* ``bisect``          — localize the first divergent record of two traces
+* ``checkpoint``      — run a scenario point to a mid-run instant and save a
+  resumable full-state checkpoint
+* ``fork``            — resume a checkpoint, optionally unleashing a fresh
+  adversary mid-timeline (prefix forking)
 * ``list-adversaries``— the registered attack strategies
 * ``bench``           — the figure-benchmark suite with result-digest checks
   against the committed baseline, emitting the ``BENCH_PR2.json`` trajectory
@@ -77,7 +84,12 @@ def _configs(args: argparse.Namespace) -> "tuple[ProtocolConfig, SimulationConfi
 def _session(args: argparse.Namespace) -> Session:
     """Build the execution session a subcommand runs its scenarios through."""
     store = ResultStore(args.store) if getattr(args, "store", None) else None
-    return Session(workers=getattr(args, "workers", 1) or 1, store=store)
+    record = bool(getattr(args, "record", False))
+    if record and store is None:
+        raise SystemExit("--record needs --store DIR (traces are store artifacts)")
+    return Session(
+        workers=getattr(args, "workers", 1) or 1, store=store, record=record
+    )
 
 
 def _print_rows(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> None:
@@ -261,6 +273,37 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .experiments import bench as bench_module
 
     names = args.artifacts.split(",") if args.artifacts else None
+    if args.record_compare:
+        report = bench_module.run_record_comparison(names=names, quick=args.quick)
+        print(bench_module.format_record_report(report))
+        out = args.out
+        if out == "BENCH_PR2.json":
+            out = "BENCH_PR6.json"
+        if out:
+            bench_module.write_report(report, Path(out))
+            print("record-overhead report written to %s" % out)
+        failures = [
+            name
+            for name, record in report.get("artifacts", {}).items()
+            if not record["digest_match"]
+        ]
+        if failures:
+            print(
+                "RECORDING PERTURBED RESULTS — record-on digests differ for: %s"
+                % ", ".join(failures)
+            )
+            return 1
+        if args.check:
+            baseline = bench_module.load_baseline(Path(args.baseline))
+            if baseline is not None:
+                problems = bench_module.check_digests(report, baseline)
+                if problems:
+                    print("RESULT DIGEST DRIFT — experiment results changed:")
+                    for problem in problems:
+                        print("  " + problem)
+                    return 1
+                print("all record-off digests match the committed baseline")
+        return 0
     report = bench_module.run_bench(names=names, quick=args.quick)
 
     if args.before:
@@ -433,6 +476,156 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .replay import (
+        ReplayDivergence,
+        ReplayError,
+        SignatureMismatch,
+        filter_records,
+        iter_records,
+        replay_trace,
+    )
+
+    if args.list:
+        kinds = args.kinds.split(",") if args.kinds else None
+        start = units.days(args.start) if args.start is not None else None
+        until = units.days(args.until) if args.until is not None else None
+        rows = [
+            {"kind": record[0], "time_days": record[1] / units.days(1), "fields": record[2:]}
+            for record in filter_records(
+                iter_records(args.trace), kinds=kinds, peer=args.peer,
+                start=start, until=until,
+            )
+        ]
+        print("%s: %d matching record(s)" % (args.trace, len(rows)))
+        _print_rows(rows, ["kind", "time_days", "fields"])
+        return 0
+    try:
+        report = replay_trace(args.trace)
+    except SignatureMismatch as error:
+        print("SIGNATURE MISMATCH: %s" % error)
+        return 1
+    except ReplayDivergence as error:
+        print("REPLAY DIVERGENCE: %s" % error)
+        return 1
+    except ReplayError as error:
+        print("REPLAY FAILED: %s" % error)
+        return 1
+    print(
+        "replay OK: %d records verified, %d events, metrics digest %s"
+        % (report.records_checked, report.events_processed, report.metrics_digest[:16])
+    )
+    if args.expect_digest and report.metrics_digest != args.expect_digest:
+        print(
+            "METRICS DIGEST MISMATCH: replayed %s != expected %s"
+            % (report.metrics_digest, args.expect_digest)
+        )
+        return 1
+    return 0
+
+
+def _cmd_bisect(args: argparse.Namespace) -> int:
+    from .replay import first_divergence
+
+    divergence = first_divergence(args.trace_a, args.trace_b, context=args.context)
+    if divergence is None:
+        print("traces are identical")
+        return 0
+    print(divergence.describe())
+    return 1
+
+
+def _parse_adversary_params(text: Optional[str]) -> Dict[str, object]:
+    if not text:
+        return {}
+    import json as json_module
+
+    try:
+        params = json_module.loads(text)
+    except ValueError as error:
+        raise SystemExit("--params must be a JSON object: %s" % error)
+    if not isinstance(params, dict):
+        raise SystemExit("--params must be a JSON object")
+    return params
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    from .api.session import build_point_world
+    from .replay import Checkpoint
+
+    scenario = Scenario.load(args.scenario)
+    if scenario.is_sweep:
+        raise SystemExit("checkpoint needs a point scenario, not a sweep")
+    world = build_point_world(scenario, args.seed, baseline=args.baseline)
+    horizon = world.sim_config.duration
+    at = units.days(args.at_days) if args.at_days is not None else horizon / 2.0
+    if at > horizon:
+        raise SystemExit(
+            "--at-days %.1f is past the scenario duration (%.1f days)"
+            % (args.at_days, horizon / units.days(1))
+        )
+    world.run(until=at)
+    checkpoint = Checkpoint.capture(world)
+    checkpoint.save(args.out)
+    print(
+        "checkpoint of %s (seed %d%s) at %.1f days written to %s"
+        % (
+            scenario.name,
+            args.seed,
+            ", baseline" if args.baseline else "",
+            checkpoint.time / units.days(1),
+            args.out,
+        )
+    )
+    return 0
+
+
+def _cmd_fork(args: argparse.Namespace) -> int:
+    from .replay import Checkpoint, SignatureMismatch, metrics_digest
+
+    try:
+        checkpoint = Checkpoint.load(args.checkpoint)
+    except SignatureMismatch as error:
+        print("SIGNATURE MISMATCH: %s" % error)
+        return 1
+    spec = None
+    if args.adversary:
+        spec = {"kind": args.adversary, "params": _parse_adversary_params(args.params)}
+    world = checkpoint.fork(spec)
+    until = units.days(args.until_days) if args.until_days is not None else None
+    metrics = world.run(until=until)
+    digest = metrics_digest(metrics)
+    print(
+        "forked from %.1f days%s, ran to %.1f days"
+        % (
+            checkpoint.time / units.days(1),
+            " with adversary %r" % args.adversary if args.adversary else "",
+            world.simulator.now / units.days(1),
+        )
+    )
+    rows = [
+        {
+            "access_failure_probability": metrics.access_failure_probability,
+            "successful_polls": metrics.successful_polls,
+            "failed_polls": metrics.failed_polls,
+            "adversary_effort": metrics.adversary_effort,
+        }
+    ]
+    _print_rows(rows, list(rows[0]))
+    print("metrics digest: %s" % digest)
+    if args.out:
+        import json as json_module
+
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json_module.dump(
+                {"metrics": metrics.to_dict(), "digest": digest}, handle,
+                indent=2, sort_keys=True,
+            )
+            handle.write("\n")
+        print("fork metrics written to %s" % args.out)
+    return 0
+
+
 def _cmd_store_prune(args: argparse.Namespace) -> int:
     if not args.store:
         print("store prune needs --store DIR")
@@ -562,6 +755,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the scenario's seeds (comma-separated)",
     )
     _add_session_arguments(run_parser)
+    run_parser.add_argument(
+        "--record", action="store_true",
+        help="capture every computed run as a replay trace in the store "
+        "(requires --store; see docs/REPLAY.md)",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     campaign_parser = subparsers.add_parser(
@@ -591,6 +789,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop after executing N pending points (checkpoint + exit; "
         "finish later with `campaign resume`)",
     )
+    campaign_run.add_argument(
+        "--record", action="store_true",
+        help="capture every computed run as a replay trace in the store "
+        "(requires --store; see docs/REPLAY.md)",
+    )
     campaign_run.set_defaults(func=_cmd_campaign_run)
 
     campaign_status = campaign_sub.add_parser(
@@ -603,6 +806,11 @@ def build_parser() -> argparse.ArgumentParser:
         "resume", help="finish the pending points of a checkpointed campaign"
     )
     _campaign_common(campaign_resume)
+    campaign_resume.add_argument(
+        "--record", action="store_true",
+        help="capture every newly computed run as a replay trace in the "
+        "store (requires --store; see docs/REPLAY.md)",
+    )
     campaign_resume.set_defaults(func=_cmd_campaign_resume)
 
     campaign_report = campaign_sub.add_parser(
@@ -637,9 +845,93 @@ def build_parser() -> argparse.ArgumentParser:
     store_prune.add_argument(
         "--kind",
         default=None,
-        help="also remove every artifact of this kind (runs, result, campaign)",
+        help="also remove every artifact of this kind "
+        "(runs, result, campaign, trace)",
     )
     store_prune.set_defaults(func=_cmd_store_prune)
+
+    replay_parser = subparsers.add_parser(
+        "replay",
+        help="verify a recorded trace by re-running it, or list its records",
+    )
+    replay_parser.add_argument("trace", help="path to a trace-<digest>.jsonl.gz file")
+    replay_parser.add_argument(
+        "--list", action="store_true",
+        help="print the (filtered) records instead of replaying",
+    )
+    replay_parser.add_argument(
+        "--kinds", default=None,
+        help="with --list: comma-separated record kinds (poll,adm,dmg,win,send)",
+    )
+    replay_parser.add_argument(
+        "--peer", default=None,
+        help="with --list: only records involving this peer/node id",
+    )
+    replay_parser.add_argument(
+        "--from", dest="start", type=float, default=None, metavar="DAYS",
+        help="with --list: only records at or after this simulation day",
+    )
+    replay_parser.add_argument(
+        "--until", type=float, default=None, metavar="DAYS",
+        help="with --list: only records before this simulation day",
+    )
+    replay_parser.add_argument(
+        "--expect-digest", default=None, metavar="DIGEST",
+        help="additionally fail unless the replayed metrics digest equals DIGEST",
+    )
+    replay_parser.set_defaults(func=_cmd_replay)
+
+    bisect_parser = subparsers.add_parser(
+        "bisect", help="localize the first divergent record between two traces"
+    )
+    bisect_parser.add_argument("trace_a", help="first trace file")
+    bisect_parser.add_argument("trace_b", help="second trace file")
+    bisect_parser.add_argument(
+        "--context", type=int, default=5,
+        help="shared records to show before the divergence",
+    )
+    bisect_parser.set_defaults(func=_cmd_bisect)
+
+    checkpoint_parser = subparsers.add_parser(
+        "checkpoint",
+        help="run a scenario point to a mid-run instant and save a checkpoint",
+    )
+    checkpoint_parser.add_argument("scenario", help="path to a point Scenario JSON file")
+    checkpoint_parser.add_argument("--seed", type=int, default=1, help="master seed")
+    checkpoint_parser.add_argument(
+        "--baseline", action="store_true",
+        help="ignore the scenario's adversary (baseline prefix for forking)",
+    )
+    checkpoint_parser.add_argument(
+        "--at-days", type=float, default=None,
+        help="simulation day to checkpoint at (default: half the duration)",
+    )
+    checkpoint_parser.add_argument(
+        "--out", required=True, help="where to write the checkpoint file"
+    )
+    checkpoint_parser.set_defaults(func=_cmd_checkpoint)
+
+    fork_parser = subparsers.add_parser(
+        "fork",
+        help="resume a checkpoint to completion, optionally with a new adversary",
+    )
+    fork_parser.add_argument("checkpoint", help="path to a saved checkpoint")
+    fork_parser.add_argument(
+        "--adversary", default=None,
+        help="adversary kind to unleash at the fork point (see list-adversaries)",
+    )
+    fork_parser.add_argument(
+        "--params", default=None,
+        help='adversary parameters as a JSON object, e.g. \'{"coverage": 1.0}\'',
+    )
+    fork_parser.add_argument(
+        "--until-days", type=float, default=None,
+        help="run the fork to this simulation day (default: the full duration)",
+    )
+    fork_parser.add_argument(
+        "--out", default=None, help="write the fork's metrics + digest as JSON"
+    )
+    fork_parser.set_defaults(func=_cmd_fork)
 
     list_parser = subparsers.add_parser(
         "list-adversaries", help="list registered attack strategies"
@@ -683,6 +975,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--before", default=None,
         help="earlier report whose numbers are merged in as before/after pairs",
+    )
+    bench_parser.add_argument(
+        "--record-compare", action="store_true",
+        help="measure replay-trace recording overhead: run each artifact with "
+        "tracing off and on, compare wall/events-per-sec/RSS and digests "
+        "(report defaults to BENCH_PR6.json)",
     )
     bench_parser.set_defaults(func=_cmd_bench)
 

@@ -99,6 +99,9 @@ class Peer(Node):
         self._voter_sessions: Dict[str, VoterSession] = {}
         self._poll_counter = itertools.count(1)
         self._schedule_prune_counter = 0
+        #: Replay tap (see :mod:`repro.replay`); None costs one attribute
+        #: load + branch per considered invitation.
+        self.tracer = None
 
     # -- setup -----------------------------------------------------------------------
 
@@ -280,6 +283,14 @@ class Peer(Node):
 
         result = state.admission.consider(invitation.poller_id, now)
         admitted = result.admitted
+        tracer = self.tracer
+        if tracer is not None:
+            # Inlined "adm" record build (grammar: repro.replay.trace) —
+            # flood traffic runs through here, so it skips the
+            # Tracer.admission hop.
+            tracer.sink(
+                ["adm", now, self.peer_id, invitation.poller_id, result.decision.value]
+            )
         # charge_account directly (not self.charge): this path runs once per
         # considered invitation, flood traffic included.
         charge_account(self.effort, "session" if admitted else "drop", result.cost)

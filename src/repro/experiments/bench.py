@@ -21,6 +21,7 @@ events/sec per artifact, before and after the kernel fast path.
 from __future__ import annotations
 
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -410,6 +411,159 @@ def run_artifact(name: str) -> Dict[str, object]:
         "digest": digest_rows(rows),
         "peak_rss_kb": _peak_rss_kb(),
     }
+
+
+def _run_artifact_stored(name: str, record: bool) -> Dict[str, object]:
+    """Run one artifact against a throwaway store, with or without tracing.
+
+    Both sides of the record-overhead comparison go through identical
+    store-attached sessions, so the measured delta is the tracing itself
+    (taps + gzip trace writes), not the JSON result persistence.
+    """
+    import shutil
+    import tempfile
+
+    from ..api.store import ResultStore
+
+    title, factory = ARTIFACTS[name]
+    tmpdir = tempfile.mkdtemp(prefix="bench-%s-" % ("record" if record else "plain"))
+    try:
+        store = ResultStore(tmpdir)
+        session = Session(store=store, record=record)
+        started = time.perf_counter()
+        campaign = factory()
+        results = CampaignRunner(session).run(campaign)
+        rows = export_rows(campaign.exporter, results)
+        wall = time.perf_counter() - started
+        events = sum(
+            run.extras.get("events_processed", 0.0)
+            for run in session._run_cache.values()
+        )
+        traces = store.trace_paths()
+        trace_bytes = sum(path.stat().st_size for path in traces)
+        return {
+            "title": title,
+            "wall_s": round(wall, 4),
+            "events": int(events),
+            "events_per_s": round(events / wall, 1) if wall > 0 else 0.0,
+            "rows": len(rows),
+            "digest": digest_rows(rows),
+            "peak_rss_kb": _peak_rss_kb(),
+            "traces": len(traces),
+            "trace_bytes": trace_bytes,
+        }
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
+def run_record_comparison(
+    names: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Measure record-mode overhead: each artifact run with tracing off and on.
+
+    Runs are interleaved with alternating order (off/on, then on/off) and
+    each side keeps its best wall time, so CPU-frequency and cache-warmth
+    noise — easily 10% on sub-second artifacts — and progressive host
+    throttling do not masquerade as (or hide) recording overhead.  The
+    returned report carries, per artifact, the record-off and record-on
+    measurements, the relative wall-clock overhead, and the trace sizes; the
+    top-level ``digest`` per artifact is the record-off digest, so the
+    standard :func:`check_digests` baseline comparison applies unchanged.
+    A ``digest_match`` flag asserts the record-on run produced bit-identical
+    results (recording must never perturb the simulation).
+    """
+    if names is None:
+        names = QUICK_ARTIFACTS if quick else tuple(ARTIFACTS)
+    unknown = [name for name in names if name not in ARTIFACTS]
+    if unknown:
+        raise ValueError("unknown bench artifacts: %s" % ", ".join(unknown))
+    artifacts: Dict[str, Dict[str, object]] = {}
+    for name in names:
+        off = on = None
+        for repeat in range(max(1, repeats)):
+            if repeat % 2 == 0:
+                off_run = _run_artifact_stored(name, record=False)
+                on_run = _run_artifact_stored(name, record=True)
+            else:
+                on_run = _run_artifact_stored(name, record=True)
+                off_run = _run_artifact_stored(name, record=False)
+            if off is None or off_run["wall_s"] < off["wall_s"]:
+                off = off_run
+            if on is None or on_run["wall_s"] < on["wall_s"]:
+                on = on_run
+        overhead = (
+            round((on["wall_s"] - off["wall_s"]) / off["wall_s"] * 100.0, 1)
+            if off["wall_s"]
+            else None
+        )
+        artifacts[name] = {
+            "title": off["title"],
+            "digest": off["digest"],
+            "digest_match": off["digest"] == on["digest"],
+            "off": {key: off[key] for key in ("wall_s", "events", "events_per_s", "peak_rss_kb")},
+            "on": {key: on[key] for key in ("wall_s", "events", "events_per_s", "peak_rss_kb")},
+            "overhead_pct": overhead,
+            "traces": on["traces"],
+            "trace_bytes": on["trace_bytes"],
+        }
+    off_wall = sum(record["off"]["wall_s"] for record in artifacts.values())
+    on_wall = sum(record["on"]["wall_s"] for record in artifacts.values())
+    return {
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "nonce_stream_version": NONCE_STREAM_VERSION,
+        "mode": "record-compare",
+        "cpus": os.cpu_count(),
+        "quick": quick,
+        "artifacts": artifacts,
+        "total": {
+            "off_wall_s": round(off_wall, 4),
+            "on_wall_s": round(on_wall, 4),
+            "overhead_pct": (
+                round((on_wall - off_wall) / off_wall * 100.0, 1) if off_wall else None
+            ),
+            "trace_bytes": sum(record["trace_bytes"] for record in artifacts.values()),
+        },
+    }
+
+
+def format_record_report(report: Dict[str, object]) -> str:
+    """Render a record-overhead comparison as an aligned text table."""
+    lines = []
+    header = "%-24s %10s %10s %10s %8s %12s %6s" % (
+        "artifact", "off_s", "on_s", "overhead", "traces", "trace_bytes", "match"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, record in report.get("artifacts", {}).items():
+        lines.append(
+            "%-24s %10.3f %10.3f %9.1f%% %8d %12d %6s"
+            % (
+                name,
+                record["off"]["wall_s"],
+                record["on"]["wall_s"],
+                record["overhead_pct"] if record["overhead_pct"] is not None else 0.0,
+                record["traces"],
+                record["trace_bytes"],
+                "yes" if record["digest_match"] else "NO",
+            )
+        )
+    total = report.get("total", {})
+    lines.append("-" * len(header))
+    lines.append(
+        "%-24s %10.3f %10.3f %9.1f%% %8s %12d %6s"
+        % (
+            "TOTAL",
+            total.get("off_wall_s", 0.0),
+            total.get("on_wall_s", 0.0),
+            total.get("overhead_pct") or 0.0,
+            "-",
+            total.get("trace_bytes", 0),
+            "",
+        )
+    )
+    return "\n".join(lines)
 
 
 def run_bench(

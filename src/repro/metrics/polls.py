@@ -51,8 +51,14 @@ class PollStatistics:
         self.repairs_applied = 0
         #: Successful poll completion times per (peer, AU) series.
         self._success_times: Dict[Tuple[str, str], List[float]] = {}
-        #: All (peer, AU) series that called at least one poll.
-        self._series: set = set()
+        #: All (peer, AU) series that called at least one poll.  Dict-as-set:
+        #: insertion (chronological) order makes the delay-ratio summation
+        #: below order-deterministic, so a checkpoint/restore copy of this
+        #: collector iterates — and sums — identically to the original.
+        self._series: Dict[Tuple[str, str], None] = {}
+        #: Replay tap (see :mod:`repro.replay`); None costs one attribute
+        #: load + branch per concluded poll.
+        self.tracer = None
 
     # -- poll outcomes ---------------------------------------------------------
 
@@ -60,8 +66,10 @@ class PollStatistics:
         """Record one concluded poll."""
         if self.keep_records:
             self.records.append(record)
+        if self.tracer is not None:
+            self.tracer.poll(record)
         key = (record.peer_id, record.au_id)
-        self._series.add(key)
+        self._series[key] = None
         if record.alarm:
             self.alarms += 1
             self.inconclusive_polls += 1

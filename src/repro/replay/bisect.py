@@ -1,0 +1,100 @@
+"""Divergence bisection: localize the first differing record of two traces.
+
+Traces are append-only streams in simulation order, so the first divergent
+*record index* is found by a single lockstep scan — O(n) time, O(1) memory
+— while a trailing context window preserves the shared records leading up
+to the split.  This is the tool for "these two runs should have been
+identical, where did they part ways?": the answer arrives as a concrete
+simulation time, record kind, and peer, not a diff of final metrics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .trace import TraceReader
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point at which two traces differ.
+
+    ``index`` is the 0-based record index (``-1`` for a header-level
+    difference); ``record_a``/``record_b`` is ``None`` where one trace
+    simply ended early.  ``context`` holds the last shared records before
+    the split.
+    """
+
+    index: int
+    record_a: Optional[List[object]]
+    record_b: Optional[List[object]]
+    context: List[List[object]] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = []
+        if self.index < 0:
+            lines.append("traces diverge in their headers:")
+            lines.append("  a: %r" % (self.record_a,))
+            lines.append("  b: %r" % (self.record_b,))
+            return "\n".join(lines)
+        lines.append("first divergence at record %d:" % self.index)
+        for shared in self.context:
+            lines.append("  = %s" % (shared,))
+        if self.record_a is None:
+            lines.append("  a: <trace ended>")
+        else:
+            lines.append("  a: %s" % (self.record_a,))
+        if self.record_b is None:
+            lines.append("  b: <trace ended>")
+        else:
+            lines.append("  b: %s" % (self.record_b,))
+        return "\n".join(lines)
+
+
+def first_divergence(path_a, path_b, context: int = 5) -> Optional[Divergence]:
+    """Return the first divergence between two traces, or None if identical.
+
+    Headers are compared first (signature, scenario, seed, baseline): a
+    header difference is reported as ``index == -1`` with the differing
+    header fields as the records.  Footers count as ordinary final records,
+    so a metrics-digest difference with an otherwise identical stream shows
+    up as a divergence at the footer.
+    """
+    with TraceReader(path_a) as reader_a, TraceReader(path_b) as reader_b:
+        if reader_a.header != reader_b.header:
+            keys = sorted(set(reader_a.header) | set(reader_b.header))
+            diff_a = {
+                key: reader_a.header.get(key)
+                for key in keys
+                if reader_a.header.get(key) != reader_b.header.get(key)
+            }
+            diff_b = {key: reader_b.header.get(key) for key in diff_a}
+            return Divergence(index=-1, record_a=[diff_a], record_b=[diff_b])
+
+        trailing: deque = deque(maxlen=max(0, context))
+
+        def stream(reader):
+            for record in reader.records():
+                yield record
+            if reader.footer is not None:
+                yield reader.footer
+
+        stream_a, stream_b = stream(reader_a), stream(reader_b)
+        index = 0
+        sentinel = object()
+        while True:
+            record_a = next(stream_a, sentinel)
+            record_b = next(stream_b, sentinel)
+            if record_a is sentinel and record_b is sentinel:
+                return None
+            if record_a is sentinel or record_b is sentinel or record_a != record_b:
+                return Divergence(
+                    index=index,
+                    record_a=None if record_a is sentinel else record_a,
+                    record_b=None if record_b is sentinel else record_b,
+                    context=list(trailing),
+                )
+            trailing.append(record_a)
+            index += 1

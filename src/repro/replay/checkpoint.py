@@ -1,0 +1,188 @@
+"""Mid-run checkpoints: snapshot, restore, fork, and disk persistence.
+
+A checkpoint is a deep copy of the *entire* :class:`~repro.experiments.world.World`
+taken between events: the event heap (compacted first, so lazy-deleted
+entries are excluded), every named RNG stream's exact generator state, the
+peer/AU/network/adversary object graph, and the metric collectors.  Because
+the engine schedules exclusively bound methods over plain data (no lambdas,
+closures, or live generators), the copy is both deep-copyable and
+picklable, and a restored world resumes *bit-identically*: running to the
+checkpoint time and then to the end produces the same metrics digest as an
+uninterrupted run.
+
+The headline workflow is **prefix forking**: simulate an expensive baseline
+prefix once, checkpoint, then branch N different attack suffixes from the
+same instant — each fork re-materializes the world and installs a fresh
+adversary mid-timeline.
+"""
+
+from __future__ import annotations
+
+import copy
+import gzip
+import pickle
+from pathlib import Path
+from typing import Optional
+
+from ..crypto.hashing import NONCE_STREAM_VERSION
+from ..sim.engine import KERNEL_VERSION
+from .signature import SignatureMismatch
+from .trace import attach_tracer, detach_tracer
+
+#: Magic string identifying the checkpoint container format.
+CHECKPOINT_FORMAT = "repro-replay-checkpoint"
+
+#: Version of the checkpoint container; bump on layout changes.
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(Exception):
+    """A checkpoint could not be captured, restored, or loaded."""
+
+
+class Checkpoint:
+    """An immutable snapshot of a world at one simulation instant."""
+
+    __slots__ = ("time", "kernel_version", "nonce_stream_version", "_world")
+
+    def __init__(
+        self,
+        world,
+        time: float,
+        kernel_version: int = KERNEL_VERSION,
+        nonce_stream_version: int = NONCE_STREAM_VERSION,
+    ) -> None:
+        self._world = world
+        self.time = time
+        self.kernel_version = kernel_version
+        self.nonce_stream_version = nonce_stream_version
+
+    # -- capture / restore -------------------------------------------------------
+
+    @classmethod
+    def capture(cls, world) -> "Checkpoint":
+        """Snapshot ``world`` between events.
+
+        Must not be called from inside a running event callback (the heap
+        entry being executed would be mid-flight).  Any attached tracer is
+        detached for the copy (its file sink is not copyable) and
+        reattached afterwards; checkpoints therefore never embed tracers.
+        """
+        simulator = world.simulator
+        if simulator._running:
+            raise CheckpointError(
+                "cannot capture a checkpoint from inside a running event callback"
+            )
+        tracer = getattr(world, "tracer", None)
+        if tracer is not None:
+            detach_tracer(world)
+        try:
+            simulator.compact()
+            snapshot = copy.deepcopy(world)
+        finally:
+            if tracer is not None:
+                attach_tracer(world, tracer)
+        return cls(snapshot, time=simulator.now)
+
+    def restore(self):
+        """Materialize an independent world resumable from the checkpoint.
+
+        Each call deep-copies the held snapshot, so N restores give N
+        fully independent timelines (forks never share mutable state).
+        """
+        return copy.deepcopy(self._world)
+
+    def fork(self, adversary_spec=None, registry=None):
+        """Restore, then (optionally) unleash a fresh adversary mid-timeline.
+
+        ``adversary_spec`` is an :class:`~repro.api.scenario.AdversarySpec`,
+        a ``{"kind": ..., "params": {...}}`` dict, or None for a plain
+        restore.  The adversary is built by ``registry`` (default:
+        :data:`~repro.api.registry.DEFAULT_REGISTRY`) against the restored
+        world, exactly as a from-scratch run would build it — its RNG lanes
+        come from the restored stream factory, so a forked attack is itself
+        deterministic and checkpointable.
+        """
+        world = self.restore()
+        if adversary_spec is None:
+            return world
+        if world.adversary is not None:
+            raise CheckpointError(
+                "checkpointed world already has an adversary; "
+                "fork suffixes must branch from a baseline prefix"
+            )
+        if registry is None:
+            from ..api.registry import DEFAULT_REGISTRY
+
+            registry = DEFAULT_REGISTRY
+        if isinstance(adversary_spec, dict):
+            kind = adversary_spec["kind"]
+            params = dict(adversary_spec.get("params") or {})
+        else:
+            kind = adversary_spec.kind
+            params = dict(adversary_spec.params or {})
+        factory = registry.factory(kind, **params)
+        adversary = factory(world)
+        world.adversary = adversary
+        if world.started:
+            adversary.install(world.peers)
+            adversary.start()
+        return world
+
+    # -- disk persistence ----------------------------------------------------------
+
+    def save(self, path) -> Path:
+        """Persist the checkpoint as a gzipped pickle."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "kernel_version": self.kernel_version,
+            "nonce_stream_version": self.nonce_stream_version,
+            "time": self.time,
+            "world": self._world,
+        }
+        with gzip.open(path, "wb", compresslevel=1) as stream:
+            pickle.dump(payload, stream, protocol=pickle.HIGHEST_PROTOCOL)
+        return path
+
+    @classmethod
+    def load(cls, path) -> "Checkpoint":
+        """Load a checkpoint, refusing version drift.
+
+        A checkpoint resumes *inside* the event kernel's semantics, so a
+        kernel or nonce-scheme version change makes resumed digests
+        meaningless; loading raises :class:`SignatureMismatch` instead of
+        silently producing a divergent timeline.
+        """
+        path = Path(path)
+        try:
+            with gzip.open(path, "rb") as stream:
+                payload = pickle.load(stream)
+        except (OSError, pickle.UnpicklingError, EOFError) as exc:
+            raise CheckpointError("cannot load checkpoint %s: %s" % (path, exc))
+        if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
+            raise CheckpointError("%s is not a replay checkpoint" % path)
+        mismatches = []
+        for field_name, expected in (
+            ("version", CHECKPOINT_VERSION),
+            ("kernel_version", KERNEL_VERSION),
+            ("nonce_stream_version", NONCE_STREAM_VERSION),
+        ):
+            if payload.get(field_name) != expected:
+                mismatches.append(
+                    "%s: checkpoint has %r, current code expects %r"
+                    % (field_name, payload.get(field_name), expected)
+                )
+        if mismatches:
+            raise SignatureMismatch(
+                "checkpoint is not resumable under the current code: "
+                + "; ".join(mismatches)
+            )
+        return cls(
+            payload["world"],
+            time=payload["time"],
+            kernel_version=payload["kernel_version"],
+            nonce_stream_version=payload["nonce_stream_version"],
+        )

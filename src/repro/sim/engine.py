@@ -28,6 +28,14 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Optional
 
+#: Version of the engine's event-ordering semantics.  Replay signatures pin
+#: it: a trace recorded under one kernel version refuses to silently replay
+#: under another whose event interleaving may differ.  Bump it whenever a
+#: change could alter the (time, priority, seq) ordering or callback
+#: sequencing of existing scenarios (version 2 = the fast-path kernel of the
+#: benchmark baseline).
+KERNEL_VERSION = 2
+
 # Entry layout (a list, so cancellation can mutate it in place):
 _TIME = 0
 _PRIORITY = 1
@@ -327,6 +335,17 @@ class Simulator:
         heapq.heapify(queue)
         self._cancelled_in_queue = 0
         self.compactions += 1
+
+    def compact(self) -> None:
+        """Drop lazily-deleted (cancelled) entries from the event heap now.
+
+        Semantically transparent — the live event order is unchanged — but
+        it bounds what a checkpoint captures: snapshots taken through
+        :mod:`repro.replay.checkpoint` exclude cancelled entries instead of
+        serializing them.
+        """
+        if self._cancelled_in_queue:
+            self._compact()
 
     def _retire_handle(self, token: EventHandle) -> None:
         """Return a finished recurrence's handle to the freelist."""

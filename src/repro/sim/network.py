@@ -128,6 +128,9 @@ class Network:
         #: Optional hook called for every delivered message; used by tests
         #: and by traffic-tracing examples.
         self.delivery_hook: Optional[Callable[[Message], None]] = None
+        #: Replay tap (see :mod:`repro.replay`); None keeps the send hot
+        #: path at one attribute load + branch per message.
+        self.tracer = None
 
     # -- registration ------------------------------------------------------------
 
@@ -209,6 +212,14 @@ class Network:
         stats.messages_sent += 1
         stats.bytes_sent += size_bytes
         stats.per_identity_bytes_sent[sender] += size_bytes
+        tracer = self.tracer
+        if tracer is not None:
+            # Inlined "send" record build (grammar: repro.replay.trace) —
+            # this is the busiest tap, so it skips the Tracer.send hop.
+            tracer.sink(
+                ["send", self.simulator._now, sender, recipient,
+                 type(payload).__name__, size_bytes]
+            )
 
         dst = link_params.get(recipient)
         if dst is None:

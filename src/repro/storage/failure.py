@@ -45,8 +45,8 @@ class StorageFailureModel:
         self._handles: Dict[str, EventHandle] = {}
         self._damage_hook: Optional[Callable[[str, str, int], None]] = None
 
-    def set_damage_hook(self, hook: Callable[[str, str, int], None]) -> None:
-        """Install a callback ``hook(peer_id, au_id, block_index)`` for tests/metrics."""
+    def set_damage_hook(self, hook: Optional[Callable[[str, str, int], None]]) -> None:
+        """Install a callback ``hook(peer_id, au_id, block_index)``; None uninstalls."""
         self._damage_hook = hook
 
     def register_peer(self, peer: "DamageablePeer") -> None:

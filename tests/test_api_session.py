@@ -72,9 +72,11 @@ class TestSerialExecution:
         calls = []
         original = session_module.execute_point
 
-        def counting(scenario, seed, baseline=False, registry=None):
+        def counting(scenario, seed, baseline=False, registry=None, **kwargs):
             calls.append(baseline)
-            return original(scenario, seed, baseline=baseline, registry=registry)
+            return original(
+                scenario, seed, baseline=baseline, registry=registry, **kwargs
+            )
 
         scenario = smoke_scenario(
             seeds=(1,),

@@ -1,0 +1,162 @@
+"""Tests for mid-run checkpoint capture, restore, fork, and persistence."""
+
+import gzip
+import pickle
+
+import pytest
+
+from repro import units
+from repro.api import AdversarySpec, Scenario
+from repro.api.session import build_point_world
+from repro.replay import Checkpoint, CheckpointError, SignatureMismatch, metrics_digest
+from repro.replay import checkpoint as checkpoint_module
+
+
+def scenario_for(kind):
+    """A smoke-scale point scenario: baseline, pipe-stoppage, or composed."""
+    adversary = {
+        "baseline": None,
+        "pipe_stoppage": AdversarySpec(
+            "pipe_stoppage",
+            {"attack_duration_days": 20.0, "coverage": 1.0, "recuperation_days": 10.0},
+        ),
+        "composed": AdversarySpec(
+            "composed",
+            {
+                "targeting": {"kind": "random_subset", "coverage": 0.5},
+                "schedule": {
+                    "kind": "on_off",
+                    "attack_duration_days": 15.0,
+                    "recuperation_days": 15.0,
+                },
+                "vectors": [{"kind": "pipe_stoppage"}],
+            },
+        ),
+    }[kind]
+    return Scenario(
+        name="checkpoint test %s" % kind,
+        base="smoke",
+        sim={"duration": units.months(5)},
+        adversary=adversary,
+        seeds=(1,),
+    )
+
+
+def run_digest(scenario, baseline):
+    world = build_point_world(scenario, 1, baseline=baseline)
+    return metrics_digest(world.run())
+
+
+class TestCheckpointDeterminism:
+    @pytest.mark.parametrize("kind", ["baseline", "composed"])
+    def test_restored_run_matches_uninterrupted_digest(self, kind):
+        scenario = scenario_for(kind)
+        baseline = kind == "baseline"
+        uninterrupted = run_digest(scenario, baseline)
+
+        world = build_point_world(scenario, 1, baseline=baseline)
+        world.run(until=units.months(2))
+        restored = Checkpoint.capture(world).restore()
+        assert metrics_digest(restored.run()) == uninterrupted
+
+    def test_capture_leaves_the_original_world_able_to_continue(self):
+        scenario = scenario_for("pipe_stoppage")
+        uninterrupted = run_digest(scenario, False)
+        world = build_point_world(scenario, 1)
+        world.run(until=units.months(2))
+        Checkpoint.capture(world)
+        assert metrics_digest(world.run()) == uninterrupted
+
+    def test_restore_twice_yields_independent_worlds(self):
+        scenario = scenario_for("pipe_stoppage")
+        world = build_point_world(scenario, 1)
+        world.run(until=units.months(2))
+        checkpoint = Checkpoint.capture(world)
+        first = metrics_digest(checkpoint.restore().run())
+        second = metrics_digest(checkpoint.restore().run())
+        assert first == second
+
+    def test_capture_refused_while_running(self):
+        scenario = scenario_for("baseline")
+        world = build_point_world(scenario, 1, baseline=True)
+        world.start()
+        failures = []
+
+        def grab() -> None:
+            try:
+                Checkpoint.capture(world)
+            except CheckpointError as exc:
+                failures.append(exc)
+
+        world.simulator.post_at(units.days(3), grab)
+        world.run(until=units.days(5))
+        assert len(failures) == 1
+
+
+class TestFork:
+    def test_fork_with_adversary_diverges_from_plain_restore(self):
+        scenario = scenario_for("pipe_stoppage")
+        world = build_point_world(scenario, 1, baseline=True)
+        world.run(until=units.months(2))
+        checkpoint = Checkpoint.capture(world)
+
+        plain = metrics_digest(checkpoint.restore().run())
+        forked_world = checkpoint.fork(
+            adversary_spec=AdversarySpec(
+                "pipe_stoppage",
+                {"attack_duration_days": 30.0, "coverage": 1.0},
+            )
+        )
+        forked = forked_world.run()
+        assert forked_world.network.stats.messages_dropped_blocked > 0
+        assert metrics_digest(forked) != plain
+
+    def test_fork_accepts_plain_dict_specs(self):
+        scenario = scenario_for("baseline")
+        world = build_point_world(scenario, 1, baseline=True)
+        world.run(until=units.months(1))
+        checkpoint = Checkpoint.capture(world)
+        forked = checkpoint.fork(
+            adversary_spec={
+                "kind": "pipe_stoppage",
+                "params": {"attack_duration_days": 10.0, "coverage": 1.0},
+            }
+        )
+        assert forked.adversary is not None
+
+    def test_fork_refuses_attacked_prefixes(self):
+        scenario = scenario_for("pipe_stoppage")
+        world = build_point_world(scenario, 1)
+        world.run(until=units.months(1))
+        checkpoint = Checkpoint.capture(world)
+        with pytest.raises(CheckpointError):
+            checkpoint.fork(
+                adversary_spec=AdversarySpec("pipe_stoppage", {"coverage": 1.0})
+            )
+
+
+class TestPersistence:
+    def test_save_load_roundtrip_preserves_determinism(self, tmp_path):
+        scenario = scenario_for("pipe_stoppage")
+        uninterrupted = run_digest(scenario, False)
+        world = build_point_world(scenario, 1)
+        world.run(until=units.months(2))
+        path = Checkpoint.capture(world).save(tmp_path / "mid.ckpt.gz")
+        loaded = Checkpoint.load(path)
+        assert metrics_digest(loaded.restore().run()) == uninterrupted
+
+    def test_load_rejects_foreign_format(self, tmp_path):
+        path = tmp_path / "bogus.ckpt.gz"
+        with gzip.open(path, "wb") as stream:
+            pickle.dump({"format": "not-a-checkpoint"}, stream)
+        with pytest.raises(CheckpointError):
+            Checkpoint.load(path)
+
+    def test_load_rejects_kernel_version_drift(self, tmp_path, monkeypatch):
+        scenario = scenario_for("baseline")
+        world = build_point_world(scenario, 1, baseline=True)
+        world.run(until=units.months(1))
+        path = Checkpoint.capture(world).save(tmp_path / "mid.ckpt.gz")
+        monkeypatch.setattr(checkpoint_module, "KERNEL_VERSION", -1)
+        with pytest.raises(SignatureMismatch):
+            Checkpoint.load(path)

@@ -102,6 +102,89 @@ class TestRandomLanes:
         )
 
 
+class TestSnapshotRestore:
+    @pytest.mark.parametrize("seed", [1, 42, 987654])
+    def test_streams_restore_mid_stream_replays_identical_draws(self, seed):
+        streams = RandomStreams(seed)
+        a = streams.stream("a")
+        b = streams.stream("b")
+        for _ in range(17):
+            a.random()
+        b.random()
+        snapshot = streams.snapshot()
+        expected = [a.random() for _ in range(10)] + [b.random() for _ in range(10)]
+        for _ in range(100):
+            a.random()
+        streams.restore(snapshot)
+        replayed = [
+            streams.stream("a").random() for _ in range(10)
+        ] + [streams.stream("b").random() for _ in range(10)]
+        assert replayed == expected
+
+    @pytest.mark.parametrize("seed", [1, 42, 987654])
+    def test_restore_into_fresh_factory(self, seed):
+        streams = RandomStreams(seed)
+        streams.stream("x").random()
+        snapshot = streams.snapshot()
+        expected = streams.stream("x").random()
+        fresh = RandomStreams(seed)
+        fresh.restore(snapshot)
+        assert fresh.stream("x").random() == expected
+
+    def test_restore_drops_streams_created_after_snapshot(self):
+        streams = RandomStreams(5)
+        streams.stream("old")
+        snapshot = streams.snapshot()
+        streams.stream("new")
+        streams.restore(snapshot)
+        assert "old" in streams
+        assert "new" not in streams
+        # Re-created on demand with its derived seed, as the original
+        # timeline would have seeded it at first use.
+        assert streams.stream("new").random() == RandomStreams(5).stream("new").random()
+
+    def test_restore_rejects_foreign_master_seed(self):
+        snapshot = RandomStreams(1).snapshot()
+        with pytest.raises(ValueError):
+            RandomStreams(2).restore(snapshot)
+
+    def test_lanes_snapshot_covers_only_own_prefix(self):
+        streams = RandomStreams(9)
+        lanes = streams.lanes("adversary/x")
+        lanes.lane("targeting").random()
+        streams.stream("network").random()
+        snapshot = lanes.snapshot()
+        assert set(snapshot["streams"]) == {"adversary/x/targeting"}
+
+    @pytest.mark.parametrize("seed", [1, 42, 987654])
+    def test_lanes_restore_mid_stream(self, seed):
+        streams = RandomStreams(seed)
+        lanes = streams.lanes("adversary/x")
+        lane = lanes.lane("schedule")
+        for _ in range(7):
+            lane.random()
+        # The sibling stream's state must survive a lane restore untouched:
+        # peek at its next value without consuming it.
+        network = streams.stream("network")
+        network.random()
+        state = network.getstate()
+        expected_network = network.random()
+        network.setstate(state)
+
+        snapshot = lanes.snapshot()
+        expected = [lane.random() for _ in range(5)]
+        for _ in range(50):
+            lane.random()
+        lanes.restore(snapshot)
+        assert [lanes.lane("schedule").random() for _ in range(5)] == expected
+        assert network.random() == expected_network
+
+    def test_lanes_restore_rejects_foreign_master_seed(self):
+        snapshot = RandomStreams(1).lanes("p").snapshot()
+        with pytest.raises(ValueError):
+            RandomStreams(2).lanes("p").restore(snapshot)
+
+
 class TestHelpers:
     def test_exponential_rejects_bad_rate(self):
         streams = RandomStreams(1)
