@@ -55,6 +55,7 @@ from .observations import (
     AdmissionObservation,
     DamageObservation,
     EffortObservation,
+    FaultObservation,
     PollObservation,
     RunObservations,
     observe,
@@ -83,6 +84,7 @@ from .scenario import (
 )
 from .session import (
     ExperimentResult,
+    PointExecutionError,
     Session,
     default_session,
     execute_point,
@@ -105,8 +107,10 @@ __all__ = [
     "DamageObservation",
     "EffortObservation",
     "ExperimentResult",
+    "FaultObservation",
     "OBSERVATION_KINDS",
     "ObservationRecord",
+    "PointExecutionError",
     "PointResult",
     "PollObservation",
     "ROW_EXPORTERS",

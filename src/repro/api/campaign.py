@@ -47,7 +47,7 @@ from .scenario import (
     clone_point_scenario,
     split_axis_target,
 )
-from .session import ExperimentResult, Session, default_session
+from .session import ExperimentResult, PointExecutionError, Session, default_session
 from .store import ResultStore
 
 
@@ -346,9 +346,19 @@ class CampaignRunner:
         resume tests and the CI smoke job.  The returned :class:`ResultSet`
         holds the completed points in expansion order; check
         :meth:`status` for completeness.
+
+        Points are dispatched in worker-sized chunks with the manifest
+        rewritten after each, so both an interactive Ctrl-C (which flushes
+        the manifest before re-raising) and a hard kill leave a store that
+        :meth:`resume` continues exactly like ``--max-points``.  A point
+        whose runs fail or time out past the session's retry budget is
+        marked ``failed`` in the manifest — with its error, without a
+        result artifact — so it does not poison the pool and ``resume``
+        re-leases it automatically.
         """
         points = campaign.expand()
         results: Dict[int, ExperimentResult] = {}
+        failed: Dict[int, str] = {}
         pending: List[CampaignPoint] = []
         for point in points:
             loaded = self._load_point(point)
@@ -358,11 +368,26 @@ class CampaignRunner:
                 pending.append(point)
 
         to_run = pending if max_points is None else pending[:max_points]
-        if to_run:
-            executed = self.session.run_all([point.scenario for point in to_run])
-            for point, result in zip(to_run, executed):
-                results[point.index] = result
-        self._write_manifest(campaign, points, results)
+        chunk_size = max(1, self.session.workers)
+        try:
+            for start in range(0, len(to_run), chunk_size):
+                chunk = to_run[start : start + chunk_size]
+                executed = self.session.run_all(
+                    [point.scenario for point in chunk], on_error="return"
+                )
+                for point, result in zip(chunk, executed):
+                    if isinstance(result, PointExecutionError):
+                        failed[point.index] = str(result)
+                    else:
+                        results[point.index] = result
+                self._write_manifest(campaign, points, results, failed)
+        except KeyboardInterrupt:
+            # Flush per-point state before propagating: whatever completed
+            # is already checkpointed in the store, and the manifest now
+            # reflects it, so the interrupted campaign resumes cleanly.
+            self._write_manifest(campaign, points, results, failed)
+            raise
+        self._write_manifest(campaign, points, results, failed)
 
         return ResultSet(
             [
@@ -415,10 +440,36 @@ class CampaignRunner:
         campaign: Campaign,
         points: Sequence[CampaignPoint],
         results: Mapping[int, ExperimentResult],
+        failed: Optional[Mapping[int, str]] = None,
     ) -> None:
-        """Persist a human-readable completion manifest next to the results."""
+        """Persist a human-readable completion manifest next to the results.
+
+        Each point carries a ``state`` (``complete`` / ``failed`` /
+        ``pending``, with failures keeping their error string) plus the
+        older boolean ``complete`` field for manifest readers that predate
+        fault handling.
+        """
         if self.store is None:
             return
+        failed = failed or {}
+        entries: List[Dict[str, object]] = []
+        for point in points:
+            if point.index in results:
+                state = "complete"
+            elif point.index in failed:
+                state = "failed"
+            else:
+                state = "pending"
+            entry: Dict[str, object] = {
+                "index": point.index,
+                "digest": point.digest,
+                "label": point.label,
+                "complete": state == "complete",
+                "state": state,
+            }
+            if state == "failed":
+                entry["error"] = failed[point.index]
+            entries.append(entry)
         self.store.save_json(
             "campaign",
             Campaign.digest_of(points),
@@ -426,15 +477,7 @@ class CampaignRunner:
                 "name": campaign.name,
                 "exporter": campaign.exporter,
                 "total": len(points),
-                "points": [
-                    {
-                        "index": point.index,
-                        "digest": point.digest,
-                        "label": point.label,
-                        "complete": point.index in results,
-                    }
-                    for point in points
-                ],
+                "points": entries,
             },
         )
 

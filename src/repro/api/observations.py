@@ -13,7 +13,10 @@ observation records**, one per measurement family the paper reports on:
 * :class:`EffortObservation` — effort spent (loyal population, adversary,
   per successful poll);
 * :class:`DamageObservation` — AU damage (access failure probability, peak
-  damage fraction, storage failures injected, repairs applied).
+  damage fraction, storage failures injected, repairs applied);
+* :class:`FaultObservation` — fault injection and graceful degradation
+  (crashes, churn, downtime, availability, damage accrued while down,
+  partition drops, and recovery time/traffic after restarts).
 
 :class:`RunObservations` bundles the four views of one run and is derived
 purely from an existing :class:`RunMetrics` (via :func:`observe` or
@@ -37,7 +40,13 @@ from typing import ClassVar, Dict, Mapping, Tuple
 from ..metrics.report import RunMetrics
 
 #: Observation families, in stream order.
-OBSERVATION_KINDS: Tuple[str, ...] = ("polls", "admission", "effort", "damage")
+OBSERVATION_KINDS: Tuple[str, ...] = (
+    "polls",
+    "admission",
+    "effort",
+    "damage",
+    "faults",
+)
 
 
 @dataclass(frozen=True)
@@ -102,8 +111,31 @@ class DamageObservation:
 
 
 @dataclass(frozen=True)
+class FaultObservation:
+    """Fault injection and graceful degradation measured over one run.
+
+    All fields are 0 (and ``availability`` 1) for runs without a fault
+    plan, so fault columns are safe to export unconditionally.
+    """
+
+    KIND: ClassVar[str] = "faults"
+
+    crashes: float
+    restarts: float
+    churn_leaves: float
+    churn_rejoins: float
+    downtime_days: float
+    availability: float
+    damage_while_down: float
+    partition_dropped: float
+    recoveries: float
+    mean_recovery_days: float
+    recovery_repairs: float
+
+
+@dataclass(frozen=True)
 class RunObservations:
-    """The four typed views of one run, plus the raw leftovers.
+    """The typed views of one run, plus the raw leftovers.
 
     ``extras`` keeps the *full* extras mapping of the underlying
     :class:`RunMetrics` (events processed, etc.) so nothing is lost in the
@@ -114,6 +146,7 @@ class RunObservations:
     admission: AdmissionObservation
     effort: EffortObservation
     damage: DamageObservation
+    faults: FaultObservation
     observation_window: float
     extras: Mapping[str, float] = field(default_factory=dict)
 
@@ -145,6 +178,19 @@ class RunObservations:
                 max_damage_fraction=extras.get("max_damage_fraction", 0.0),
                 storage_failures=extras.get("storage_failures", 0.0),
                 repairs_applied=extras.get("repairs_applied", 0.0),
+            ),
+            faults=FaultObservation(
+                crashes=extras.get("fault_crashes", 0.0),
+                restarts=extras.get("fault_restarts", 0.0),
+                churn_leaves=extras.get("fault_churn_leaves", 0.0),
+                churn_rejoins=extras.get("fault_churn_rejoins", 0.0),
+                downtime_days=extras.get("fault_downtime_days", 0.0),
+                availability=extras.get("fault_availability", 1.0),
+                damage_while_down=extras.get("fault_damage_while_down", 0.0),
+                partition_dropped=extras.get("fault_partition_dropped", 0.0),
+                recoveries=extras.get("fault_recoveries", 0.0),
+                mean_recovery_days=extras.get("fault_mean_recovery_days", 0.0),
+                recovery_repairs=extras.get("fault_recovery_repairs", 0.0),
             ),
             observation_window=run.observation_window,
             extras=MappingProxyType(dict(extras)),

@@ -156,7 +156,7 @@ def set_nested(container: object, path: str, value: object) -> None:
 
 
 #: Axis scopes a plain scenario sweep may target.
-SWEEP_SCOPES: Tuple[str, ...] = ("protocol", "sim", "adversary")
+SWEEP_SCOPES: Tuple[str, ...] = ("protocol", "sim", "adversary", "faults")
 #: Axis scopes a campaign may target (adds pure row labels).
 AXIS_SCOPES: Tuple[str, ...] = SWEEP_SCOPES + ("params",)
 
@@ -184,6 +184,7 @@ def clone_point_scenario(scenario: "Scenario") -> "Scenario":
         adversary=(
             scenario.adversary.with_params() if scenario.adversary is not None else None
         ),
+        faults=copy.deepcopy(scenario.faults),
         parameters=dict(scenario.parameters),
     )
 
@@ -214,6 +215,11 @@ def apply_axis_value(
         scenario.protocol[field_name] = value
     elif scope == "sim":
         scenario.sim[field_name] = value
+    elif scope == "faults":
+        # Dotted paths address the fault-plan grammar ("churn.rate_per_peer_
+        # per_year", "partitions.0.duration_days"); list indices must already
+        # exist in the plan, mirroring adversary vector axes.
+        set_nested(scenario.faults, field_name, value)
     scenario.parameters[field_name] = value
     scenario.name = "%s %s=%s" % (scenario.name, field_name, value)
     return field_name
@@ -252,6 +258,10 @@ class Scenario:
     protocol: Dict[str, object] = field(default_factory=dict)
     sim: Dict[str, object] = field(default_factory=dict)
     adversary: Optional[AdversarySpec] = None
+    #: Fault-injection plan in its dict form (see :mod:`repro.faults.plan`);
+    #: empty means no faults.  Faults describe the *environment*, not the
+    #: adversary, so they apply to baseline runs too.
+    faults: Dict[str, object] = field(default_factory=dict)
     seeds: Tuple[int, ...] = (1, 2, 3)
     sweep: Dict[str, List[object]] = field(default_factory=dict)
     #: Free-form labels carried into ``ExperimentResult.parameters`` (sweep
@@ -266,6 +276,12 @@ class Scenario:
             )
         if isinstance(self.adversary, dict):
             self.adversary = AdversarySpec.from_dict(self.adversary)
+        if self.faults:
+            # Validate eagerly: an unknown section or misspelled field should
+            # fail at construction, not mid-campaign inside a worker process.
+            from ..faults.plan import FaultPlan
+
+            FaultPlan.from_dict(self.faults)
         self.seeds = tuple(int(seed) for seed in self.seeds)
         if not self.seeds:
             raise ValueError("scenario needs at least one seed")
@@ -279,6 +295,7 @@ class Scenario:
         protocol_config: ProtocolConfig,
         sim_config: SimulationConfig,
         adversary: Optional[Union[AdversarySpec, Dict[str, object]]] = None,
+        faults: Optional[Dict[str, object]] = None,
         seeds: Sequence[int] = (1, 2, 3),
         parameters: Optional[Dict[str, object]] = None,
     ) -> "Scenario":
@@ -308,6 +325,7 @@ class Scenario:
             protocol=protocol_overrides,
             sim=sim_overrides,
             adversary=adversary,
+            faults=copy.deepcopy(dict(faults or {})),
             seeds=tuple(seeds),
             parameters=dict(parameters or {}),
         )
@@ -364,6 +382,7 @@ class Scenario:
             "protocol": _jsonable(dict(self.protocol)),
             "sim": _jsonable(dict(self.sim)),
             "adversary": self.adversary.to_dict() if self.adversary else None,
+            "faults": _jsonable(dict(self.faults)),
             "seeds": list(self.seeds),
             "sweep": _jsonable(dict(self.sweep)),
             "parameters": _jsonable(dict(self.parameters)),
@@ -381,6 +400,7 @@ class Scenario:
             adversary=(
                 AdversarySpec.from_dict(adversary) if adversary is not None else None
             ),
+            faults=copy.deepcopy(dict(payload.get("faults") or {})),
             seeds=tuple(payload.get("seeds") or (1, 2, 3)),
             sweep={
                 str(key): list(values)
@@ -430,29 +450,56 @@ class Scenario:
             payload = {"kind": payload["kind"], "params": _jsonable(merged)}
         return payload
 
+    def _canonical_faults(self) -> Optional[Dict[str, object]]:
+        """Fault plan with grammar defaults merged in, for hashing.
+
+        Returns None for an empty or no-op plan: a plan that injects nothing
+        runs the same simulation as no plan at all, so they must hash
+        identically (and identically to pre-fault-subsystem digests).
+        """
+        if not self.faults:
+            return None
+        from ..faults.plan import canonical_fault_plan
+
+        return canonical_fault_plan(self.faults)
+
     @property
     def digest(self) -> str:
         """Content digest over the *resolved* experiment description.
 
         The scenario name and the base/override split do not affect the
         digest; the resolved configs, adversary spec (registry defaults
-        merged), seeds, and sweep axes do.  Two differently-spelled
-        scenarios describing the same experiment therefore share
-        result-store artifacts.
+        merged), fault plan (when active), seeds, and sweep axes do.  Two
+        differently-spelled scenarios describing the same experiment
+        therefore share result-store artifacts.
         """
         protocol, sim = self.resolve()
+        extra: Dict[str, object] = {}
+        if self.sweep:
+            extra["sweep"] = _jsonable(dict(self.sweep))
+        faults = self._canonical_faults()
+        if faults is not None:
+            extra["faults"] = faults
         return config_digest(
             protocol,
             sim,
             seeds=self.seeds,
             adversary=self._canonical_adversary(),
-            extra={"sweep": _jsonable(dict(self.sweep))} if self.sweep else None,
+            extra=extra or None,
         )
 
     def point_digest(self, seed: int, baseline: bool = False) -> str:
-        """Digest of a single-seed run of this scenario (attacked or baseline)."""
+        """Digest of a single-seed run of this scenario (attacked or baseline).
+
+        Faults are environment, not attack: an active fault plan is part of
+        the baseline run's digest too.
+        """
         protocol, sim = self.resolve(seed=seed)
         adversary = None
         if not baseline and self.adversary is not None:
             adversary = self._canonical_adversary()
-        return config_digest(protocol, sim, seeds=(seed,), adversary=adversary)
+        faults = self._canonical_faults()
+        extra = {"faults": faults} if faults is not None else None
+        return config_digest(
+            protocol, sim, seeds=(seed,), adversary=adversary, extra=extra
+        )

@@ -16,6 +16,7 @@ session produces bit-identical metrics to a serial one.
 from __future__ import annotations
 
 import concurrent.futures
+import time
 import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -93,7 +94,9 @@ def build_point_world(
         factory = active_registry.factory(
             scenario.adversary.kind, **scenario.adversary.params
         )
-    return build_world(protocol, sim, adversary_factory=factory)
+    return build_world(
+        protocol, sim, adversary_factory=factory, fault_plan=scenario.faults or None
+    )
 
 
 def execute_point(
@@ -133,6 +136,29 @@ def _execute_payload(payload: Tuple[str, int, bool, Optional[str]]) -> RunMetric
     )
 
 
+class PointExecutionError(RuntimeError):
+    """A scenario run failed (or timed out) after exhausting its retry budget.
+
+    Carries enough context (``label``, ``seed``, ``baseline``, ``attempts``,
+    ``cause``) for a campaign manifest to mark the point ``failed`` and for
+    ``campaign resume`` to re-lease it later.
+    """
+
+    def __init__(
+        self, label: str, seed: int, baseline: bool, attempts: int, cause: BaseException
+    ) -> None:
+        self.label = label
+        self.seed = seed
+        self.baseline = baseline
+        self.attempts = attempts
+        self.cause = cause
+        kind = "baseline" if baseline else "attacked"
+        super().__init__(
+            "%s run of %r (seed %d) failed after %d attempt(s): %s"
+            % (kind, label, seed, attempts, cause)
+        )
+
+
 @dataclass
 class _Task:
     """One pending (scenario, seed, attacked-or-baseline) run."""
@@ -153,12 +179,23 @@ class Session:
     serial execution because worker processes only see the default one.
     ``record=True`` captures every *computed* run (cache misses only) as a
     ``trace-<digest>.jsonl.gz`` replay artifact in the store, which is then
-    required.
+    required; a cached run whose trace artifact exists but is corrupt is
+    recomputed (regenerating the trace) so record sessions are self-healing.
+
+    ``timeout`` bounds each pooled run's wall-clock seconds (hung workers are
+    terminated and their pool re-spawned; serial runs cannot be interrupted
+    and ignore it).  A failed or timed-out run is retried up to ``retries``
+    times with exponential backoff starting at ``retry_backoff`` seconds;
+    a run that still fails surfaces as :class:`PointExecutionError` instead
+    of hanging or poisoning the whole batch.
     """
 
     workers: int = 1
     store: Optional[ResultStore] = None
     record: bool = False
+    timeout: Optional[float] = None
+    retries: int = 1
+    retry_backoff: float = 0.5
     registry: AdversaryRegistry = field(default=DEFAULT_REGISTRY, repr=False)
     _run_cache: Dict[str, RunMetrics] = field(default_factory=dict, repr=False)
     _pool: Optional[concurrent.futures.ProcessPoolExecutor] = field(
@@ -172,7 +209,8 @@ class Session:
         """Per-seed metrics for one scenario point (attacked by default)."""
         self._require_point(scenario)
         tasks = self._tasks_for(scenario, baseline=baseline)
-        computed = self._compute(tasks)
+        computed, failures = self._compute(tasks)
+        self._raise_first(failures)
         return [computed[task.digest] for task in tasks]
 
     def run(self, scenario: Scenario) -> ExperimentResult:
@@ -185,24 +223,51 @@ class Session:
         tasks = self._tasks_for(scenario, baseline=False)
         if scenario.adversary is not None:
             tasks = tasks + self._tasks_for(scenario, baseline=True)
-        computed = self._compute(tasks)
+        computed, failures = self._compute(tasks)
+        self._raise_first(failures)
         return self._assemble(scenario, computed)
 
-    def run_all(self, scenarios: Sequence[Scenario]) -> List[ExperimentResult]:
+    def run_all(
+        self, scenarios: Sequence[Scenario], on_error: str = "raise"
+    ) -> List[object]:
         """Run several point scenarios through one deduplicated task batch.
 
         All (point, seed) runs — attacked and baseline — are gathered first,
         so the process pool is saturated across the whole batch and shared
         baselines are simulated once.
+
+        With ``on_error="return"`` a scenario whose runs failed contributes
+        its :class:`PointExecutionError` to the output list (in place of an
+        :class:`ExperimentResult`) instead of aborting the batch — the
+        campaign runner uses this to mark points failed and keep going.
         """
+        if on_error not in ("raise", "return"):
+            raise ValueError("on_error must be 'raise' or 'return'")
         tasks: List[_Task] = []
         for scenario in scenarios:
             self._require_point(scenario)
             tasks.extend(self._tasks_for(scenario, baseline=False))
             if scenario.adversary is not None:
                 tasks.extend(self._tasks_for(scenario, baseline=True))
-        computed = self._compute(tasks)
-        return [self._assemble(scenario, computed) for scenario in scenarios]
+        computed, failures = self._compute(tasks)
+        if on_error == "raise":
+            self._raise_first(failures)
+        output: List[object] = []
+        for scenario in scenarios:
+            digests = [
+                scenario.point_digest(seed, baseline=False) for seed in scenario.seeds
+            ]
+            if scenario.adversary is not None:
+                digests += [
+                    scenario.point_digest(seed, baseline=True)
+                    for seed in scenario.seeds
+                ]
+            failed = next((failures[d] for d in digests if d in failures), None)
+            if failed is not None:
+                output.append(failed)
+            else:
+                output.append(self._assemble(scenario, computed))
+        return output
 
     def sweep(self, scenario: Scenario) -> List[ExperimentResult]:
         """Expand a sweep scenario and run every point through one batch."""
@@ -228,15 +293,27 @@ class Session:
             for seed in scenario.seeds
         ]
 
-    def _compute(self, tasks: Sequence[_Task]) -> Dict[str, RunMetrics]:
-        """Resolve every task digest to metrics, computing only cache misses."""
+    @staticmethod
+    def _raise_first(failures: Dict[str, PointExecutionError]) -> None:
+        if failures:
+            raise next(iter(failures.values()))
+
+    def _compute(
+        self, tasks: Sequence[_Task]
+    ) -> Tuple[Dict[str, RunMetrics], Dict[str, PointExecutionError]]:
+        """Resolve every task digest to metrics, computing only cache misses.
+
+        Returns ``(results, failures)``: tasks that failed after the retry
+        budget land in ``failures`` as :class:`PointExecutionError` so callers
+        decide whether one bad point aborts or just skips.
+        """
         results: Dict[str, RunMetrics] = {}
         pending: List[_Task] = []
         for task in tasks:
             if task.digest in results:
                 continue
             cached = self._lookup(task.digest)
-            if cached is not None:
+            if cached is not None and not self._trace_corrupt(task.digest):
                 results[task.digest] = cached
             elif all(task.digest != other.digest for other in pending):
                 pending.append(task)
@@ -245,40 +322,156 @@ class Session:
             task.digest: str(self._trace_target(task.digest)) for task in pending
         } if self.record else {}
 
+        failures: Dict[str, PointExecutionError] = {}
+        attempts: Dict[str, int] = {task.digest: 0 for task in pending}
+        queue: List[_Task] = list(pending)
+        round_index = 0
+        while queue:
+            round_index += 1
+            outcomes = self._run_round(queue, trace_paths)
+            next_queue: List[_Task] = []
+            backoff_due = False
+            for task in queue:
+                outcome = outcomes[task.digest]
+                if isinstance(outcome, RunMetrics):
+                    results[task.digest] = outcome
+                    self._remember(task.digest, outcome)
+                elif isinstance(outcome, concurrent.futures.CancelledError):
+                    # Collateral of another task's timeout: the run never got
+                    # its own time budget, so requeue without charging an
+                    # attempt.
+                    next_queue.append(task)
+                else:
+                    attempts[task.digest] += 1
+                    if attempts[task.digest] <= self.retries:
+                        next_queue.append(task)
+                        backoff_due = True
+                    else:
+                        failures[task.digest] = PointExecutionError(
+                            task.scenario.name,
+                            task.seed,
+                            task.baseline,
+                            attempts[task.digest],
+                            outcome,
+                        )
+            if backoff_due and next_queue and self.retry_backoff > 0:
+                time.sleep(
+                    min(30.0, self.retry_backoff * (2 ** (round_index - 1)))
+                )
+            queue = next_queue
+        return results, failures
+
+    def _run_round(
+        self, round_tasks: Sequence[_Task], trace_paths: Dict[str, str]
+    ) -> Dict[str, object]:
+        """Execute one retry round; maps digest -> RunMetrics or the exception.
+
+        Pool rounds enforce ``timeout`` per run: the first timeout marks that
+        run failed, cancels what it can, and abandons the pool (terminating
+        its — possibly hung — workers) so the next round starts clean.
+        KeyboardInterrupt and SystemExit always propagate.
+        """
+        outcomes: Dict[str, object] = {}
         use_pool = (
             self.workers > 1
-            and len(pending) > 1
+            and len(round_tasks) > 1
             and self.registry is DEFAULT_REGISTRY
         )
-        if use_pool:
-            payloads = [
-                (
-                    task.scenario.to_json(indent=None),
-                    task.seed,
-                    task.baseline,
-                    trace_paths.get(task.digest),
-                )
-                for task in pending
-            ]
-            pool = self._executor()
-            futures = [pool.submit(_execute_payload, item) for item in payloads]
-            metrics = [future.result() for future in futures]
-        else:
-            metrics = [
-                execute_point(
-                    task.scenario,
-                    task.seed,
-                    baseline=task.baseline,
-                    registry=self.registry,
-                    trace_path=trace_paths.get(task.digest),
-                )
-                for task in pending
-            ]
+        if not use_pool:
+            for task in round_tasks:
+                try:
+                    outcomes[task.digest] = execute_point(
+                        task.scenario,
+                        task.seed,
+                        baseline=task.baseline,
+                        registry=self.registry,
+                        trace_path=trace_paths.get(task.digest),
+                    )
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception as exc:
+                    outcomes[task.digest] = exc
+            return outcomes
 
-        for task, run in zip(pending, metrics):
-            results[task.digest] = run
-            self._remember(task.digest, run)
-        return results
+        pool = self._executor()
+        submitted = [
+            (
+                task,
+                pool.submit(
+                    _execute_payload,
+                    (
+                        task.scenario.to_json(indent=None),
+                        task.seed,
+                        task.baseline,
+                        trace_paths.get(task.digest),
+                    ),
+                ),
+            )
+            for task in round_tasks
+        ]
+        abandon = False
+        for task, future in submitted:
+            if abandon:
+                if future.cancel() or future.cancelled():
+                    outcomes[task.digest] = concurrent.futures.CancelledError()
+                    continue
+                if not future.done():
+                    # Running when the pool is being torn down: it never got
+                    # a full time budget, so treat like a cancellation.
+                    outcomes[task.digest] = concurrent.futures.CancelledError()
+                    continue
+            try:
+                outcomes[task.digest] = future.result(timeout=self.timeout)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except concurrent.futures.TimeoutError:
+                outcomes[task.digest] = TimeoutError(
+                    "run exceeded the %.1fs session timeout" % (self.timeout or 0.0)
+                )
+                abandon = True
+            except concurrent.futures.CancelledError as exc:
+                outcomes[task.digest] = exc
+            except concurrent.futures.BrokenExecutor as exc:
+                outcomes[task.digest] = exc
+                abandon = True
+            except Exception as exc:
+                outcomes[task.digest] = exc
+        if abandon:
+            self._abandon_pool()
+        return outcomes
+
+    def _abandon_pool(self) -> None:
+        """Tear down the process pool, terminating hung workers."""
+        pool = self._pool
+        if pool is None:
+            return
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
+        self._pool = None
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+    def _trace_corrupt(self, digest: str) -> bool:
+        """True when record mode finds an existing-but-bad trace for ``digest``.
+
+        A *missing* trace does not invalidate a cached run (cached runs are
+        never re-recorded); a present-but-corrupt one does — the store
+        quarantines it and the recompute regenerates a good trace.
+        """
+        if not self.record or self.store is None:
+            return False
+        if not self.store.has_trace(digest):
+            return False
+        return not self.store.check_trace(digest)
 
     def _trace_target(self, digest: str):
         if self.store is None:

@@ -21,11 +21,16 @@ handled by the replay subsystem; the store only names, lists, and prunes
 them.
 
 Writes are atomic (temp file + ``os.replace``); unreadable or corrupt
-artifacts are treated as cache misses rather than errors.
+artifacts are treated as cache misses rather than errors.  A file that
+exists but no longer parses (truncated by a crashed writer on a non-atomic
+filesystem, bit-rotted, hand-edited) is *quarantined*: moved aside as
+``<name>.corrupt`` so the next load recomputes it instead of tripping over
+the same bad bytes forever.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 import os
 import tempfile
@@ -85,12 +90,29 @@ class ResultStore:
         return path
 
     def load_json(self, kind: str, digest: str) -> Optional[object]:
-        """Read one artifact; missing or corrupt files read as ``None``."""
+        """Read one artifact; missing files read as ``None``.
+
+        A present-but-unreadable artifact (truncated or corrupt JSON) is
+        quarantined to ``<name>.corrupt`` and reads as ``None``, so a bad
+        artifact costs one recompute mid-campaign instead of raising.
+        """
         path = self.path_for(kind, digest)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 return json.load(handle)
+        except FileNotFoundError:
+            return None
         except (OSError, ValueError):
+            self._quarantine(path)
+            return None
+
+    def _quarantine(self, path: Path) -> Optional[Path]:
+        """Move a corrupt artifact aside as ``<name>.corrupt`` (best effort)."""
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, target)
+            return target
+        except OSError:
             return None
 
     def has(self, kind: str, digest: str) -> bool:
@@ -123,6 +145,31 @@ class ResultStore:
         """All finished replay traces in the store (sorted by name)."""
         return sorted(self.root.glob("trace-*.jsonl.gz"))
 
+    def check_trace(self, digest: str) -> bool:
+        """True when the trace for ``digest`` is present, readable, and complete.
+
+        Scans the gzip stream down to the footer line.  A missing trace
+        reads as False; a truncated or corrupt one (bad gzip stream, no
+        ``["end", ...]`` footer) is quarantined to ``<name>.corrupt`` and
+        reads as False, so record-mode sessions regenerate it.
+        """
+        path = self.trace_path(digest)
+        if not path.exists():
+            return False
+        last = b""
+        try:
+            with gzip.open(path, "rb") as stream:
+                for line in stream:
+                    if line.strip():
+                        last = line
+        except (OSError, EOFError, ValueError):
+            self._quarantine(path)
+            return False
+        if not last.lstrip().startswith(b'["end"'):
+            self._quarantine(path)
+            return False
+        return True
+
     # -- housekeeping -------------------------------------------------------------------
 
     def artifacts(self) -> List[Path]:
@@ -146,12 +193,13 @@ class ResultStore:
         Killed or crashed campaign workers can leave ``*.tmp`` files behind
         (never under a final artifact name — writes are atomic, and trace
         writers stream to ``<name>.tmp`` until finalized); pruning removes
-        them.  With ``kind`` (e.g. ``"runs"``, ``"result"``, ``"campaign"``,
-        ``"trace"``), every artifact of that kind is removed too, which
-        invalidates exactly that cache layer without touching the others.
-        Returns the number of files removed.
+        them, along with any ``*.corrupt`` quarantine files.  With ``kind``
+        (e.g. ``"runs"``, ``"result"``, ``"campaign"``, ``"trace"``), every
+        artifact of that kind is removed too, which invalidates exactly that
+        cache layer without touching the others.  Returns the number of
+        files removed.
         """
-        targets = list(self.root.glob("*.tmp"))
+        targets = list(self.root.glob("*.tmp")) + list(self.root.glob("*.corrupt"))
         if kind == "trace":
             targets.extend(self.trace_paths())
         elif kind is not None:

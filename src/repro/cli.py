@@ -10,10 +10,14 @@ table:
 * ``admission-flood`` — Figures 6–8 (garbage-invitation flood)
 * ``table1``          — Table 1 (brute-force adversary defection points)
 * ``ablation``        — the defense ablations described in DESIGN.md
-* ``run``             — any scenario JSON file (see ``repro.api.Scenario``)
+* ``run``             — any scenario JSON file (see ``repro.api.Scenario``),
+  including scenarios with a ``faults`` plan (churn, crash-restart,
+  partitions, degraded links; see docs/FAULTS.md)
 * ``campaign``        — declarative parameter-grid campaigns
   (``run`` / ``status`` / ``resume`` / ``report`` over a campaign JSON file
-  or a named bench artifact), resumable via the digest-keyed store
+  or a named bench artifact), resumable via the digest-keyed store; points
+  that time out or crash are marked failed in the manifest and re-leased by
+  ``resume``
 * ``store``           — store housekeeping (``prune`` torn temp files or one
   artifact kind, replay traces included)
 * ``replay``          — verify a recorded trace by re-running it (or list its
@@ -88,7 +92,11 @@ def _session(args: argparse.Namespace) -> Session:
     if record and store is None:
         raise SystemExit("--record needs --store DIR (traces are store artifacts)")
     return Session(
-        workers=getattr(args, "workers", 1) or 1, store=store, record=record
+        workers=getattr(args, "workers", 1) or 1,
+        store=store,
+        record=record,
+        timeout=getattr(args, "timeout", None),
+        retries=max(1, getattr(args, "retries", 1) or 1),
     )
 
 
@@ -108,6 +116,20 @@ def _add_session_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="DIR",
         help="persist per-run metrics and results as digest-keyed JSON in DIR",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="abandon any single point run that exceeds SECONDS (it is "
+        "retried up to --retries times, then marked failed)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="attempts per point before it is marked failed (default 1)",
     )
 
 
@@ -861,7 +883,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay_parser.add_argument(
         "--kinds", default=None,
-        help="with --list: comma-separated record kinds (poll,adm,dmg,win,send)",
+        help="with --list: comma-separated record kinds (poll,adm,dmg,win,send,fault)",
     )
     replay_parser.add_argument(
         "--peer", default=None,

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from ..config import ProtocolConfig
 from ..crypto.effort import EffortAccount, EffortScheme, charge_account
@@ -97,6 +97,10 @@ class Peer(Node):
         self._au_states: Dict[str, AUState] = {}
         self._polls_by_id: Dict[str, PollerPoll] = {}
         self._voter_sessions: Dict[str, VoterSession] = {}
+        #: AUs whose fixed-rate poll chain broke while the peer was down
+        #: (the chain's re-arming event fired during the outage); restart
+        #: re-kicks exactly these.
+        self._broken_chains: Set[str] = set()
         self._poll_counter = itertools.count(1)
         self._schedule_prune_counter = 0
         #: Replay tap (see :mod:`repro.replay`); None costs one attribute
@@ -177,6 +181,9 @@ class Peer(Node):
     def start_poll(self, au_id: str) -> Optional[PollerPoll]:
         """Begin a new poll on ``au_id`` and schedule the next one after it."""
         if not self.active:
+            # The chain's next link never gets armed: remember the break so
+            # a restart can re-kick this AU's fixed-rate schedule.
+            self._broken_chains.add(au_id)
             return None
         state = self._au_states[au_id]
         interval = self.config.poll_interval
@@ -213,6 +220,63 @@ class Peer(Node):
         if state is not None and state.active_poll is poll:
             state.active_poll = None
         self._polls_by_id.pop(poll.poll_id, None)
+
+    # -- crash / restart ----------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Go down: stop polling and voting, cancel every pending engine event.
+
+        In-flight polls are abandoned without an outcome record, voter
+        sessions are aborted (their schedule reservations released), and all
+        cancellable timers owned by either are cancelled.  Inbound messages
+        — including those already in flight — are dropped by the
+        :meth:`receive_message` guard until :meth:`restart`.
+        """
+        if not self.active:
+            return
+        self.active = False
+        for poll in list(self._polls_by_id.values()):
+            poll.abandon()
+        self._polls_by_id.clear()
+        for state in self._au_states.values():
+            state.active_poll = None
+        for session in list(self._voter_sessions.values()):
+            session.abort()
+        self._voter_sessions.clear()
+
+    def restart(
+        self,
+        rng,
+        lose_replicas: bool = False,
+        lose_reference_lists: bool = False,
+    ) -> None:
+        """Come back up, optionally with state loss, and resume polling.
+
+        ``lose_replicas`` damages every block of every replica (the restarted
+        peer holds no trustworthy content, so the next polls on each AU force
+        re-audit and repair); ``lose_reference_lists`` forgets every learned
+        reference-list entry, leaving only the operator-maintained friends to
+        bootstrap from — the rejoin then runs through other peers' admission
+        control like any newcomer.  ``rng`` supplies the re-kick jitter for
+        poll chains that broke during the outage; callers pass a dedicated
+        fault lane so the peer's own sample path stays undisturbed.
+        """
+        if self.active:
+            return
+        self.active = True
+        if lose_replicas:
+            for state in self._au_states.values():
+                replica = state.replica
+                for block in range(replica.au.n_blocks):
+                    replica.damage_block(block)
+        if lose_reference_lists:
+            for state in self._au_states.values():
+                state.reference_list.reset()
+        broken, self._broken_chains = self._broken_chains, set()
+        for au_id in self._au_states:
+            if au_id in broken:
+                offset = rng.uniform(0.0, self.config.poll_interval)
+                self.simulator.post(offset, self.start_poll, au_id)
 
     # -- message plumbing ----------------------------------------------------------------------
 

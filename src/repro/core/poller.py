@@ -509,6 +509,20 @@ class PollerPoll:
                 return False
         return True
 
+    def abandon(self) -> None:
+        """Tear the poll down without an outcome record (the poller crashed).
+
+        Cancels every timer the poll owns and unregisters it from the peer;
+        no receipts are sent and no reputation or reference-list updates
+        happen — solicited voters will time out on their own and penalize
+        the (now silent) poller, exactly as they would for any dead poller.
+        """
+        if self.concluded:
+            return
+        self.concluded = True
+        self._cleanup()
+        self.peer.on_poll_concluded(self)
+
     # -- helpers ----------------------------------------------------------------------------------
 
     def _cleanup(self) -> None:

@@ -64,6 +64,16 @@ class ReferenceList:
         """Add several peers; returns how many were actually added."""
         return sum(1 for peer_id in peer_ids if self.add(peer_id))
 
+    def reset(self) -> None:
+        """Forget every learned entry (crash state loss).
+
+        The operator-maintained friends list survives — it lives outside the
+        peer's volatile state — so :meth:`sample_inner_circle` can rebuild
+        the list from friends after a restart.
+        """
+        self._entries.clear()
+        self._members.clear()
+
     # -- sampling ---------------------------------------------------------------------
 
     def sample(self, rng: random.Random, count: int, exclude: Iterable[str] = ()) -> List[str]:

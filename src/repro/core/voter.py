@@ -184,6 +184,19 @@ class VoterSession:
         self._penalize_poller()
         self._finish()
 
+    def abort(self) -> None:
+        """Tear the session down without reputation effects (the voter crashed).
+
+        Releases the schedule reservation if the vote was never computed and
+        cancels both timeouts.  The poller is not penalized — it did nothing
+        wrong — and will handle the missing vote through its own timeout.
+        """
+        if self.state == VoterState.DONE:
+            return
+        if self.state == VoterState.AWAITING_PROOF:
+            self.peer.schedule.cancel(self.reservation)
+        self._finish()
+
     # -- helpers --------------------------------------------------------------------------
 
     def _penalize_poller(self) -> None:

@@ -37,6 +37,7 @@ from . import admission_attack as _admission_attack  # noqa: F401
 from . import baseline as _baseline  # noqa: F401
 from . import composed as _composed  # noqa: F401
 from . import effortful as _effortful  # noqa: F401
+from . import faults as _faults  # noqa: F401
 from . import pipe_stoppage as _pipe_stoppage  # noqa: F401
 from .runner import ExperimentResult, run_attack_experiment, run_single
 from .world import World, build_world

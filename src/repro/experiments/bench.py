@@ -43,6 +43,7 @@ from .composed import (
     combined_attack_campaign,
 )
 from .effortful import effortful_campaign
+from .faults import churn_baseline_campaign, partition_attack_campaign
 from .pipe_stoppage import pipe_stoppage_campaign
 
 #: Seeds used for every benchmark data point (the paper averages 3 runs per
@@ -309,6 +310,32 @@ def _adversary_matrix_campaign() -> Campaign:
     )
 
 
+def _churn_baseline_campaign() -> Campaign:
+    protocol, sim = bench_configs()
+    return churn_baseline_campaign(
+        churn_rates_per_year=(4.0, 12.0),
+        mean_downtime_days=14.0,
+        seeds=BENCH_SEEDS,
+        protocol_config=protocol,
+        sim_config=sim,
+        name="churn_baseline",
+    )
+
+
+def _partition_attack_campaign() -> Campaign:
+    protocol, sim = bench_configs()
+    return partition_attack_campaign(
+        partition_durations_days=(5.0, 20.0),
+        partition_start_day=60.0,
+        partition_fraction=0.4,
+        attack_duration_days=120.0,
+        seeds=BENCH_SEEDS,
+        protocol_config=protocol,
+        sim_config=sim,
+        name="partition_attack",
+    )
+
+
 #: Every measured artifact, in report order: name -> (title, campaign factory).
 ARTIFACTS: Dict[str, Tuple[str, Callable[[], Campaign]]] = {
     "fig2_baseline": ("Figure 2 - baseline access failure", _fig2_campaign),
@@ -346,6 +373,14 @@ ARTIFACTS: Dict[str, Tuple[str, Callable[[], Campaign]]] = {
     "adversary_matrix": (
         "Adversary matrix - 2x2 targeting x vector smoke grid",
         _adversary_matrix_campaign,
+    ),
+    "churn_baseline": (
+        "Churn baseline - Poisson membership turnover, no adversary",
+        _churn_baseline_campaign,
+    ),
+    "partition_attack": (
+        "Partition attack - admission flood riding a partition window",
+        _partition_attack_campaign,
     ),
 }
 

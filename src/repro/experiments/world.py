@@ -48,6 +48,7 @@ class World:
     sampler: AccessFailureSampler
     failure_model: StorageFailureModel
     adversary: Optional[object] = None
+    fault_engine: Optional[object] = None
     started: bool = False
     completed: bool = False
     _peer_index: Dict[str, Peer] = field(default_factory=dict, repr=False)
@@ -95,6 +96,8 @@ class World:
         if self.adversary is not None:
             self.adversary.install(self.peers)
             self.adversary.start()
+        if self.fault_engine is not None:
+            self.fault_engine.start()
 
     def run(self, until: Optional[float] = None) -> RunMetrics:
         """Run the world to ``until`` (default: the configured duration)."""
@@ -123,6 +126,8 @@ class World:
             "invitations_refused": float(self.collector.invitations_refused),
             "repairs_applied": float(self.collector.repairs_applied),
         }
+        if self.fault_engine is not None:
+            extras.update(self.fault_engine.metrics_extras(self.simulator.now))
         return RunMetrics(
             access_failure_probability=self.sampler.access_failure_probability,
             mean_time_between_successful_polls=(
@@ -143,11 +148,15 @@ def build_world(
     sim_config: SimulationConfig,
     adversary_factory: Optional[AdversaryFactory] = None,
     keep_poll_records: bool = False,
+    fault_plan: Optional[object] = None,
 ) -> World:
     """Build a deterministic simulated world from configuration.
 
     The adversary factory (if any) is called last, once the loyal population
     exists, so it can size its attack against the actual peers and AUs.
+    ``fault_plan`` (a :class:`~repro.faults.FaultPlan` or its dict form)
+    attaches a fault-injection engine; an inactive plan attaches nothing, so
+    ``faults={}`` worlds are bit-identical to fault-free ones.
     """
     simulator = Simulator()
     streams = RandomStreams(sim_config.seed)
@@ -233,4 +242,10 @@ def build_world(
     )
     if adversary_factory is not None:
         world.adversary = adversary_factory(world)
+    if fault_plan:
+        from ..faults import FaultEngine, FaultPlan
+
+        plan = fault_plan if isinstance(fault_plan, FaultPlan) else FaultPlan.from_dict(fault_plan)
+        if plan.is_active():
+            world.fault_engine = FaultEngine(world, plan)
     return world

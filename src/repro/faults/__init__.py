@@ -1,0 +1,25 @@
+"""Fault injection: declarative fault plans compiled to deterministic sim processes.
+
+See docs/FAULTS.md for the plan grammar, RNG-lane layout, and the recovery
+metrics the engine reports.
+"""
+
+from .engine import FaultEngine
+from .plan import (
+    ChurnSpec,
+    CrashSpec,
+    DegradedLinkWindow,
+    FaultPlan,
+    PartitionWindow,
+    canonical_fault_plan,
+)
+
+__all__ = [
+    "FaultEngine",
+    "FaultPlan",
+    "CrashSpec",
+    "ChurnSpec",
+    "PartitionWindow",
+    "DegradedLinkWindow",
+    "canonical_fault_plan",
+]

@@ -1,0 +1,324 @@
+"""Deterministic fault-injection processes.
+
+A :class:`FaultEngine` compiles a :class:`~repro.faults.plan.FaultPlan` into
+simulator events: per-peer Poisson crash/churn cycles, partition windows,
+and link-degradation windows.  All randomness is drawn from dedicated
+:class:`~repro.sim.randomness.RandomLanes` under the ``"faults"`` parent
+(``faults/crash/<peer-id>``, ``faults/churn/<peer-id>``,
+``faults/crash/targets``, ``faults/churn/targets``, ``faults/partition``,
+``faults/links``), so attaching a fault plan never perturbs the peer,
+network, storage, or adversary sample paths — a faulted run is bit-identical
+across serial/parallel execution and record-on/record-off, and replays
+verifiably from its trace.
+
+Lane layout matters for digest stability: every process owns its lane and
+draws from it in simulator event order, so two plans differing only in one
+section reproduce every other section's sample path exactly.
+
+Graceful-degradation accounting (reported via ``RunMetrics.extras`` as
+``fault_*`` keys, surfaced as the ``faults`` observation kind):
+
+* crash/restart and leave/rejoin counts, total peer downtime, availability;
+* storage damage accrued while down (bit rot does not pause for a crash);
+* messages dropped by partitions;
+* time-to-recovery — from restart to the peer's next successful poll — and
+  the repair traffic those recovery polls carried.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .. import units
+from ..sim.randomness import exponential, sample_without_replacement
+from .plan import FaultPlan
+
+
+class _OutageProcess:
+    """One peer's crash or churn cycle state."""
+
+    __slots__ = (
+        "kind",
+        "peer_id",
+        "rng",
+        "rate",
+        "downtime_rate",
+        "end_time",
+        "lose_replicas",
+        "lose_reference_lists",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        peer_id: str,
+        rng,
+        rate: float,
+        downtime_rate: float,
+        end_time: float,
+        lose_replicas: bool,
+        lose_reference_lists: bool,
+    ) -> None:
+        self.kind = kind
+        self.peer_id = peer_id
+        self.rng = rng
+        self.rate = rate
+        self.downtime_rate = downtime_rate
+        self.end_time = end_time
+        self.lose_replicas = lose_replicas
+        self.lose_reference_lists = lose_reference_lists
+
+
+class FaultEngine:
+    """Drives every fault process of one world and accounts for the damage."""
+
+    def __init__(self, world, plan: FaultPlan) -> None:
+        self.world = world
+        self.plan = plan
+        self.lanes = world.streams.lanes("faults")
+        #: Replay tap (see :mod:`repro.replay`); None when not recording.
+        self.tracer = None
+
+        self.crashes = 0
+        self.restarts = 0
+        self.churn_leaves = 0
+        self.churn_rejoins = 0
+        self.partition_windows = 0
+        self.degraded_windows = 0
+        #: Completed downtime, seconds (peers still down add theirs at
+        #: metrics time).
+        self.downtime = 0.0
+        self.damage_while_down = 0
+        self.recoveries = 0
+        self.recovery_time = 0.0
+        self.recovery_repairs = 0
+
+        #: peer_id -> (went down at, damaged-block count at that moment).
+        self._down_since: Dict[str, Tuple[float, int]] = {}
+        #: peer_id -> restart time, cleared by the next successful poll.
+        self._recovering: Dict[str, float] = {}
+        #: Index of the partition window currently imposed on the network.
+        self._active_partition: Optional[int] = None
+        #: window index -> identities whose links are degraded.
+        self._degraded_sets: Dict[int, List[str]] = {}
+
+    # -- startup -----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule every fault process (called once from ``World.start``)."""
+        world = self.world
+        world.collector.fault_probe = self
+        duration = world.sim_config.duration
+        simulator = world.simulator
+
+        for kind, spec in (("crash", self.plan.crash), ("churn", self.plan.churn)):
+            if not spec.active:
+                continue
+            rate = spec.rate_per_peer_per_year / units.YEAR
+            downtime_rate = 1.0 / (spec.mean_downtime_days * units.DAY)
+            end_time = (
+                duration if spec.end_day is None else min(duration, spec.end_day * units.DAY)
+            )
+            if kind == "crash":
+                lose_replicas = spec.lose_replicas
+                lose_reference_lists = spec.lose_reference_lists
+            else:
+                # Churn models full departure: the rejoining peer holds no
+                # content and knows only its friends, so it re-audits and
+                # repairs everything through admission-controlled polls.
+                lose_replicas = True
+                lose_reference_lists = True
+            for peer_id in self._eligible(kind, spec.coverage):
+                process = _OutageProcess(
+                    kind=kind,
+                    peer_id=peer_id,
+                    rng=self.lanes.lane("%s/%s" % (kind, peer_id)),
+                    rate=rate,
+                    downtime_rate=downtime_rate,
+                    end_time=end_time,
+                    lose_replicas=lose_replicas,
+                    lose_reference_lists=lose_reference_lists,
+                )
+                self._schedule_failure(process, spec.start_day * units.DAY)
+
+        for index, window in enumerate(self.plan.partitions):
+            start = window.start_day * units.DAY
+            simulator.post_at(start, self._begin_partition, index)
+            simulator.post_at(
+                start + window.duration_days * units.DAY, self._end_partition, index
+            )
+
+        for index, window in enumerate(self.plan.degraded_links):
+            start = window.start_day * units.DAY
+            simulator.post_at(start, self._begin_degrade, index)
+            if window.duration_days is not None:
+                simulator.post_at(
+                    start + window.duration_days * units.DAY, self._end_degrade, index
+                )
+
+    def _eligible(self, kind: str, coverage: float) -> List[str]:
+        """The covered peer subset, sampled on the process's target lane."""
+        population = [peer.peer_id for peer in self.world.peers]
+        if coverage >= 1.0:
+            return population
+        count = int(round(coverage * len(population)))
+        if count <= 0:
+            return []
+        rng = self.lanes.lane("%s/targets" % kind)
+        return sample_without_replacement(rng, population, count)
+
+    # -- crash / churn -----------------------------------------------------------
+
+    def _schedule_failure(self, process: _OutageProcess, not_before: float) -> None:
+        now = self.world.simulator.now
+        when = max(now, not_before) + exponential(process.rng, process.rate)
+        if when >= process.end_time:
+            return
+        self.world.simulator.post_at(when, self._fail, process)
+
+    def _fail(self, process: _OutageProcess) -> None:
+        world = self.world
+        now = world.simulator.now
+        peer = world.peer_by_id(process.peer_id)
+        if not peer.active:
+            # Already down via the other outage process; try again later.
+            self._schedule_failure(process, now)
+            return
+        snapshot = self._damage_count(peer)
+        peer.crash()
+        self._down_since[process.peer_id] = (now, snapshot)
+        if process.kind == "crash":
+            self.crashes += 1
+            event = "crash"
+        else:
+            self.churn_leaves += 1
+            event = "leave"
+        if self.tracer is not None:
+            self.tracer.fault(now, process.peer_id, event)
+        downtime = exponential(process.rng, process.downtime_rate)
+        world.simulator.post_at(now + downtime, self._recover, process)
+
+    def _recover(self, process: _OutageProcess) -> None:
+        world = self.world
+        now = world.simulator.now
+        peer = world.peer_by_id(process.peer_id)
+        went_down, snapshot = self._down_since.pop(process.peer_id)
+        self.downtime += now - went_down
+        # Bit rot kept striking while the peer was down (the storage failure
+        # model does not pause for crashes); the delta is damage the peer
+        # could neither detect nor repair.
+        self.damage_while_down += max(0, self._damage_count(peer) - snapshot)
+        peer.restart(
+            process.rng,
+            lose_replicas=process.lose_replicas,
+            lose_reference_lists=process.lose_reference_lists,
+        )
+        if process.kind == "crash":
+            self.restarts += 1
+            event = "restart"
+        else:
+            self.churn_rejoins += 1
+            event = "rejoin"
+        if self.tracer is not None:
+            self.tracer.fault(now, process.peer_id, event)
+        self._recovering[process.peer_id] = now
+        self._schedule_failure(process, now)
+
+    @staticmethod
+    def _damage_count(peer) -> int:
+        return sum(len(replica.damage_tags) for replica in peer.replicas)
+
+    # -- recovery probe ------------------------------------------------------------
+
+    def on_poll_record(self, record) -> None:
+        """Collector probe: close a pending recovery on a successful poll."""
+        if not record.success:
+            return
+        restarted_at = self._recovering.pop(record.peer_id, None)
+        if restarted_at is None:
+            return
+        self.recoveries += 1
+        self.recovery_time += record.concluded_at - restarted_at
+        self.recovery_repairs += record.repairs
+
+    # -- partitions ----------------------------------------------------------------
+
+    def _begin_partition(self, index: int) -> None:
+        world = self.world
+        window = self.plan.partitions[index]
+        population = [peer.peer_id for peer in world.peers]
+        count = int(round(window.fraction * len(population)))
+        rng = self.lanes.lane("partition")
+        minority = sample_without_replacement(rng, population, count)
+        # Identities outside the mapping (the majority, plus any adversary
+        # identities) implicitly form group 0.
+        world.network.set_partition({peer_id: 1 for peer_id in minority})
+        self._active_partition = index
+        self.partition_windows += 1
+        if self.tracer is not None:
+            self.tracer.fault(world.simulator.now, "net", "partition_start")
+
+    def _end_partition(self, index: int) -> None:
+        if self._active_partition != index:
+            return
+        self._active_partition = None
+        self.world.network.clear_partition()
+        if self.tracer is not None:
+            self.tracer.fault(self.world.simulator.now, "net", "partition_end")
+
+    # -- degraded links -------------------------------------------------------------
+
+    def _begin_degrade(self, index: int) -> None:
+        world = self.world
+        window = self.plan.degraded_links[index]
+        population = [peer.peer_id for peer in world.peers]
+        count = int(round(window.fraction * len(population)))
+        rng = self.lanes.lane("links")
+        chosen = sample_without_replacement(rng, population, count)
+        for peer_id in chosen:
+            world.network.degrade_link(
+                peer_id,
+                bandwidth_factor=window.bandwidth_factor,
+                latency_factor=window.latency_factor,
+            )
+        self._degraded_sets[index] = chosen
+        self.degraded_windows += 1
+        if self.tracer is not None:
+            self.tracer.fault(world.simulator.now, "net", "degrade")
+
+    def _end_degrade(self, index: int) -> None:
+        chosen = self._degraded_sets.pop(index, ())
+        for peer_id in chosen:
+            self.world.network.restore_link(peer_id)
+        if chosen and self.tracer is not None:
+            self.tracer.fault(self.world.simulator.now, "net", "restore")
+
+    # -- metrics --------------------------------------------------------------------
+
+    def metrics_extras(self, now: float) -> Dict[str, float]:
+        """Graceful-degradation counters merged into ``RunMetrics.extras``."""
+        downtime = self.downtime + sum(
+            now - went_down for went_down, _ in self._down_since.values()
+        )
+        peer_time = len(self.world.peers) * now
+        return {
+            "fault_crashes": float(self.crashes),
+            "fault_restarts": float(self.restarts),
+            "fault_churn_leaves": float(self.churn_leaves),
+            "fault_churn_rejoins": float(self.churn_rejoins),
+            "fault_downtime_days": downtime / units.DAY,
+            "fault_availability": 1.0 - downtime / peer_time if peer_time > 0 else 1.0,
+            "fault_damage_while_down": float(self.damage_while_down),
+            "fault_partition_windows": float(self.partition_windows),
+            "fault_partition_dropped": float(
+                self.world.network.stats.messages_dropped_partition
+            ),
+            "fault_degraded_windows": float(self.degraded_windows),
+            "fault_recoveries": float(self.recoveries),
+            "fault_mean_recovery_days": (
+                self.recovery_time / self.recoveries / units.DAY
+                if self.recoveries
+                else 0.0
+            ),
+            "fault_recovery_repairs": float(self.recovery_repairs),
+        }

@@ -1,0 +1,262 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` describes every environmental failure a run injects on
+top of bit rot: peer crash/restart cycles, population churn, network
+partitions, and degraded access links.  Plans are plain JSON documents (the
+``faults`` field of a :class:`~repro.api.scenario.Scenario`), round-trip
+losslessly, and canonicalize with defaults merged so an omitted default and
+a spelled-out one digest identically — the same discipline
+``Scenario._canonical_adversary`` applies to adversary specs.
+
+Grammar (all keys optional; defaults shown):
+
+``crash``
+    Independent Poisson crash/restart cycles per covered peer.
+    ``{"rate_per_peer_per_year": 0.0, "mean_downtime_days": 3.0,
+    "coverage": 1.0, "lose_replicas": false, "lose_reference_lists": false,
+    "start_day": 0.0, "end_day": null}``
+
+``churn``
+    Poisson leave/rejoin cycles; a rejoining peer always loses its replicas
+    and learned reference lists, so it re-enters through admission control
+    and introductory effort like a new peer.
+    ``{"rate_per_peer_per_year": 0.0, "mean_downtime_days": 30.0,
+    "coverage": 1.0, "start_day": 0.0, "end_day": null}``
+
+``partitions``
+    List of group-to-group unreachability windows.  Each window splits a
+    random ``fraction`` of the loyal population from everyone else for
+    ``duration_days`` starting at ``start_day``.  Windows must not overlap.
+    ``{"start_day": <req>, "duration_days": <req>, "fraction": 0.5}``
+
+``degraded_links``
+    List of per-identity link-degradation windows: a random ``fraction`` of
+    the loyal population has its access-link bandwidth multiplied by
+    ``bandwidth_factor`` and latency by ``latency_factor`` for the window
+    (``duration_days: null`` runs to the end of the simulation).
+    ``{"start_day": 0.0, "duration_days": null, "fraction": 0.5,
+    "bandwidth_factor": 1.0, "latency_factor": 1.0}``
+
+Campaign axes address plan fields with the ``faults.`` scope, e.g.
+``faults.churn.rate_per_peer_per_year`` or
+``faults.partitions.0.duration_days`` — see docs/FAULTS.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+def _check_fields(payload: Dict[str, object], cls, section: str) -> None:
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise ValueError(
+            "unknown fault key(s) %s in %r (known: %s)"
+            % (", ".join(repr(key) for key in unknown), section, ", ".join(sorted(known)))
+        )
+
+
+def _spec_from_dict(cls, payload: object, section: str):
+    if payload is None:
+        return cls()
+    if not isinstance(payload, dict):
+        raise ValueError("fault section %r must be an object, got %r" % (section, payload))
+    _check_fields(payload, cls, section)
+    return cls(**payload)
+
+
+def _windows_from_list(cls, payload: object, section: str) -> Tuple[object, ...]:
+    if payload is None:
+        return ()
+    if not isinstance(payload, (list, tuple)):
+        raise ValueError("fault section %r must be a list, got %r" % (section, payload))
+    windows = []
+    for index, entry in enumerate(payload):
+        windows.append(_spec_from_dict(cls, entry, "%s[%d]" % (section, index)))
+    return tuple(windows)
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """Poisson crash/restart cycles for a covered subset of the population."""
+
+    #: Mean crash events per covered peer per simulated year (0 disables).
+    rate_per_peer_per_year: float = 0.0
+    #: Mean downtime per crash, in days (exponentially distributed).
+    mean_downtime_days: float = 3.0
+    #: Fraction of the loyal population subject to crashes.
+    coverage: float = 1.0
+    #: Restart with every replica block damaged (total storage loss).
+    lose_replicas: bool = False
+    #: Restart with learned reference-list entries forgotten (friends kept).
+    lose_reference_lists: bool = False
+    #: Day the crash process begins.
+    start_day: float = 0.0
+    #: Day the crash process stops scheduling new crashes (None: run end).
+    end_day: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.rate_per_peer_per_year < 0:
+            raise ValueError("crash rate_per_peer_per_year must be >= 0")
+        if self.mean_downtime_days <= 0:
+            raise ValueError("crash mean_downtime_days must be positive")
+        if not 0.0 <= self.coverage <= 1.0:
+            raise ValueError("crash coverage must be in [0, 1]")
+        if self.start_day < 0:
+            raise ValueError("crash start_day must be >= 0")
+        if self.end_day is not None and self.end_day <= self.start_day:
+            raise ValueError("crash end_day must be after start_day")
+
+    @property
+    def active(self) -> bool:
+        return self.rate_per_peer_per_year > 0 and self.coverage > 0
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Poisson leave/rejoin cycles; rejoin always loses all learned state."""
+
+    #: Mean leave events per covered peer per simulated year (0 disables).
+    rate_per_peer_per_year: float = 0.0
+    #: Mean absence per leave, in days (exponentially distributed).
+    mean_downtime_days: float = 30.0
+    #: Fraction of the loyal population subject to churn.
+    coverage: float = 1.0
+    #: Day the churn process begins.
+    start_day: float = 0.0
+    #: Day the churn process stops scheduling new departures (None: run end).
+    end_day: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.rate_per_peer_per_year < 0:
+            raise ValueError("churn rate_per_peer_per_year must be >= 0")
+        if self.mean_downtime_days <= 0:
+            raise ValueError("churn mean_downtime_days must be positive")
+        if not 0.0 <= self.coverage <= 1.0:
+            raise ValueError("churn coverage must be in [0, 1]")
+        if self.start_day < 0:
+            raise ValueError("churn start_day must be >= 0")
+        if self.end_day is not None and self.end_day <= self.start_day:
+            raise ValueError("churn end_day must be after start_day")
+
+    @property
+    def active(self) -> bool:
+        return self.rate_per_peer_per_year > 0 and self.coverage > 0
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """One group-to-group unreachability window."""
+
+    start_day: float = 0.0
+    duration_days: float = 1.0
+    #: Fraction of the loyal population split off into the minority group.
+    fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.start_day < 0:
+            raise ValueError("partition start_day must be >= 0")
+        if self.duration_days <= 0:
+            raise ValueError("partition duration_days must be positive")
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError("partition fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class DegradedLinkWindow:
+    """One per-identity bandwidth/latency degradation window."""
+
+    start_day: float = 0.0
+    #: None runs the degradation to the end of the simulation.
+    duration_days: Optional[float] = None
+    #: Fraction of the loyal population whose links degrade.
+    fraction: float = 0.5
+    bandwidth_factor: float = 1.0
+    latency_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.start_day < 0:
+            raise ValueError("degraded_links start_day must be >= 0")
+        if self.duration_days is not None and self.duration_days <= 0:
+            raise ValueError("degraded_links duration_days must be positive")
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError("degraded_links fraction must be in [0, 1]")
+        if self.bandwidth_factor <= 0:
+            raise ValueError("degraded_links bandwidth_factor must be positive")
+        if self.latency_factor <= 0:
+            raise ValueError("degraded_links latency_factor must be positive")
+
+
+_SECTIONS = ("crash", "churn", "partitions", "degraded_links")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The complete fault schedule of one run."""
+
+    crash: CrashSpec = field(default_factory=CrashSpec)
+    churn: ChurnSpec = field(default_factory=ChurnSpec)
+    partitions: Tuple[PartitionWindow, ...] = ()
+    degraded_links: Tuple[DegradedLinkWindow, ...] = ()
+
+    def is_active(self) -> bool:
+        """True when this plan injects any fault at all.
+
+        A no-op plan (all rates zero, no windows) behaves exactly like no
+        plan, so scenario digests treat the two identically.
+        """
+        return bool(
+            self.crash.active
+            or self.churn.active
+            or self.partitions
+            or self.degraded_links
+        )
+
+    # -- serialization ------------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, payload: Optional[Dict[str, object]]) -> "FaultPlan":
+        payload = dict(payload or {})
+        unknown = sorted(set(payload) - set(_SECTIONS))
+        if unknown:
+            raise ValueError(
+                "unknown fault section(s) %s (known: %s)"
+                % (", ".join(repr(key) for key in unknown), ", ".join(_SECTIONS))
+            )
+        return cls(
+            crash=_spec_from_dict(CrashSpec, payload.get("crash"), "crash"),
+            churn=_spec_from_dict(ChurnSpec, payload.get("churn"), "churn"),
+            partitions=_windows_from_list(
+                PartitionWindow, payload.get("partitions"), "partitions"
+            ),
+            degraded_links=_windows_from_list(
+                DegradedLinkWindow, payload.get("degraded_links"), "degraded_links"
+            ),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Full, defaults-merged JSON form of this plan."""
+        return {
+            "crash": dataclasses.asdict(self.crash),
+            "churn": dataclasses.asdict(self.churn),
+            "partitions": [dataclasses.asdict(w) for w in self.partitions],
+            "degraded_links": [dataclasses.asdict(w) for w in self.degraded_links],
+        }
+
+    def canonical(self) -> Optional[Dict[str, object]]:
+        """Digest payload: defaults-merged dict, or None for a no-op plan."""
+        if not self.is_active():
+            return None
+        return self.to_dict()
+
+
+def canonical_fault_plan(
+    payload: Optional[Dict[str, object]],
+) -> Optional[Dict[str, object]]:
+    """Canonicalize a raw ``faults`` mapping for hashing (None if no-op)."""
+    if not payload:
+        return None
+    return FaultPlan.from_dict(payload).canonical()

@@ -59,6 +59,9 @@ class PollStatistics:
         #: Replay tap (see :mod:`repro.replay`); None costs one attribute
         #: load + branch per concluded poll.
         self.tracer = None
+        #: Fault-injection tap (see :mod:`repro.faults`): the fault engine
+        #: watches successful polls to close recovery windows after restarts.
+        self.fault_probe = None
 
     # -- poll outcomes ---------------------------------------------------------
 
@@ -68,6 +71,8 @@ class PollStatistics:
             self.records.append(record)
         if self.tracer is not None:
             self.tracer.poll(record)
+        if self.fault_probe is not None:
+            self.fault_probe.on_poll_record(record)
         key = (record.peer_id, record.au_id)
         self._series[key] = None
         if record.alarm:

@@ -39,6 +39,12 @@ peer ids; both empty for an idle window).
 ``["send", t, sender, recipient, payload, size]`` — one message put on
 the wire (``payload`` is the payload class name).
 
+``["fault", t, subject, event]`` — one fault-injection transition
+(``subject`` is a peer id or ``"net"``; ``event`` is one of ``crash``,
+``restart``, ``leave``, ``rejoin``, ``partition_start``,
+``partition_end``, ``degrade``, ``restore``).  Only emitted by worlds
+with an active fault plan, so fault-free traces are unchanged.
+
 Writers finalize atomically: records stream to ``<path>.tmp`` and the
 finished trace is ``os.replace``d into place, so a killed run leaves an
 orphan ``*.tmp`` (swept by ``ResultStore.prune``) rather than a truncated
@@ -76,6 +82,7 @@ _PEER_FIELDS: Dict[str, Sequence[int]] = {
     "dmg": (2,),
     "win": (2,),
     "send": (2, 3),
+    "fault": (2,),
 }
 
 
@@ -171,6 +178,12 @@ class Tracer:
             ["send", self.simulator._now, sender, recipient, type(payload).__name__, size_bytes]
         )
 
+    def fault(self, now: float, subject: str, event: str) -> None:
+        """Tap: :class:`repro.faults.engine.FaultEngine` state transitions."""
+        self.sink(["fault", now, subject, event])
+        if self.writer is not None:
+            self.writer.maybe_flush()
+
 
 def attach_tracer(world, tracer: Tracer) -> None:
     """Wire ``tracer`` into every tap site of ``world``.
@@ -185,6 +198,8 @@ def attach_tracer(world, tracer: Tracer) -> None:
         peer.tracer = tracer
     if world.adversary is not None and hasattr(world.adversary, "tracer"):
         world.adversary.tracer = tracer
+    if getattr(world, "fault_engine", None) is not None:
+        world.fault_engine.tracer = tracer
     world.failure_model.set_damage_hook(tracer.damage)
 
 
@@ -201,6 +216,8 @@ def detach_tracer(world) -> None:
         peer.tracer = None
     if world.adversary is not None and hasattr(world.adversary, "tracer"):
         world.adversary.tracer = None
+    if getattr(world, "fault_engine", None) is not None:
+        world.fault_engine.tracer = None
     world.failure_model.set_damage_hook(None)
 
 

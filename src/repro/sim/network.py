@@ -79,6 +79,7 @@ class NetworkStats:
     messages_delivered: int = 0
     messages_dropped_blocked: int = 0
     messages_dropped_unknown: int = 0
+    messages_dropped_partition: int = 0
     bytes_sent: int = 0
     bytes_delivered: int = 0
     per_identity_bytes_sent: Dict[str, int] = field(default_factory=dict)
@@ -124,6 +125,13 @@ class Network:
         #: Hot-path mirror of ``_links``: identity -> (bandwidth, latency).
         self._link_params: Dict[str, Tuple[float, float]] = {}
         self._blocked: Set[str] = set()
+        #: Active partition: identity -> group id; identities outside the
+        #: mapping form group 0.  None (the common case) costs one load +
+        #: branch per send/delivery.
+        self._partition: Optional[Dict[str, int]] = None
+        #: Original (LinkProperties, params tuple) of degraded identities,
+        #: restored by :meth:`restore_link`.
+        self._degraded: Dict[str, Tuple[LinkProperties, Tuple[float, float]]] = {}
         self.stats = NetworkStats()
         #: Optional hook called for every delivered message; used by tests
         #: and by traffic-tracing examples.
@@ -190,6 +198,56 @@ class Network:
     def blocked_identities(self) -> Set[str]:
         return set(self._blocked)
 
+    # -- partitions and degraded links ----------------------------------------------
+
+    def set_partition(self, groups: Dict[str, int]) -> None:
+        """Impose a partition: identities in different groups cannot talk.
+
+        ``groups`` maps identities to group ids; unmapped identities form
+        group 0, so a partition is usually expressed by mapping only the
+        minority group.  Messages crossing group boundaries are dropped both
+        at send time and — for messages already in flight when the partition
+        began — at delivery time.  Replaces any previous partition.
+        """
+        self._partition = dict(groups) if groups else None
+
+    def clear_partition(self) -> None:
+        """Restore full reachability."""
+        self._partition = None
+
+    def is_partitioned(self) -> bool:
+        return self._partition is not None
+
+    def degrade_link(
+        self, identity: str, bandwidth_factor: float = 1.0, latency_factor: float = 1.0
+    ) -> LinkProperties:
+        """Override ``identity``'s link with scaled bandwidth and latency.
+
+        Factors apply to the identity's *original* link (repeated calls do
+        not compound); :meth:`restore_link` undoes the override.
+        """
+        original_link = self._links.get(identity)
+        if original_link is None:
+            raise ValueError("unknown identity %r" % identity)
+        if identity not in self._degraded:
+            self._degraded[identity] = (original_link, self._link_params[identity])
+        else:
+            original_link = self._degraded[identity][0]
+        degraded = LinkProperties(
+            bandwidth_bps=original_link.bandwidth_bps * bandwidth_factor,
+            latency=original_link.latency * latency_factor,
+        )
+        self._links[identity] = degraded
+        self._link_params[identity] = (degraded.bandwidth_bps, degraded.latency)
+        return degraded
+
+    def restore_link(self, identity: str) -> None:
+        """Undo :meth:`degrade_link` for ``identity`` (no-op if not degraded)."""
+        saved = self._degraded.pop(identity, None)
+        if saved is None:
+            return
+        self._links[identity], self._link_params[identity] = saved
+
     # -- sending ---------------------------------------------------------------------
 
     def send(self, sender: str, recipient: str, payload: Any, size_bytes: int) -> bool:
@@ -229,6 +287,10 @@ class Network:
         if blocked and (sender in blocked or recipient in blocked):
             stats.messages_dropped_blocked += 1
             return False
+        partition = self._partition
+        if partition is not None and partition.get(sender, 0) != partition.get(recipient, 0):
+            stats.messages_dropped_partition += 1
+            return False
 
         src_bandwidth, src_latency = src
         dst_bandwidth, dst_latency = dst
@@ -252,6 +314,14 @@ class Network:
         blocked = self._blocked
         if blocked and (message.sender in blocked or message.recipient in blocked):
             self.stats.messages_dropped_blocked += 1
+            return
+        # Likewise a partition that began mid-flight: the groups were
+        # unreachable at delivery time, so the message is lost.
+        partition = self._partition
+        if partition is not None and partition.get(message.sender, 0) != partition.get(
+            message.recipient, 0
+        ):
+            self.stats.messages_dropped_partition += 1
             return
         node = self._nodes.get(message.recipient)
         if node is None:

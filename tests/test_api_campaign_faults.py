@@ -1,0 +1,218 @@
+"""Campaign-level fault handling: failed points in the manifest, resume
+re-leasing, Ctrl-C manifest flushing, and fault-plan axes."""
+
+import pytest
+
+from repro import units
+from repro.api import (
+    AdversarySpec,
+    Campaign,
+    CampaignRunner,
+    ResultStore,
+    Scenario,
+    Session,
+)
+from repro.api import session as session_module
+
+
+def base_scenario(**overrides):
+    fields = dict(
+        name="campaign fault test",
+        base="smoke",
+        sim={"duration": units.months(3)},
+        adversary=AdversarySpec(
+            "pipe_stoppage",
+            {"attack_duration_days": 30.0, "coverage": 1.0, "recuperation_days": 10.0},
+        ),
+        seeds=(1,),
+    )
+    fields.update(overrides)
+    return Scenario(**fields)
+
+
+def two_point_campaign():
+    return Campaign.from_grid(
+        "fault grid", base_scenario(), {"adversary.coverage": [0.4, 1.0]}
+    )
+
+
+def manifest(store, campaign):
+    return store.load_json("campaign", campaign.digest)
+
+
+class SelectiveFailure:
+    """execute_point stand-in failing runs whose resolved value matches."""
+
+    def __init__(self, poisoned_coverage):
+        self.poisoned_coverage = poisoned_coverage
+        self.real = session_module.execute_point
+
+    def __call__(self, scenario, seed, baseline=False, registry=None, trace_path=None):
+        adversary = scenario.adversary
+        if (
+            not baseline
+            and adversary is not None
+            and adversary.params.get("coverage") == self.poisoned_coverage
+        ):
+            raise RuntimeError("poisoned point")
+        return self.real(
+            scenario, seed, baseline=baseline, registry=registry, trace_path=trace_path
+        )
+
+
+class TestFailedPoints:
+    def test_failed_point_is_marked_and_the_rest_complete(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            session_module, "execute_point", SelectiveFailure(1.0)
+        )
+        store = ResultStore(tmp_path)
+        campaign = two_point_campaign()
+        runner = CampaignRunner(
+            Session(store=store, retries=0, retry_backoff=0.0), store=store
+        )
+        results = runner.run(campaign)
+        assert len(results) == 1
+        payload = manifest(store, campaign)
+        states = {entry["index"]: entry["state"] for entry in payload["points"]}
+        assert states[0] == "complete"
+        assert states[1] == "failed"
+        failed_entry = payload["points"][1]
+        assert "poisoned point" in failed_entry["error"]
+        assert failed_entry["complete"] is False
+
+    def test_resume_releases_failed_points(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        campaign = two_point_campaign()
+        with monkeypatch.context() as patch:
+            patch.setattr(session_module, "execute_point", SelectiveFailure(1.0))
+            CampaignRunner(
+                Session(store=store, retries=0, retry_backoff=0.0), store=store
+            ).run(campaign)
+        # The transient cause is gone; a fresh runner must re-lease exactly
+        # the failed point and finish the campaign.
+        results = CampaignRunner(Session(store=store), store=store).run(campaign)
+        assert len(results) == len(campaign)
+        payload = manifest(store, campaign)
+        assert all(entry["state"] == "complete" for entry in payload["points"])
+
+    def test_failure_does_not_abort_later_chunks(self, tmp_path, monkeypatch):
+        # workers=1 -> chunk size 1: the poisoned first point must not stop
+        # the second chunk from running.
+        monkeypatch.setattr(
+            session_module, "execute_point", SelectiveFailure(0.4)
+        )
+        store = ResultStore(tmp_path)
+        campaign = two_point_campaign()
+        results = CampaignRunner(
+            Session(store=store, retries=0, retry_backoff=0.0), store=store
+        ).run(campaign)
+        assert len(results) == 1
+        states = {
+            entry["index"]: entry["state"]
+            for entry in manifest(store, campaign)["points"]
+        }
+        assert states == {0: "failed", 1: "complete"}
+
+
+class TestKeyboardInterrupt:
+    def test_interrupt_flushes_the_manifest_before_propagating(
+        self, tmp_path, monkeypatch
+    ):
+        real = session_module.execute_point
+        seen = []
+
+        def interrupt_second_point(
+            scenario, seed, baseline=False, registry=None, trace_path=None
+        ):
+            coverage = (scenario.adversary or AdversarySpec("pipe_stoppage", {})).params.get(
+                "coverage"
+            )
+            if not baseline and coverage == 1.0:
+                raise KeyboardInterrupt()
+            seen.append(coverage)
+            return real(
+                scenario,
+                seed,
+                baseline=baseline,
+                registry=registry,
+                trace_path=trace_path,
+            )
+
+        monkeypatch.setattr(session_module, "execute_point", interrupt_second_point)
+        store = ResultStore(tmp_path)
+        campaign = two_point_campaign()
+        runner = CampaignRunner(Session(store=store), store=store)
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(campaign)
+        payload = manifest(store, campaign)
+        assert payload is not None
+        states = {entry["index"]: entry["state"] for entry in payload["points"]}
+        assert states[0] == "complete"
+        assert states[1] == "pending"
+
+    def test_interrupted_campaign_resumes_like_max_points(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        campaign = two_point_campaign()
+        with monkeypatch.context() as patch:
+            real = session_module.execute_point
+
+            def interrupt_second_point(
+                scenario, seed, baseline=False, registry=None, trace_path=None
+            ):
+                if (
+                    not baseline
+                    and scenario.adversary is not None
+                    and scenario.adversary.params.get("coverage") == 1.0
+                ):
+                    raise KeyboardInterrupt()
+                return real(
+                    scenario,
+                    seed,
+                    baseline=baseline,
+                    registry=registry,
+                    trace_path=trace_path,
+                )
+
+            patch.setattr(session_module, "execute_point", interrupt_second_point)
+            with pytest.raises(KeyboardInterrupt):
+                CampaignRunner(Session(store=store), store=store).run(campaign)
+        resumed = CampaignRunner(Session(store=store), store=store).resume(campaign)
+        assert len(resumed) == len(campaign)
+
+
+class TestFaultAxes:
+    def test_fault_plan_axis_expands_and_digests_distinctly(self):
+        scenario = base_scenario(
+            adversary=None,
+            faults={"churn": {"rate_per_peer_per_year": 4.0}},
+        )
+        campaign = Campaign.from_grid(
+            "churn grid",
+            scenario,
+            {"faults.churn.rate_per_peer_per_year": [4.0, 12.0]},
+        )
+        points = campaign.expand()
+        assert [point.parameters for point in points] == [
+            {"churn.rate_per_peer_per_year": 4.0},
+            {"churn.rate_per_peer_per_year": 12.0},
+        ]
+        assert len({point.digest for point in points}) == 2
+
+    def test_faulted_campaign_runs_serial_equals_parallel(self, tmp_path):
+        scenario = base_scenario(
+            adversary=None,
+            faults={"churn": {"rate_per_peer_per_year": 8.0, "mean_downtime_days": 5.0}},
+        )
+        campaign = Campaign.from_grid(
+            "churn grid",
+            scenario,
+            {"faults.churn.rate_per_peer_per_year": [4.0, 12.0]},
+        )
+        serial = CampaignRunner(Session(workers=1)).run(campaign)
+        with Session(workers=2) as pooled_session:
+            pooled = CampaignRunner(pooled_session).run(campaign)
+        for left, right in zip(serial, pooled):
+            assert left.digest == right.digest
+            assert (
+                left.result.assessment.to_dict() == right.result.assessment.to_dict()
+            )

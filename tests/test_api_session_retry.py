@@ -1,0 +1,135 @@
+"""Session fault handling: per-run timeouts, bounded retries, and the
+PointExecutionError surface the campaign runner builds on."""
+
+import pytest
+
+from repro import units
+from repro.api import AdversarySpec, PointExecutionError, Scenario, Session
+from repro.api import session as session_module
+
+
+def smoke_scenario(**overrides):
+    fields = dict(
+        name="retry test",
+        base="smoke",
+        sim={"duration": units.months(3)},
+        adversary=AdversarySpec(
+            "pipe_stoppage",
+            {"attack_duration_days": 30.0, "coverage": 1.0, "recuperation_days": 10.0},
+        ),
+        seeds=(1,),
+    )
+    fields.update(overrides)
+    return Scenario(**fields)
+
+
+class FlakyExecutor:
+    """Stand-in for execute_point that fails the first ``failures`` calls."""
+
+    def __init__(self, failures, exception=RuntimeError("transient")):
+        self.failures = failures
+        self.exception = exception
+        self.calls = 0
+        self.real = session_module.execute_point
+
+    def __call__(self, scenario, seed, baseline=False, registry=None, trace_path=None):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exception
+        return self.real(
+            scenario, seed, baseline=baseline, registry=registry, trace_path=trace_path
+        )
+
+
+class TestSerialRetries:
+    def test_transient_failure_is_retried_to_success(self, monkeypatch):
+        flaky = FlakyExecutor(failures=1)
+        monkeypatch.setattr(session_module, "execute_point", flaky)
+        session = Session(retries=1, retry_backoff=0.0)
+        runs = session.run_metrics(smoke_scenario(adversary=None))
+        assert len(runs) == 1
+        assert flaky.calls == 2
+
+    def test_exhausted_retries_raise_point_execution_error(self, monkeypatch):
+        flaky = FlakyExecutor(failures=10)
+        monkeypatch.setattr(session_module, "execute_point", flaky)
+        session = Session(retries=2, retry_backoff=0.0)
+        with pytest.raises(PointExecutionError) as excinfo:
+            session.run_metrics(smoke_scenario(adversary=None))
+        assert excinfo.value.attempts == 3
+        assert flaky.calls == 3
+        assert "retry test" in str(excinfo.value)
+        assert "seed 1" in str(excinfo.value)
+
+    def test_zero_retries_fail_on_first_error(self, monkeypatch):
+        flaky = FlakyExecutor(failures=10)
+        monkeypatch.setattr(session_module, "execute_point", flaky)
+        session = Session(retries=0, retry_backoff=0.0)
+        with pytest.raises(PointExecutionError):
+            session.run_metrics(smoke_scenario(adversary=None))
+        assert flaky.calls == 1
+
+    def test_keyboard_interrupt_is_never_swallowed(self, monkeypatch):
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt()
+
+        monkeypatch.setattr(session_module, "execute_point", interrupted)
+        session = Session(retries=5, retry_backoff=0.0)
+        with pytest.raises(KeyboardInterrupt):
+            session.run_metrics(smoke_scenario(adversary=None))
+
+
+class TestRunAllOnError:
+    def test_return_mode_substitutes_errors_per_scenario(self, monkeypatch):
+        real = session_module.execute_point
+
+        def selective(scenario, seed, baseline=False, registry=None, trace_path=None):
+            if scenario.name == "bad":
+                raise RuntimeError("doomed")
+            return real(
+                scenario,
+                seed,
+                baseline=baseline,
+                registry=registry,
+                trace_path=trace_path,
+            )
+
+        monkeypatch.setattr(session_module, "execute_point", selective)
+        session = Session(retries=0, retry_backoff=0.0)
+        good = smoke_scenario(adversary=None, name="good")
+        # A distinct config digest, or the two scenarios would share one run.
+        bad = smoke_scenario(
+            adversary=None, name="bad", sim={"duration": units.months(4)}
+        )
+        results = session.run_all([good, bad], on_error="return")
+        assert not isinstance(results[0], PointExecutionError)
+        assert isinstance(results[1], PointExecutionError)
+        assert "doomed" in str(results[1])
+
+    def test_raise_mode_aborts_the_batch(self, monkeypatch):
+        def doomed(*args, **kwargs):
+            raise RuntimeError("doomed")
+
+        monkeypatch.setattr(session_module, "execute_point", doomed)
+        session = Session(retries=0, retry_backoff=0.0)
+        with pytest.raises(PointExecutionError):
+            session.run_all([smoke_scenario(adversary=None)])
+
+    def test_invalid_on_error_is_rejected(self):
+        with pytest.raises(ValueError):
+            Session().run_all([], on_error="ignore")
+
+
+class TestPoolTimeout:
+    def test_timed_out_runs_fail_and_the_pool_recovers(self):
+        scenario = smoke_scenario(adversary=None, seeds=(1, 2))
+        session = Session(workers=2, timeout=0.01, retries=0, retry_backoff=0.0)
+        with session:
+            with pytest.raises(PointExecutionError) as excinfo:
+                session.run_metrics(scenario)
+            assert isinstance(excinfo.value.cause, TimeoutError)
+            # The timed-out pool was abandoned; a follow-up session run with
+            # a sane budget must succeed on a fresh pool.
+            session.timeout = None
+            runs = session.run_metrics(scenario)
+            assert len(runs) == 2

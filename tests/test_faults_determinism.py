@@ -1,0 +1,125 @@
+"""Determinism and replay guarantees for faulted runs.
+
+The acceptance properties: a faulted run is bit-identical across
+serial/parallel execution and record-on/record-off, and a recorded faulted
+trace replays with zero divergence.
+"""
+
+import pytest
+
+from repro import units
+from repro.api import AdversarySpec, ResultStore, Scenario, Session
+from repro.api.session import execute_point
+from repro.replay import (
+    filter_records,
+    iter_records,
+    metrics_digest,
+    record_run,
+    replay_trace,
+)
+
+FAULTS = {
+    "crash": {"rate_per_peer_per_year": 6.0, "mean_downtime_days": 3.0},
+    "churn": {"rate_per_peer_per_year": 3.0, "mean_downtime_days": 10.0},
+    "partitions": [{"start_day": 45.0, "duration_days": 10.0, "fraction": 0.4}],
+}
+
+
+def faulted_scenario(**overrides):
+    fields = dict(
+        name="faulted determinism",
+        base="smoke",
+        sim={"duration": units.months(5)},
+        adversary=AdversarySpec(
+            "admission_flood",
+            {"attack_duration_days": 60.0, "coverage": 1.0},
+        ),
+        faults=FAULTS,
+        seeds=(1, 2),
+    )
+    fields.update(overrides)
+    return Scenario(**fields)
+
+
+class TestExecutionDeterminism:
+    def test_same_seed_reproduces_faulted_metrics(self):
+        scenario = faulted_scenario(seeds=(1,))
+        first = execute_point(scenario, 1)
+        second = execute_point(scenario, 1)
+        assert metrics_digest(first) == metrics_digest(second)
+        assert first.extras["fault_crashes"] > 0
+
+    def test_parallel_is_bit_identical_to_serial(self):
+        scenario = faulted_scenario()
+        serial = Session(workers=1).run(scenario)
+        with Session(workers=2) as parallel:
+            pooled = parallel.run(scenario)
+        assert [metrics_digest(run) for run in serial.attacked_runs] == [
+            metrics_digest(run) for run in pooled.attacked_runs
+        ]
+        assert [metrics_digest(run) for run in serial.baseline_runs] == [
+            metrics_digest(run) for run in pooled.baseline_runs
+        ]
+
+    def test_baseline_runs_the_fault_plan_too(self):
+        result = Session().run(faulted_scenario(seeds=(1,)))
+        for run in result.baseline_runs:
+            assert run.extras["fault_crashes"] > 0
+
+    def test_fault_lanes_do_not_perturb_the_unfaulted_path(self):
+        # Same scenario modulo faults: the faulted run must differ (faults
+        # do real damage), while two unfaulted runs stay identical — the
+        # fault lanes never steal draws from other subsystems.
+        bare = faulted_scenario(faults={}, seeds=(1,))
+        assert metrics_digest(execute_point(bare, 1)) == metrics_digest(
+            execute_point(bare, 1)
+        )
+        faulted = faulted_scenario(seeds=(1,))
+        assert metrics_digest(execute_point(faulted, 1)) != metrics_digest(
+            execute_point(bare, 1)
+        )
+
+
+class TestFaultedReplay:
+    @pytest.fixture(scope="class")
+    def recorded(self, tmp_path_factory):
+        scenario = faulted_scenario(seeds=(1,))
+        path = tmp_path_factory.mktemp("traces") / "faulted.jsonl.gz"
+        metrics = record_run(scenario, 1, path)
+        return scenario, path, metrics
+
+    def test_record_on_metrics_match_record_off(self, recorded):
+        scenario, _, recorded_metrics = recorded
+        plain = execute_point(scenario, 1)
+        assert metrics_digest(plain) == metrics_digest(recorded_metrics)
+
+    def test_trace_contains_fault_records(self, recorded):
+        _, path, _ = recorded
+        events = [
+            record[3]
+            for record in filter_records(iter_records(path), kinds=["fault"])
+        ]
+        assert "crash" in events
+        assert "restart" in events
+        assert "leave" in events
+        assert "partition_start" in events
+        assert "partition_end" in events
+
+    def test_faulted_trace_replays_with_zero_divergence(self, recorded):
+        _, path, _ = recorded
+        # replay_trace raises ReplayDivergence on the first mismatch, so a
+        # returned report IS the zero-divergence guarantee.
+        report = replay_trace(path)
+        assert report.records_checked > 0
+        assert report.metrics_digest
+
+    def test_session_records_faulted_runs(self, tmp_path):
+        store = ResultStore(tmp_path)
+        session = Session(store=store, record=True)
+        session.run_metrics(faulted_scenario(seeds=(1,)))
+        traces = store.trace_paths()
+        assert traces
+        fault_records = list(
+            filter_records(iter_records(traces[0]), kinds=["fault"])
+        )
+        assert fault_records

@@ -1,0 +1,286 @@
+"""Behavioral tests for fault injection: crash/restart, churn, partitions,
+degraded links, and the graceful-degradation accounting."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro import units
+from repro.config import smoke_config
+from repro.experiments.world import build_world
+from repro.sim.network import LinkProperties, Network, Node
+
+
+def faulted_world(fault_plan, sim_overrides=None, **build_kwargs):
+    protocol, sim = smoke_config()
+    if sim_overrides:
+        sim = dataclasses.replace(sim, **sim_overrides)
+    return build_world(protocol, sim, fault_plan=fault_plan, **build_kwargs)
+
+
+class TestEngineWiring:
+    def test_noop_plan_attaches_no_engine(self):
+        world = faulted_world({"crash": {"rate_per_peer_per_year": 0.0}})
+        assert world.fault_engine is None
+
+    def test_active_plan_attaches_an_engine(self):
+        world = faulted_world({"crash": {"rate_per_peer_per_year": 4.0}})
+        assert world.fault_engine is not None
+
+    def test_extras_expose_every_counter(self):
+        world = faulted_world({"crash": {"rate_per_peer_per_year": 4.0}})
+        metrics = world.run()
+        for key in (
+            "fault_crashes",
+            "fault_restarts",
+            "fault_churn_leaves",
+            "fault_churn_rejoins",
+            "fault_downtime_days",
+            "fault_availability",
+            "fault_damage_while_down",
+            "fault_partition_windows",
+            "fault_partition_dropped",
+            "fault_degraded_windows",
+            "fault_recoveries",
+            "fault_mean_recovery_days",
+            "fault_recovery_repairs",
+        ):
+            assert key in metrics.extras, key
+
+
+class TestCrashRestart:
+    def test_crashes_happen_and_peers_come_back(self):
+        world = faulted_world(
+            {"crash": {"rate_per_peer_per_year": 6.0, "mean_downtime_days": 2.0}}
+        )
+        metrics = world.run()
+        engine = world.fault_engine
+        assert engine.crashes > 0
+        assert engine.restarts > 0
+        assert metrics.extras["fault_availability"] < 1.0
+        assert metrics.extras["fault_downtime_days"] > 0.0
+        # Every completed outage is crash-then-restart; at most one
+        # still-down peer per covered peer at run end.
+        assert engine.crashes - engine.restarts <= len(world.peers)
+
+    def test_crashed_peer_stops_polling_and_voting(self):
+        world = faulted_world(None)
+        world.start()
+        world.simulator.run(units.days(30))
+        peer = world.peers[0]
+        peer.crash()
+        assert not peer.active
+        assert peer.active_polls() == 0
+        assert peer.active_voter_sessions() == 0
+
+    def test_restart_rekicks_broken_poll_chains(self):
+        world = faulted_world(None)
+        world.start()
+        world.simulator.run(units.days(30))
+        peer = world.peers[0]
+        peer.crash()
+        # The outage breaks each AU's poll chain as its timer fires.
+        world.simulator.run(world.simulator.now + units.days(120))
+        assert peer._broken_chains
+        peer.restart(random.Random(7))
+        assert not peer._broken_chains
+        def total_polls(collector):
+            return (
+                collector.successful_polls
+                + collector.failed_polls
+                + collector.inconclusive_polls
+            )
+        before = total_polls(world.collector)
+        world.simulator.run(world.simulator.now + units.days(120))
+        assert total_polls(world.collector) > before
+
+    def test_restart_with_replica_loss_damages_every_block(self):
+        world = faulted_world(None)
+        world.start()
+        peer = world.peers[0]
+        peer.crash()
+        peer.restart(random.Random(7), lose_replicas=True)
+        for au in world.aus:
+            replica = peer.au_state(au.au_id).replica
+            assert len(replica.damage_tags) == replica.au.n_blocks
+
+    def test_restart_with_reference_list_loss_keeps_friends(self):
+        world = faulted_world(None)
+        world.start()
+        peer = world.peers[0]
+        state = peer.au_state(world.aus[0].au_id)
+        friends = set(state.reference_list.friends)
+        assert len(state.reference_list) > 0
+        peer.crash()
+        peer.restart(random.Random(7), lose_reference_lists=True)
+        assert len(state.reference_list) == 0
+        assert set(state.reference_list.friends) == friends
+
+    def test_bit_rot_keeps_striking_while_down(self):
+        # Brutal bit rot (tiny MTBF) plus long outages: the damage delta
+        # accrued during downtime must be accounted as damage-while-down.
+        world = faulted_world(
+            {"crash": {"rate_per_peer_per_year": 12.0, "mean_downtime_days": 30.0}},
+            sim_overrides={"storage_mtbf_disk_years": 0.02},
+        )
+        metrics = world.run()
+        assert world.failure_model.events_injected > 0
+        assert metrics.extras["fault_damage_while_down"] > 0.0
+
+
+class TestChurn:
+    def test_churn_loses_state_and_rejoins(self):
+        world = faulted_world(
+            {"churn": {"rate_per_peer_per_year": 8.0, "mean_downtime_days": 10.0}}
+        )
+        metrics = world.run()
+        engine = world.fault_engine
+        assert engine.churn_leaves > 0
+        assert engine.churn_rejoins > 0
+        assert metrics.extras["fault_churn_rejoins"] <= metrics.extras[
+            "fault_churn_leaves"
+        ]
+
+    def test_coverage_limits_the_churned_subset(self):
+        world = faulted_world(
+            {
+                "churn": {
+                    "rate_per_peer_per_year": 50.0,
+                    "mean_downtime_days": 1.0,
+                    "coverage": 0.3,
+                }
+            }
+        )
+        world.start()
+        engine = world.fault_engine
+        covered = engine._eligible("churn", 0.3)
+        assert len(covered) == round(0.3 * len(world.peers))
+
+    def test_recovery_metrics_flow_after_rejoin(self):
+        world = faulted_world(
+            {"churn": {"rate_per_peer_per_year": 4.0, "mean_downtime_days": 2.0}}
+        )
+        metrics = world.run()
+        engine = world.fault_engine
+        if engine.recoveries:
+            assert metrics.extras["fault_mean_recovery_days"] > 0.0
+
+
+class RecordingNode(Node):
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.received = []
+
+    def receive_message(self, message):
+        self.received.append(message)
+
+
+@pytest.fixture
+def three_nodes(simulator, streams):
+    network = Network(simulator, streams)
+    nodes = []
+    for name in ("a", "b", "c"):
+        node = RecordingNode(name)
+        network.register(
+            node, LinkProperties(bandwidth_bps=units.mbps(10), latency=0.010)
+        )
+        nodes.append(node)
+    return network, nodes
+
+
+class TestPartition:
+    def test_cross_group_send_is_dropped(self, simulator, three_nodes):
+        network, (a, b, c) = three_nodes
+        network.set_partition({"b": 1})
+        assert network.send("a", "b", "x", 10) is False
+        assert network.stats.messages_dropped_partition == 1
+        simulator.run(1.0)
+        assert b.received == []
+
+    def test_same_group_delivery_still_works(self, simulator, three_nodes):
+        network, (a, b, c) = three_nodes
+        network.set_partition({"b": 1})
+        assert network.send("a", "c", "x", 10) is True
+        simulator.run(1.0)
+        assert len(c.received) == 1
+
+    def test_in_flight_messages_are_dropped_at_delivery(self, simulator, three_nodes):
+        network, (a, b, c) = three_nodes
+        assert network.send("a", "b", "x", 10) is True
+        network.set_partition({"b": 1})
+        simulator.run(1.0)
+        assert b.received == []
+        assert network.stats.messages_dropped_partition == 1
+
+    def test_clear_partition_restores_reachability(self, simulator, three_nodes):
+        network, (a, b, c) = three_nodes
+        network.set_partition({"b": 1})
+        network.clear_partition()
+        assert not network.is_partitioned()
+        assert network.send("a", "b", "x", 10) is True
+        simulator.run(1.0)
+        assert len(b.received) == 1
+
+    def test_partition_window_drops_messages_in_a_run(self):
+        world = faulted_world(
+            {
+                "partitions": [
+                    {"start_day": 30.0, "duration_days": 30.0, "fraction": 0.5}
+                ]
+            }
+        )
+        metrics = world.run()
+        assert metrics.extras["fault_partition_windows"] == 1.0
+        assert metrics.extras["fault_partition_dropped"] > 0.0
+        # The window ended: the network must be whole again at run end.
+        assert not world.network.is_partitioned()
+
+
+class TestDegradedLinks:
+    def test_factors_scale_the_original_link(self, three_nodes):
+        network, _ = three_nodes
+        original = network.link_for("a")
+        degraded = network.degrade_link("a", bandwidth_factor=0.5, latency_factor=2.0)
+        assert degraded.bandwidth_bps == pytest.approx(original.bandwidth_bps * 0.5)
+        assert degraded.latency == pytest.approx(original.latency * 2.0)
+
+    def test_repeated_degrade_does_not_compound(self, three_nodes):
+        network, _ = three_nodes
+        original = network.link_for("a")
+        network.degrade_link("a", bandwidth_factor=0.5)
+        again = network.degrade_link("a", bandwidth_factor=0.5)
+        assert again.bandwidth_bps == pytest.approx(original.bandwidth_bps * 0.5)
+
+    def test_restore_brings_back_the_original_link(self, three_nodes):
+        network, _ = three_nodes
+        original = network.link_for("a")
+        network.degrade_link("a", bandwidth_factor=0.1, latency_factor=10.0)
+        network.restore_link("a")
+        assert network.link_for("a") is original
+        # Restoring an undegraded identity is a no-op.
+        network.restore_link("c")
+
+    def test_unknown_identity_is_rejected(self, three_nodes):
+        network, _ = three_nodes
+        with pytest.raises(ValueError):
+            network.degrade_link("ghost", bandwidth_factor=0.5)
+
+    def test_degrade_window_slows_polls_in_a_run(self):
+        world = faulted_world(
+            {
+                "degraded_links": [
+                    {
+                        "start_day": 0.0,
+                        "duration_days": 60.0,
+                        "fraction": 0.5,
+                        "bandwidth_factor": 0.01,
+                        "latency_factor": 50.0,
+                    }
+                ]
+            }
+        )
+        metrics = world.run()
+        assert metrics.extras["fault_degraded_windows"] == 1.0
+        # The window is over; every link must be restored.
+        assert not world.network._degraded
