@@ -36,7 +36,7 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Union
 
 from .resultset import PointResult, ResultSet, export_rows
 from .scenario import (
@@ -253,6 +253,35 @@ class Campaign:
         return cls.from_json(Path(path).read_text(encoding="utf-8"))
 
 
+def status_dict(
+    name: str,
+    digest: str,
+    total: int,
+    counts: Mapping[str, int],
+    points: Optional[Sequence[Mapping[str, object]]] = None,
+) -> Dict[str, object]:
+    """The machine-readable campaign status payload.
+
+    One schema serves both producers: ``campaign status --json`` (built
+    from :class:`CampaignStatus`, where every point is ``complete`` /
+    ``failed`` / ``pending``) and the execution service's status endpoint
+    (where a live fleet adds the ``leased`` state).  ``counts`` maps state
+    names to point counts; zero counts are kept so consumers can index
+    unconditionally.
+    """
+    counts = {state: int(count) for state, count in counts.items()}
+    payload: Dict[str, object] = {
+        "name": name,
+        "digest": digest,
+        "total": int(total),
+        "counts": counts,
+        "complete": counts.get("complete", 0) >= int(total),
+    }
+    if points is not None:
+        payload["points"] = list(points)
+    return payload
+
+
 @dataclass
 class CampaignStatus:
     """Completion state of one campaign against a result store."""
@@ -262,18 +291,50 @@ class CampaignStatus:
     total: int
     completed: List[CampaignPoint]
     pending: List[CampaignPoint]
+    #: Errors of points the manifest marks ``failed``, keyed by point index.
+    #: Failed points stay in ``pending`` too — they are still runnable work
+    #: (``resume`` re-executes them) — so this only refines their state.
+    failed: Dict[int, str] = field(default_factory=dict)
 
     @property
     def complete(self) -> bool:
         return not self.pending
 
     def summary(self) -> str:
-        return "%s: %d/%d points complete (campaign digest %s)" % (
+        line = "%s: %d/%d points complete (campaign digest %s)" % (
             self.name,
             len(self.completed),
             self.total,
             self.digest[:12],
         )
+        if self.failed:
+            line += ", %d failed" % len(self.failed)
+        return line
+
+    def to_dict(self) -> Dict[str, object]:
+        """The ``campaign status --json`` payload (see :func:`status_dict`)."""
+        entries: List[Dict[str, object]] = []
+        counts = {"complete": 0, "failed": 0, "pending": 0}
+        points = sorted(self.completed + self.pending, key=lambda p: p.index)
+        done = {point.index for point in self.completed}
+        for point in points:
+            if point.index in done:
+                state = "complete"
+            elif point.index in self.failed:
+                state = "failed"
+            else:
+                state = "pending"
+            counts[state] += 1
+            entry: Dict[str, object] = {
+                "index": point.index,
+                "digest": point.digest,
+                "label": point.label,
+                "state": state,
+            }
+            if state == "failed" and self.failed[point.index]:
+                entry["error"] = self.failed[point.index]
+            entries.append(entry)
+        return status_dict(self.name, self.digest, self.total, counts, entries)
 
 
 class CampaignRunner:
@@ -320,16 +381,34 @@ class CampaignRunner:
             return None
 
     def status(self, campaign: Campaign) -> CampaignStatus:
-        """Which points are already complete in the store, which are pending."""
+        """Which points are already complete in the store, which are pending.
+
+        Points the stored manifest marks ``failed`` are reported with their
+        errors (they remain in ``pending`` — still-runnable work).
+        """
         points = campaign.expand()
+        digest = Campaign.digest_of(points)
         completed = [point for point in points if self._load_point(point) is not None]
         done = {point.index for point in completed}
+        failed: Dict[int, str] = {}
+        manifest = (
+            self.store.load_json("campaign", digest) if self.store is not None else None
+        )
+        if isinstance(manifest, dict):
+            for entry in manifest.get("points") or []:
+                try:
+                    index = int(entry.get("index"))
+                except (TypeError, ValueError):
+                    continue
+                if entry.get("state") == "failed" and index not in done:
+                    failed[index] = str(entry.get("error") or "")
         return CampaignStatus(
             name=campaign.name,
-            digest=Campaign.digest_of(points),
+            digest=digest,
             total=len(points),
             completed=completed,
             pending=[point for point in points if point.index not in done],
+            failed=failed,
         )
 
     # -- execution ---------------------------------------------------------------------
@@ -401,11 +480,36 @@ class CampaignRunner:
         """Finish whatever ``run`` (or a killed invocation) left pending."""
         return self.run(campaign)
 
-    def result_set(self, campaign: Campaign) -> ResultSet:
+    def iter_results(self, campaign: Campaign) -> "Iterator[PointResult]":
+        """Stream the campaign's stored results one point at a time.
+
+        Each point's result is loaded from the store only when the consumer
+        reaches it, so aggregating a large campaign never holds more than
+        one :class:`~repro.api.session.ExperimentResult` in memory.  Raises
+        ``LookupError`` at the first missing point.
+        """
+        for point in campaign.expand():
+            result = self._load_point(point)
+            if result is None:
+                raise LookupError(
+                    "campaign %r is incomplete: point #%d (%s) is missing "
+                    "from the store — run or resume it first"
+                    % (campaign.name, point.index, point.digest[:12])
+                )
+            yield PointResult(point.index, point.scenario, result)
+
+    def result_set(self, campaign: Campaign, lazy: bool = False) -> ResultSet:
         """Load the campaign's results from the store without simulating.
 
-        Raises ``LookupError`` if any point is missing — run or resume first.
+        Raises ``LookupError`` if any point is missing — run or resume
+        first.  With ``lazy=True`` the returned set streams results via
+        :meth:`iter_results` (missing points then surface during
+        iteration rather than up front).
         """
+        if lazy:
+            return ResultSet.lazy(
+                lambda: self.iter_results(campaign), count=len(campaign)
+            )
         points = campaign.expand()
         loaded: List[PointResult] = []
         missing: List[CampaignPoint] = []
@@ -430,8 +534,13 @@ class CampaignRunner:
         return ResultSet(loaded)
 
     def rows(self, campaign: Campaign) -> List[Dict[str, object]]:
-        """The campaign's exported figure rows, loaded from the store."""
-        return export_rows(campaign.exporter, self.result_set(campaign))
+        """The campaign's exported figure rows, streamed from the store.
+
+        The lazy result set means the generic exporter path loads one
+        point result at a time — a ``campaign report`` against a large
+        SQLite store never materializes every result at once.
+        """
+        return export_rows(campaign.exporter, self.result_set(campaign, lazy=True))
 
     # -- manifest ----------------------------------------------------------------------
 

@@ -117,19 +117,66 @@ class ObservationRecord:
 
 
 class ResultSet:
-    """An ordered, queryable collection of campaign point results."""
+    """An ordered, queryable collection of campaign point results.
 
-    def __init__(self, points: Sequence[PointResult]):
-        self.points: List[PointResult] = list(points)
+    A result set is either **eager** (built from a sequence of points) or
+    **lazy** (built from a ``loader`` callable returning a fresh point
+    iterator each call — e.g. results streamed one at a time out of a
+    SQLite store).  The streaming surface — ``iter_points`` /
+    ``iter_rows`` / ``iter_values``, the default ``aggregate`` reduction,
+    and ``observations`` — consumes a lazy set without ever materializing
+    the full point list; anything that needs random access or reordering
+    (indexing, ``filter``, ``group_by``, ``sort_by``, ``.points``)
+    transparently materializes it first.
+    """
+
+    def __init__(
+        self,
+        points: Optional[Sequence[PointResult]] = None,
+        loader: Optional[Callable[[], Iterator[PointResult]]] = None,
+        count: Optional[int] = None,
+    ):
+        if loader is not None and points is not None:
+            raise ValueError("pass either points or a loader, not both")
+        self._loader = loader
+        if loader is None:
+            self._points: Optional[List[PointResult]] = list(points or [])
+            self._count: Optional[int] = len(self._points)
+        else:
+            self._points = None
+            self._count = count
+
+    @classmethod
+    def lazy(
+        cls, loader: Callable[[], Iterator[PointResult]], count: Optional[int] = None
+    ) -> "ResultSet":
+        """A streaming result set; ``count`` (if known) serves ``len()``."""
+        return cls(loader=loader, count=count)
+
+    @property
+    def points(self) -> List[PointResult]:
+        """The materialized point list (loads a lazy set on first access)."""
+        if self._points is None:
+            self._points = list(self._loader())
+            self._count = len(self._points)
+        return self._points
 
     def __len__(self) -> int:
+        if self._points is None and self._count is not None:
+            return self._count
         return len(self.points)
 
     def __iter__(self) -> Iterator[PointResult]:
-        return iter(self.points)
+        return self.iter_points()
 
     def __getitem__(self, index: int) -> PointResult:
         return self.points[index]
+
+    def iter_points(self) -> Iterator[PointResult]:
+        """Stream points in order without materializing a lazy set."""
+        if self._points is not None:
+            return iter(self._points)
+        return iter(self._loader())
 
     # -- querying ----------------------------------------------------------------------
 
@@ -201,33 +248,44 @@ class ResultSet:
             raise KeyError("unknown observation path %r" % column)
         return point.parameters.get(column)
 
+    def iter_values(self, column: str) -> Iterator[object]:
+        """Stream one column's value per point."""
+        for point in self.iter_points():
+            yield self.value(point, column)
+
     def values(self, column: str) -> List[object]:
-        return [self.value(point, column) for point in self.points]
+        return list(self.iter_values(column))
 
     def aggregate(
         self, column: str, reducer: Optional[Callable[[Sequence[float]], float]] = None
     ) -> float:
-        """Reduce one numeric column over all points (default: mean)."""
-        values = [float(v) for v in self.values(column) if v is not None]
+        """Reduce one numeric column over all points (default: mean).
+
+        The default mean is a streaming reduction — a lazy result set is
+        consumed one point at a time.  A custom ``reducer`` receives the
+        full value list (its contract is a sequence).
+        """
+        if reducer is None:
+            total = 0.0
+            count = 0
+            for value in self.iter_values(column):
+                if value is not None:
+                    total += float(value)
+                    count += 1
+            if not count:
+                raise ValueError("no values for column %r" % column)
+            return total / count
+        values = [float(v) for v in self.iter_values(column) if v is not None]
         if not values:
             raise ValueError("no values for column %r" % column)
-        if reducer is None:
-            return sum(values) / len(values)
         return reducer(values)
 
-    def rows(self, *columns: str) -> List[Dict[str, object]]:
-        """Export one dict row per point.
-
-        Without explicit columns, emits the label, every parameter, and the
-        four assessment metrics — the generic campaign report.
-        """
-        if columns:
-            return [
-                {column: self.value(point, column) for column in columns}
-                for point in self.points
-            ]
-        rows = []
-        for point in self.points:
+    def iter_rows(self, *columns: str) -> Iterator[Dict[str, object]]:
+        """Stream one dict row per point (see :meth:`rows` for the schema)."""
+        for point in self.iter_points():
+            if columns:
+                yield {column: self.value(point, column) for column in columns}
+                continue
             row: Dict[str, object] = {"label": point.label}
             row.update(point.parameters)
             assessment = point.assessment
@@ -239,8 +297,15 @@ class ResultSet:
                     "cost_ratio": assessment.cost_ratio,
                 }
             )
-            rows.append(row)
-        return rows
+            yield row
+
+    def rows(self, *columns: str) -> List[Dict[str, object]]:
+        """Export one dict row per point.
+
+        Without explicit columns, emits the label, every parameter, and the
+        four assessment metrics — the generic campaign report.
+        """
+        return list(self.iter_rows(*columns))
 
     # -- observation stream -------------------------------------------------------------
 
@@ -262,7 +327,7 @@ class ResultSet:
                     "unknown observation kind %r (known: %s)"
                     % (kind, ", ".join(OBSERVATION_KINDS))
                 )
-        for point in self.points:
+        for point in self.iter_points():
             runs_by_role = {"attacked": point.result.attacked_runs}
             # Without an adversary the baseline runs *are* the attacked runs
             # (the scenario, not run-value coincidence, decides this).

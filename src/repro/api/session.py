@@ -203,6 +203,14 @@ class Session:
     )
     _pool_finalizer: Optional[weakref.finalize] = field(default=None, repr=False)
 
+    def __post_init__(self) -> None:
+        # ``Session(store="results.db")`` / ``Session(store="out/")`` pick
+        # the SQLite or directory backend by reference, like ``--store``.
+        if self.store is not None and not isinstance(self.store, ResultStore):
+            from .store import open_store
+
+            self.store = open_store(self.store)
+
     # -- public API --------------------------------------------------------------------
 
     def run_metrics(self, scenario: Scenario, baseline: bool = False) -> List[RunMetrics]:

@@ -26,6 +26,16 @@ exists but no longer parses (truncated by a crashed writer on a non-atomic
 filesystem, bit-rotted, hand-edited) is *quarantined*: moved aside as
 ``<name>.corrupt`` so the next load recomputes it instead of tripping over
 the same bad bytes forever.
+
+This directory-of-files layout is one of two interchangeable backends.
+:func:`open_store` selects between them by reference: a path ending in
+``.db`` / ``.sqlite`` / ``.sqlite3`` (or prefixed ``sqlite:``) opens a
+:class:`~repro.service.sqlite_store.SQLiteResultStore` — a single WAL-mode
+database file that campaign-service brokers and workers on several
+processes or machines can share — while anything else opens the plain
+directory store.  Both backends honor the same save/load/has/quarantine/
+prune contract (enforced by the backend-parity test suite) and both keep
+replay traces as gzip files on disk.
 """
 
 from __future__ import annotations
@@ -176,6 +186,61 @@ class ResultStore:
         """All artifact files currently in the store (sorted by name)."""
         return sorted(self.root.glob("*-*.json")) + self.trace_paths()
 
+    def iter_artifacts(self):
+        """Yield ``(kind, digest, payload)`` for every readable JSON artifact.
+
+        The migration path between backends: both stores implement this, so
+        ``migrate_store`` can copy a JSON-file store into SQLite (or back)
+        without knowing either layout.  Unreadable artifacts are skipped
+        (and quarantined by ``load_json`` as usual).
+        """
+        for path in sorted(self.root.glob("*-*.json")):
+            kind, _, rest = path.name.partition("-")
+            digest = rest[: -len(".json")]
+            if not kind or not digest:
+                continue
+            payload = self.load_json(kind, digest)
+            if payload is not None:
+                yield kind, digest, payload
+
+    def trace_digests(self) -> List[str]:
+        """Digests of every finished replay trace in the store."""
+        prefix, suffix = "trace-", ".jsonl.gz"
+        return [path.name[len(prefix) : -len(suffix)] for path in self.trace_paths()]
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-kind artifact counts and byte totals (traces included).
+
+        Returns ``{kind: {"count": n, "bytes": b}}``; quarantined and torn
+        temp files are reported under ``"quarantined"`` / ``"temp"`` so
+        ``store stats`` surfaces what ``store prune`` would sweep.
+        """
+        totals: Dict[str, Dict[str, int]] = {}
+
+        def tally(kind: str, size: int) -> None:
+            record = totals.setdefault(kind, {"count": 0, "bytes": 0})
+            record["count"] += 1
+            record["bytes"] += size
+
+        for path in sorted(self.root.glob("*-*.json")):
+            kind = path.name.partition("-")[0]
+            try:
+                tally(kind, path.stat().st_size)
+            except OSError:
+                continue
+        for path in self.trace_paths():
+            try:
+                tally("trace", path.stat().st_size)
+            except OSError:
+                continue
+        for pattern, kind in (("*.corrupt", "quarantined"), ("*.tmp", "temp")):
+            for path in self.root.glob(pattern):
+                try:
+                    tally(kind, path.stat().st_size)
+                except OSError:
+                    continue
+        return totals
+
     def clear(self) -> int:
         """Delete every artifact; returns the number removed."""
         removed = 0
@@ -214,3 +279,76 @@ class ResultStore:
             except OSError:
                 pass
         return removed
+
+
+#: Path suffixes that select the SQLite backend in :func:`open_store`.
+SQLITE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
+
+#: The 16-byte magic prefix of every SQLite database file.
+_SQLITE_MAGIC = b"SQLite format 3\x00"
+
+
+def open_store(reference: Union[str, Path, "ResultStore"]) -> "ResultStore":
+    """Open a result store by reference, selecting the backend.
+
+    * an existing :class:`ResultStore` instance passes through unchanged;
+    * ``sqlite:<path>`` or a path ending in ``.db`` / ``.sqlite`` /
+      ``.sqlite3`` opens (creating if needed) a
+      :class:`~repro.service.sqlite_store.SQLiteResultStore`;
+    * an existing *file* that starts with the SQLite magic bytes opens the
+      SQLite backend regardless of its name;
+    * anything else opens the directory-of-JSON-files store.
+
+    This is what every ``--store`` CLI flag resolves through, so
+    ``--store results/`` and ``--store results.db`` pick their backend
+    without further spelling.
+    """
+    if isinstance(reference, ResultStore):
+        return reference
+    text = str(reference)
+    explicit_sqlite = text.startswith("sqlite:")
+    if explicit_sqlite:
+        text = text[len("sqlite:") :]
+    path = Path(text)
+    if not explicit_sqlite:
+        if path.suffix.lower() in SQLITE_SUFFIXES:
+            explicit_sqlite = True
+        elif path.is_file():
+            try:
+                with open(path, "rb") as handle:
+                    explicit_sqlite = handle.read(16) == _SQLITE_MAGIC
+            except OSError:
+                explicit_sqlite = False
+    if explicit_sqlite:
+        # Imported lazily: the service subsystem depends on this module.
+        from ..service.sqlite_store import SQLiteResultStore
+
+        return SQLiteResultStore(path)
+    return ResultStore(path)
+
+
+def migrate_store(source: "ResultStore", dest: "ResultStore") -> Dict[str, int]:
+    """Copy every artifact of ``source`` into ``dest`` (either direction).
+
+    JSON artifacts are re-saved through ``dest.save_json`` (so the SQLite
+    backend rows and the directory files round-trip each other), and replay
+    traces are copied byte for byte.  Artifacts already present in ``dest``
+    are overwritten — both backends key by content digest, so an overwrite
+    can only replace equal content or heal a stale copy.  Returns per-kind
+    copy counts (traces under ``"trace"``).
+    """
+    import shutil
+
+    copied: Dict[str, int] = {}
+    for kind, digest, payload in source.iter_artifacts():
+        dest.save_json(kind, digest, payload)
+        copied[kind] = copied.get(kind, 0) + 1
+    for digest in source.trace_digests():
+        source_path = source.trace_path(digest)
+        target = dest.trace_path(digest)
+        try:
+            shutil.copyfile(source_path, target)
+        except OSError:
+            continue
+        copied["trace"] = copied.get("trace", 0) + 1
+    return copied

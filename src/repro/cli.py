@@ -15,11 +15,21 @@ table:
   partitions, degraded links; see docs/FAULTS.md)
 * ``campaign``        — declarative parameter-grid campaigns
   (``run`` / ``status`` / ``resume`` / ``report`` over a campaign JSON file
-  or a named bench artifact), resumable via the digest-keyed store; points
-  that time out or crash are marked failed in the manifest and re-leased by
-  ``resume``
-* ``store``           — store housekeeping (``prune`` torn temp files or one
-  artifact kind, replay traces included)
+  or a named bench artifact, plus ``submit`` to a running service),
+  resumable via the digest-keyed store; points that time out or crash are
+  marked failed in the manifest and re-leased by ``resume``;
+  ``status --json`` emits the machine-readable payload the service's
+  status endpoint shares
+* ``store``           — store housekeeping (``stats`` per-kind counts and
+  bytes, ``prune`` torn temp files or one artifact kind, ``clear``
+  everything, ``migrate`` a JSON-file store into a SQLite one); every
+  ``--store`` flag accepts either a directory or a ``.db`` SQLite file
+  (see docs/SERVICE.md)
+* ``serve``           — the campaign execution service: an HTTP JSON API
+  over one SQLite store that queues campaigns and leases points to workers
+* ``worker``          — a work-stealing worker loop, either sharing the
+  service's SQLite store (``--store results.db``) or fully remote over
+  HTTP (``--connect http://host:port``)
 * ``replay``          — verify a recorded trace by re-running it (or list its
   records with ``--kinds``/``--peer``/``--from``/``--until`` filters)
 * ``bisect``          — localize the first divergent record of two traces
@@ -53,12 +63,12 @@ from .api import (
     AdversarySpec,
     Campaign,
     CampaignRunner,
-    ResultStore,
     Scenario,
     Session,
     export_rows,
 )
 from .api.session import ExperimentResult
+from .api.store import open_store
 from .config import ProtocolConfig, SimulationConfig, scaled_config
 from .experiments import ablation as ablation_module
 from .experiments import baseline, effortful
@@ -87,10 +97,10 @@ def _configs(args: argparse.Namespace) -> "tuple[ProtocolConfig, SimulationConfi
 
 def _session(args: argparse.Namespace) -> Session:
     """Build the execution session a subcommand runs its scenarios through."""
-    store = ResultStore(args.store) if getattr(args, "store", None) else None
+    store = open_store(args.store) if getattr(args, "store", None) else None
     record = bool(getattr(args, "record", False))
     if record and store is None:
-        raise SystemExit("--record needs --store DIR (traces are store artifacts)")
+        raise SystemExit("--record needs --store (traces are store artifacts)")
     return Session(
         workers=getattr(args, "workers", 1) or 1,
         store=store,
@@ -114,8 +124,10 @@ def _add_session_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--store",
         default=None,
-        metavar="DIR",
-        help="persist per-run metrics and results as digest-keyed JSON in DIR",
+        metavar="PATH",
+        help="persist per-run metrics and results as digest-keyed artifacts: "
+        "a directory of JSON files, or a SQLite database when PATH ends in "
+        ".db/.sqlite (see docs/SERVICE.md)",
     )
     parser.add_argument(
         "--timeout",
@@ -431,17 +443,29 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     campaign = _load_campaign(args.campaign)
     runner = _campaign_runner(args)
     status = runner.status(campaign)
+    if args.json:
+        import json as json_module
+
+        print(json_module.dumps(status.to_dict(), indent=2, sort_keys=True))
+        return 0
     print(status.summary())
     done = {point.index for point in status.completed}
-    rows = [
-        {
-            "index": point.index,
-            "state": "complete" if point.index in done else "pending",
-            "digest": point.digest[:12],
-            "label": point.label,
-        }
-        for point in campaign.expand()
-    ]
+    rows = []
+    for point in campaign.expand():
+        if point.index in done:
+            state = "complete"
+        elif point.index in status.failed:
+            state = "failed"
+        else:
+            state = "pending"
+        rows.append(
+            {
+                "index": point.index,
+                "state": state,
+                "digest": point.digest[:12],
+                "label": point.label,
+            }
+        )
     _print_rows(rows, ["index", "state", "digest", "label"])
     return 0
 
@@ -469,16 +493,20 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
     if runner.store is None:
         print("campaign report needs --store (it reads persisted results)")
         return 2
+    # A lazy result set streams point results out of the store one at a
+    # time — reports over large SQLite stores never hold them all at once.
     try:
-        results = runner.result_set(campaign)
+        rows = export_rows(campaign.exporter, runner.result_set(campaign, lazy=True))
     except LookupError as error:
         print(str(error))
         print("run or resume the campaign first")
         return 2
-    rows = export_rows(campaign.exporter, results)
     digest = bench_module.digest_rows(rows)
     print("Campaign %s report (%d rows)" % (campaign.name, len(rows)))
-    _print_campaign_rows(campaign, results)
+    columns: List[str] = []
+    for row in rows:
+        columns.extend(key for key in row if key not in columns)
+    _print_rows(rows, columns)
     print("result digest: %s" % digest)
     if args.check_digest:
         baseline = bench_module.load_baseline(Path(args.check_digest))
@@ -650,17 +678,184 @@ def _cmd_fork(args: argparse.Namespace) -> int:
 
 def _cmd_store_prune(args: argparse.Namespace) -> int:
     if not args.store:
-        print("store prune needs --store DIR")
+        print("store prune needs --store")
         return 2
-    store = ResultStore(args.store)
+    store = open_store(args.store)
     try:
         removed = store.prune(kind=args.kind)
     except ValueError as error:
         print(str(error))
         return 2
     what = "temp files" if args.kind is None else "temp files and %r artifacts" % args.kind
-    print("pruned %d file(s) (%s) from %s" % (removed, what, args.store))
+    print("pruned %d item(s) (%s) from %s" % (removed, what, args.store))
     return 0
+
+
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    store = open_store(args.store)
+    totals = store.stats()
+    if args.json:
+        import json as json_module
+
+        print(json_module.dumps(totals, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        {"kind": kind, "count": record["count"], "bytes": record["bytes"]}
+        for kind, record in sorted(totals.items())
+    ]
+    print("Store %s (%s backend)" % (
+        args.store,
+        "sqlite" if type(store).__name__ == "SQLiteResultStore" else "directory",
+    ))
+    if not rows:
+        print("(empty)")
+        return 0
+    _print_rows(rows, ["kind", "count", "bytes"])
+    print(
+        "total: %d artifact(s), %d bytes"
+        % (
+            sum(record["count"] for record in totals.values()),
+            sum(record["bytes"] for record in totals.values()),
+        )
+    )
+    return 0
+
+
+def _cmd_store_clear(args: argparse.Namespace) -> int:
+    store = open_store(args.store)
+    if not args.yes:
+        print("store clear removes every artifact in %s; pass --yes to confirm" % args.store)
+        return 2
+    removed = store.clear()
+    print("cleared %d item(s) from %s" % (removed, args.store))
+    return 0
+
+
+def _cmd_store_migrate(args: argparse.Namespace) -> int:
+    from .api.store import migrate_store
+
+    source = open_store(args.source)
+    dest = open_store(args.dest)
+    if type(source) is type(dest) and str(args.source) == str(args.dest):
+        print("source and destination are the same store")
+        return 2
+    copied = migrate_store(source, dest)
+    total = sum(copied.values())
+    print(
+        "migrated %d artifact(s) from %s to %s" % (total, args.source, args.dest)
+    )
+    for kind in sorted(copied):
+        print("  %s: %d" % (kind, copied[kind]))
+    return 0
+
+
+def _cmd_campaign_submit(args: argparse.Namespace) -> int:
+    from .service.worker import HttpBrokerClient
+
+    campaign = _load_campaign(args.campaign)
+    client = HttpBrokerClient(args.connect)
+    status = client.submit(campaign.to_dict())
+    counts = status.get("counts", {})
+    print(
+        "submitted %s to %s: campaign digest %s, %d point(s) "
+        "(%d pending, %d complete, %d failed)"
+        % (
+            campaign.name,
+            args.connect,
+            str(status.get("digest", ""))[:12],
+            status.get("total", 0),
+            counts.get("pending", 0),
+            counts.get("complete", 0),
+            counts.get("failed", 0),
+        )
+    )
+    print("drain it with: repro-experiments worker --connect %s" % args.connect)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.http_api import make_server
+    from .service.sqlite_store import SQLiteResultStore
+
+    store = open_store(args.store)
+    if not isinstance(store, SQLiteResultStore):
+        raise SystemExit(
+            "serve needs a SQLite store (--store results.db); the broker "
+            "keeps its lease tables in the same database"
+        )
+    server = make_server(
+        store,
+        host=args.host,
+        port=args.port,
+        lease_seconds=args.lease_seconds,
+        on_event=print if args.verbose else None,
+    )
+    host, port = server.server_address[:2]
+    print(
+        "campaign execution service on http://%s:%d (store %s, lease %.0fs)"
+        % (host, port, args.store, args.lease_seconds)
+    )
+    print("submit:  repro-experiments campaign submit <campaign> --connect http://%s:%d" % (host, port))
+    print("workers: repro-experiments worker --connect http://%s:%d" % (host, port))
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .service.worker import HttpBrokerClient, LocalBrokerClient, Worker
+
+    if bool(args.connect) == bool(args.store):
+        raise SystemExit(
+            "worker needs exactly one of --connect URL (remote service) or "
+            "--store results.db (shared SQLite store)"
+        )
+    if args.connect:
+        client = HttpBrokerClient(args.connect)
+        # Remote workers run storeless: artifacts ship in the complete
+        # request and the server persists them.
+        session = Session(
+            workers=args.workers or 1,
+            timeout=args.timeout,
+            retries=max(1, args.retries or 1),
+        )
+    else:
+        from .service.broker import Broker
+        from .service.sqlite_store import SQLiteResultStore
+
+        store = open_store(args.store)
+        if not isinstance(store, SQLiteResultStore):
+            raise SystemExit(
+                "worker --store needs a SQLite store (results.db); use "
+                "--connect for a remote service"
+            )
+        client = LocalBrokerClient(Broker(store, lease_seconds=args.lease_seconds))
+        session = Session(
+            workers=args.workers or 1,
+            store=store,
+            record=bool(args.record),
+            timeout=args.timeout,
+            retries=max(1, args.retries or 1),
+        )
+    worker = Worker(
+        client,
+        session=session,
+        worker_id=args.id,
+        campaign=args.campaign,
+        poll_interval=args.poll_interval,
+        max_points=args.max_points,
+        on_event=print,
+    )
+    stats = worker.run()
+    print(
+        "worker %s done: %d completed, %d failed, %d stolen"
+        % (stats["worker"], stats["completed"], stats["failed"], stats["stolen"])
+    )
+    return 0 if stats["failed"] == 0 else 1
 
 
 def _cmd_list_adversaries(args: argparse.Namespace) -> int:
@@ -822,7 +1017,28 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="show which campaign points the store already holds"
     )
     _campaign_common(campaign_status)
+    campaign_status.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable status payload (same schema as the "
+        "service's status endpoint)",
+    )
     campaign_status.set_defaults(func=_cmd_campaign_status)
+
+    campaign_submit = campaign_sub.add_parser(
+        "submit", help="queue a campaign on a running execution service"
+    )
+    campaign_submit.add_argument(
+        "campaign",
+        help="a campaign JSON file, or a bench artifact name (e.g. fig2_baseline)",
+    )
+    campaign_submit.add_argument(
+        "--connect",
+        required=True,
+        metavar="URL",
+        help="service base URL, e.g. http://127.0.0.1:8642",
+    )
+    campaign_submit.set_defaults(func=_cmd_campaign_submit)
 
     campaign_resume = campaign_sub.add_parser(
         "resume", help="finish the pending points of a checkpointed campaign"
@@ -862,7 +1078,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="remove torn temp files (and optionally one artifact kind)",
     )
     store_prune.add_argument(
-        "--store", required=True, metavar="DIR", help="the store directory to prune"
+        "--store", required=True, metavar="PATH",
+        help="the store to prune (directory or SQLite .db file)",
     )
     store_prune.add_argument(
         "--kind",
@@ -871,6 +1088,39 @@ def build_parser() -> argparse.ArgumentParser:
         "(runs, result, campaign, trace)",
     )
     store_prune.set_defaults(func=_cmd_store_prune)
+
+    store_stats = store_sub.add_parser(
+        "stats", help="per-kind artifact counts and byte totals"
+    )
+    store_stats.add_argument(
+        "--store", required=True, metavar="PATH",
+        help="the store to inspect (directory or SQLite .db file)",
+    )
+    store_stats.add_argument(
+        "--json", action="store_true", help="emit the stats as JSON"
+    )
+    store_stats.set_defaults(func=_cmd_store_stats)
+
+    store_clear = store_sub.add_parser(
+        "clear", help="remove every artifact (both backends)"
+    )
+    store_clear.add_argument(
+        "--store", required=True, metavar="PATH",
+        help="the store to clear (directory or SQLite .db file)",
+    )
+    store_clear.add_argument(
+        "--yes", action="store_true", help="confirm the deletion"
+    )
+    store_clear.set_defaults(func=_cmd_store_clear)
+
+    store_migrate = store_sub.add_parser(
+        "migrate",
+        help="copy every artifact from one store into another "
+        "(e.g. a JSON-file directory into a SQLite .db)",
+    )
+    store_migrate.add_argument("source", help="source store (directory or .db)")
+    store_migrate.add_argument("dest", help="destination store (directory or .db)")
+    store_migrate.set_defaults(func=_cmd_store_migrate)
 
     replay_parser = subparsers.add_parser(
         "replay",
@@ -954,6 +1204,80 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="write the fork's metrics + digest as JSON"
     )
     fork_parser.set_defaults(func=_cmd_fork)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the campaign execution service (HTTP JSON API over a "
+        "SQLite store; see docs/SERVICE.md)",
+    )
+    serve_parser.add_argument(
+        "--store", required=True, metavar="PATH",
+        help="the service's SQLite store, e.g. results.db",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8642, help="bind port (default 8642)"
+    )
+    serve_parser.add_argument(
+        "--lease-seconds", type=float, default=60.0,
+        help="heartbeat budget before a worker's lease is re-claimable "
+        "(default 60)",
+    )
+    serve_parser.add_argument(
+        "--verbose", action="store_true", help="log requests and submissions"
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    worker_parser = subparsers.add_parser(
+        "worker",
+        help="drain a service's campaign queue (work-stealing lease loop)",
+    )
+    worker_parser.add_argument(
+        "--connect", default=None, metavar="URL",
+        help="remote service base URL, e.g. http://127.0.0.1:8642",
+    )
+    worker_parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="shared SQLite store file (local alternative to --connect)",
+    )
+    worker_parser.add_argument(
+        "--id", default=None, help="worker id (default <hostname>-<pid>)"
+    )
+    worker_parser.add_argument(
+        "--campaign", default=None, metavar="DIGEST",
+        help="only lease points of this campaign digest",
+    )
+    worker_parser.add_argument(
+        "--max-points", type=int, default=None,
+        help="exit after executing N points (default: drain the queue)",
+    )
+    worker_parser.add_argument(
+        "--poll-interval", type=float, default=0.5,
+        help="seconds between lease polls while others hold leases",
+    )
+    worker_parser.add_argument(
+        "--lease-seconds", type=float, default=60.0,
+        help="with --store: the broker's heartbeat budget (default 60)",
+    )
+    worker_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size for this worker's own multi-seed runs",
+    )
+    worker_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-run wall-clock bound (pooled runs only)",
+    )
+    worker_parser.add_argument(
+        "--retries", type=int, default=1,
+        help="attempts per point before reporting failure (default 1)",
+    )
+    worker_parser.add_argument(
+        "--record", action="store_true",
+        help="with --store: capture computed runs as replay traces",
+    )
+    worker_parser.set_defaults(func=_cmd_worker)
 
     list_parser = subparsers.add_parser(
         "list-adversaries", help="list registered attack strategies"

@@ -403,11 +403,29 @@ QUICK_ARTIFACTS: Tuple[str, ...] = (
 )
 
 
-def digest_rows(rows: Sequence[Dict[str, object]]) -> str:
-    """Content digest of one artifact's full row payload."""
+def digest_rows_iter(rows) -> str:
+    """Content digest of a row *stream*, holding one row at a time.
+
+    Hashes the canonical JSON of each row between literal ``[`` ``,`` ``]``
+    separators, which is byte-identical to ``canonical_json`` of the full
+    list — so streaming reports (lazy result sets over a SQLite store)
+    produce exactly the committed benchmark digests.
+    """
     import hashlib
 
-    return hashlib.sha256(canonical_json(list(rows)).encode("utf-8")).hexdigest()
+    hasher = hashlib.sha256()
+    hasher.update(b"[")
+    for position, row in enumerate(rows):
+        if position:
+            hasher.update(b",")
+        hasher.update(canonical_json(row).encode("utf-8"))
+    hasher.update(b"]")
+    return hasher.hexdigest()
+
+
+def digest_rows(rows: Sequence[Dict[str, object]]) -> str:
+    """Content digest of one artifact's full row payload."""
+    return digest_rows_iter(iter(rows))
 
 
 def _peak_rss_kb() -> Optional[int]:

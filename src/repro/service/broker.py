@@ -1,0 +1,483 @@
+"""Campaign broker: leases, heartbeats, and crash-safe re-leasing.
+
+The :class:`Broker` owns campaign manifests inside the service's SQLite
+store and hands out **leases** on pending points to any number of workers
+— threads, processes, or machines sharing the database file.  The protocol
+is the per-point ``failed``-state machinery campaign ``resume`` introduced,
+generalized to a live fleet:
+
+* ``submit`` expands a campaign, marks points the store already holds
+  ``complete``, and queues the rest ``pending`` (a resubmission also
+  re-queues ``failed`` points, exactly like ``campaign resume``);
+* ``lease`` atomically claims the first available point — ``pending``, or
+  ``leased`` with an **expired** lease (its worker crashed or was
+  SIGKILLed) — and stamps it with the worker id and a deadline;
+* ``heartbeat`` extends a live lease; a worker that stops heartbeating
+  loses the point at the deadline and someone else picks it up;
+* ``complete`` / ``fail`` close a lease.  Only the *current* lease holder
+  can close a point: a worker that lost its lease mid-run gets ``False``
+  back, which is harmless — everything it wrote to the store is keyed by
+  content digest, so its bytes are identical to the re-leased worker's.
+
+That last property is the digest discipline that makes work stealing safe:
+a campaign drained by N workers (any of them killed mid-run) finishes with
+bit-identical row digests to a single-process ``CampaignRunner`` run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..api.campaign import Campaign, status_dict
+from ..api.scenario import Scenario
+from .sqlite_store import SQLiteResultStore
+
+#: Point states in the broker manifest.  ``leased`` is the only state the
+#: single-process manifest never uses; everything else matches
+#: ``CampaignRunner._write_manifest``.
+POINT_STATES = ("pending", "leased", "complete", "failed")
+
+
+@dataclass
+class Lease:
+    """One claimed point: where it lives and how long the claim holds."""
+
+    campaign: str  #: campaign digest
+    index: int
+    digest: str  #: point scenario digest
+    label: str
+    scenario: Scenario
+    worker: str
+    deadline: float
+    lease_seconds: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "campaign": self.campaign,
+            "index": self.index,
+            "digest": self.digest,
+            "label": self.label,
+            "scenario": self.scenario.to_dict(),
+            "worker": self.worker,
+            "deadline": self.deadline,
+            "lease_seconds": self.lease_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Lease":
+        return cls(
+            campaign=str(payload["campaign"]),
+            index=int(payload["index"]),
+            digest=str(payload["digest"]),
+            label=str(payload.get("label", "")),
+            scenario=Scenario.from_dict(payload["scenario"]),
+            worker=str(payload.get("worker", "")),
+            deadline=float(payload.get("deadline", 0.0)),
+            lease_seconds=float(payload.get("lease_seconds", 0.0)),
+        )
+
+
+class Broker:
+    """Leases campaign points to workers out of a shared SQLite store.
+
+    ``lease_seconds`` is the heartbeat budget: a worker must heartbeat (or
+    finish) within it or the point is re-leased.  ``clock`` is injectable
+    for tests; production uses wall-clock time because lease expiry is a
+    real-time contract between processes.
+    """
+
+    def __init__(
+        self,
+        store: SQLiteResultStore,
+        lease_seconds: float = 60.0,
+        clock=time.time,
+    ) -> None:
+        if not isinstance(store, SQLiteResultStore):
+            raise TypeError(
+                "the broker keeps its manifest in the store's SQLite database; "
+                "open the store as a .db file (got %r)" % type(store).__name__
+            )
+        self.store = store
+        self.lease_seconds = float(lease_seconds)
+        self.clock = clock
+        store.execute(
+            "CREATE TABLE IF NOT EXISTS broker_campaigns ("
+            " digest TEXT PRIMARY KEY, name TEXT NOT NULL, spec TEXT NOT NULL,"
+            " exporter TEXT, total INTEGER NOT NULL, submitted REAL NOT NULL)"
+        )
+        store.execute(
+            "CREATE TABLE IF NOT EXISTS broker_points ("
+            " campaign TEXT NOT NULL, idx INTEGER NOT NULL,"
+            " digest TEXT NOT NULL, label TEXT NOT NULL, scenario TEXT NOT NULL,"
+            " state TEXT NOT NULL, worker TEXT, lease_expires REAL,"
+            " attempts INTEGER NOT NULL DEFAULT 0, error TEXT,"
+            " PRIMARY KEY (campaign, idx))"
+        )
+        store.execute(
+            "CREATE TABLE IF NOT EXISTS broker_workers ("
+            " worker TEXT PRIMARY KEY, started REAL NOT NULL,"
+            " last_seen REAL NOT NULL, completed INTEGER NOT NULL DEFAULT 0,"
+            " failed INTEGER NOT NULL DEFAULT 0)"
+        )
+
+    # -- submission ----------------------------------------------------------------------
+
+    def submit(self, campaign: Campaign) -> Dict[str, object]:
+        """Queue a campaign; idempotent, and re-queues ``failed`` points.
+
+        Points whose result artifact the store already holds are marked
+        ``complete`` immediately (the broker never re-runs cached work).
+        Returns the campaign's status payload.
+        """
+        points = campaign.expand()
+        digest = Campaign.digest_of(points)
+        now = self.clock()
+        with self.store.transaction() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO broker_campaigns"
+                " (digest, name, spec, exporter, total, submitted)"
+                " VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    digest,
+                    campaign.name,
+                    campaign.to_json(indent=None),
+                    campaign.exporter,
+                    len(points),
+                    now,
+                ),
+            )
+            for point in points:
+                done = self.store.has("result", point.digest)
+                conn.execute(
+                    "INSERT OR IGNORE INTO broker_points"
+                    " (campaign, idx, digest, label, scenario, state)"
+                    " VALUES (?, ?, ?, ?, ?, 'pending')",
+                    (
+                        digest,
+                        point.index,
+                        point.digest,
+                        point.label,
+                        point.scenario.to_json(indent=None),
+                    ),
+                )
+                if done:
+                    conn.execute(
+                        "UPDATE broker_points SET state='complete', worker=NULL,"
+                        " lease_expires=NULL, error=NULL"
+                        " WHERE campaign=? AND idx=? AND state != 'complete'",
+                        (digest, point.index),
+                    )
+                else:
+                    # Resubmitting is the fleet's ``resume``: failed points
+                    # go back in the queue.
+                    conn.execute(
+                        "UPDATE broker_points SET state='pending', worker=NULL,"
+                        " lease_expires=NULL"
+                        " WHERE campaign=? AND idx=? AND state='failed'",
+                        (digest, point.index),
+                    )
+        self._sync_manifest(digest)
+        return self.status(digest)
+
+    def campaign(self, digest: str) -> Optional[Campaign]:
+        """The submitted campaign object for ``digest`` (None if unknown)."""
+        row = self.store.execute(
+            "SELECT spec FROM broker_campaigns WHERE digest=?", (digest,)
+        ).fetchone()
+        if row is None:
+            return None
+        return Campaign.from_json(row[0])
+
+    def campaigns(self) -> List[Dict[str, object]]:
+        """Summaries of every submitted campaign (most recent first)."""
+        rows = self.store.execute(
+            "SELECT digest, name, total, submitted FROM broker_campaigns"
+            " ORDER BY submitted DESC, digest"
+        ).fetchall()
+        return [
+            {
+                "digest": digest,
+                "name": name,
+                "total": total,
+                "submitted": submitted,
+                "counts": self._counts(digest),
+            }
+            for digest, name, total, submitted in rows
+        ]
+
+    # -- leasing -------------------------------------------------------------------------
+
+    def lease(
+        self, worker: str, campaign: Optional[str] = None
+    ) -> Optional[Lease]:
+        """Atomically claim the first available point for ``worker``.
+
+        Available means ``pending``, or ``leased`` past its deadline (the
+        previous worker died or stalled — this is the crash-safe
+        re-leasing).  Returns ``None`` when nothing is claimable right now;
+        check :meth:`outstanding` to distinguish "all done" from "all
+        leased to live workers".
+        """
+        now = self.clock()
+        with self.store.transaction() as conn:
+            self._touch_worker(conn, worker, now)
+            sql = (
+                "SELECT campaign, idx, digest, label, scenario FROM broker_points"
+                " WHERE (state='pending' OR (state='leased' AND lease_expires < ?))"
+            )
+            params: List[object] = [now]
+            if campaign is not None:
+                sql += " AND campaign=?"
+                params.append(campaign)
+            sql += " ORDER BY campaign, idx LIMIT 1"
+            row = conn.execute(sql, tuple(params)).fetchone()
+            if row is None:
+                return None
+            campaign_digest, index, digest, label, scenario_json = row
+            deadline = now + self.lease_seconds
+            conn.execute(
+                "UPDATE broker_points SET state='leased', worker=?,"
+                " lease_expires=?, attempts=attempts+1"
+                " WHERE campaign=? AND idx=?",
+                (worker, deadline, campaign_digest, index),
+            )
+        return Lease(
+            campaign=campaign_digest,
+            index=index,
+            digest=digest,
+            label=label,
+            scenario=Scenario.from_json(scenario_json),
+            worker=worker,
+            deadline=deadline,
+            lease_seconds=self.lease_seconds,
+        )
+
+    def heartbeat(self, worker: str, campaign: str, index: int) -> bool:
+        """Extend a live lease; ``False`` means the lease was lost."""
+        now = self.clock()
+        with self.store.transaction() as conn:
+            self._touch_worker(conn, worker, now)
+            cursor = conn.execute(
+                "UPDATE broker_points SET lease_expires=?"
+                " WHERE campaign=? AND idx=? AND state='leased' AND worker=?"
+                " AND lease_expires >= ?",
+                (now + self.lease_seconds, campaign, index, worker, now),
+            )
+            return cursor.rowcount == 1
+
+    def complete(self, worker: str, campaign: str, index: int) -> bool:
+        """Mark a leased point complete (current lease holder only).
+
+        The worker must have persisted the point's ``result`` artifact to
+        the shared store first; a completion without one is converted into
+        a failure so the point is re-leased instead of silently lost.
+        """
+        row = self.store.execute(
+            "SELECT digest FROM broker_points WHERE campaign=? AND idx=?",
+            (campaign, index),
+        ).fetchone()
+        if row is not None and not self.store.has("result", row[0]):
+            self.fail(worker, campaign, index, "completed without a result artifact")
+            return False
+        now = self.clock()
+        with self.store.transaction() as conn:
+            self._touch_worker(conn, worker, now)
+            cursor = conn.execute(
+                "UPDATE broker_points SET state='complete', worker=NULL,"
+                " lease_expires=NULL, error=NULL"
+                " WHERE campaign=? AND idx=? AND state='leased' AND worker=?",
+                (campaign, index, worker),
+            )
+            won = cursor.rowcount == 1
+            if won:
+                conn.execute(
+                    "UPDATE broker_workers SET completed=completed+1 WHERE worker=?",
+                    (worker,),
+                )
+        if won:
+            self._sync_manifest(campaign)
+        return won
+
+    def fail(self, worker: str, campaign: str, index: int, error: str) -> bool:
+        """Mark a leased point failed (kept for ``resume``/resubmit to re-queue)."""
+        now = self.clock()
+        with self.store.transaction() as conn:
+            self._touch_worker(conn, worker, now)
+            cursor = conn.execute(
+                "UPDATE broker_points SET state='failed', worker=NULL,"
+                " lease_expires=NULL, error=?"
+                " WHERE campaign=? AND idx=? AND state='leased' AND worker=?",
+                (str(error), campaign, index, worker),
+            )
+            lost = cursor.rowcount == 1
+            if lost:
+                conn.execute(
+                    "UPDATE broker_workers SET failed=failed+1 WHERE worker=?",
+                    (worker,),
+                )
+        if lost:
+            self._sync_manifest(campaign)
+        return lost
+
+    def requeue_failed(self, campaign: str) -> int:
+        """Move every ``failed`` point of a campaign back to ``pending``."""
+        cursor = self.store.execute(
+            "UPDATE broker_points SET state='pending', worker=NULL,"
+            " lease_expires=NULL WHERE campaign=? AND state='failed'",
+            (campaign,),
+        )
+        if cursor.rowcount:
+            self._sync_manifest(campaign)
+        return cursor.rowcount
+
+    def outstanding(self, campaign: Optional[str] = None) -> int:
+        """Points still pending or leased (i.e. work that may yet need a worker)."""
+        sql = (
+            "SELECT COUNT(*) FROM broker_points"
+            " WHERE state IN ('pending', 'leased')"
+        )
+        params: tuple = ()
+        if campaign is not None:
+            sql += " AND campaign=?"
+            params = (campaign,)
+        return self.store.execute(sql, params).fetchone()[0]
+
+    # -- inspection ----------------------------------------------------------------------
+
+    def _counts(self, campaign: str) -> Dict[str, int]:
+        counts = {state: 0 for state in POINT_STATES}
+        for state, count in self.store.execute(
+            "SELECT state, COUNT(*) FROM broker_points WHERE campaign=?"
+            " GROUP BY state",
+            (campaign,),
+        ).fetchall():
+            counts[state] = count
+        return counts
+
+    def status(self, campaign: str, include_points: bool = True) -> Dict[str, object]:
+        """Machine-readable campaign status — the service's status payload.
+
+        Shares its schema with ``CampaignStatus.to_dict`` (the ``campaign
+        status --json`` output) via :func:`~repro.api.campaign.status_dict`,
+        with the extra ``leased`` state only a live fleet can produce.
+        """
+        row = self.store.execute(
+            "SELECT name, total FROM broker_campaigns WHERE digest=?", (campaign,)
+        ).fetchone()
+        if row is None:
+            raise KeyError("unknown campaign %r" % campaign)
+        name, total = row
+        entries: List[Dict[str, object]] = []
+        if include_points:
+            for index, digest, label, state, worker, expires, attempts, error in (
+                self.store.execute(
+                    "SELECT idx, digest, label, state, worker, lease_expires,"
+                    " attempts, error FROM broker_points WHERE campaign=?"
+                    " ORDER BY idx",
+                    (campaign,),
+                ).fetchall()
+            ):
+                entry: Dict[str, object] = {
+                    "index": index,
+                    "digest": digest,
+                    "label": label,
+                    "state": state,
+                    "attempts": attempts,
+                }
+                if worker:
+                    entry["worker"] = worker
+                if expires is not None:
+                    entry["lease_expires"] = expires
+                if error:
+                    entry["error"] = error
+                entries.append(entry)
+        payload = status_dict(name, campaign, total, self._counts(campaign), entries)
+        payload["exporter"] = self.store.execute(
+            "SELECT exporter FROM broker_campaigns WHERE digest=?", (campaign,)
+        ).fetchone()[0]
+        return payload
+
+    def workers(self) -> List[Dict[str, object]]:
+        """Every worker the broker has seen, with lease and liveness info."""
+        now = self.clock()
+        rows = self.store.execute(
+            "SELECT worker, started, last_seen, completed, failed"
+            " FROM broker_workers ORDER BY worker"
+        ).fetchall()
+        leases = {
+            worker: (campaign, index, expires)
+            for campaign, index, worker, expires in self.store.execute(
+                "SELECT campaign, idx, worker, lease_expires FROM broker_points"
+                " WHERE state='leased'"
+            ).fetchall()
+        }
+        output = []
+        for worker, started, last_seen, completed, failed in rows:
+            record: Dict[str, object] = {
+                "worker": worker,
+                "started": started,
+                "last_seen": last_seen,
+                "idle_seconds": max(0.0, now - last_seen),
+                "completed": completed,
+                "failed": failed,
+            }
+            lease = leases.get(worker)
+            if lease is not None:
+                record["lease"] = {
+                    "campaign": lease[0],
+                    "index": lease[1],
+                    "expires_in": lease[2] - now,
+                }
+            output.append(record)
+        return output
+
+    # -- internals -----------------------------------------------------------------------
+
+    @staticmethod
+    def _touch_worker(conn, worker: str, now: float) -> None:
+        conn.execute(
+            "INSERT INTO broker_workers (worker, started, last_seen)"
+            " VALUES (?, ?, ?)"
+            " ON CONFLICT(worker) DO UPDATE SET last_seen=excluded.last_seen",
+            (worker, now, now),
+        )
+
+    def _sync_manifest(self, campaign: str) -> None:
+        """Mirror the broker state into the store's ``campaign`` artifact.
+
+        Keeps ``repro-experiments campaign status/report`` (which read the
+        single-process manifest) truthful for service-run campaigns.  A
+        live lease is ``pending`` from the manifest's point of view — the
+        result artifact is not there yet.
+        """
+        row = self.store.execute(
+            "SELECT name, exporter, total FROM broker_campaigns WHERE digest=?",
+            (campaign,),
+        ).fetchone()
+        if row is None:
+            return
+        name, exporter, total = row
+        entries: List[Dict[str, object]] = []
+        for index, digest, label, state, error in self.store.execute(
+            "SELECT idx, digest, label, state, error FROM broker_points"
+            " WHERE campaign=? ORDER BY idx",
+            (campaign,),
+        ).fetchall():
+            manifest_state = "pending" if state == "leased" else state
+            entry: Dict[str, object] = {
+                "index": index,
+                "digest": digest,
+                "label": label,
+                "complete": manifest_state == "complete",
+                "state": manifest_state,
+            }
+            if manifest_state == "failed" and error:
+                entry["error"] = error
+            entries.append(entry)
+        self.store.save_json(
+            "campaign",
+            campaign,
+            {"name": name, "exporter": exporter, "total": total, "points": entries},
+        )

@@ -1,0 +1,304 @@
+"""HTTP front door for the campaign execution service.
+
+``repro-experiments serve`` runs a stdlib :class:`ThreadingHTTPServer`
+around one :class:`~repro.service.sqlite_store.SQLiteResultStore` and its
+:class:`~repro.service.broker.Broker`.  The JSON API lets any process —
+same machine or remote — submit campaigns, poll status, fetch exported
+rows, and drive workers (``repro-experiments worker --connect``):
+
+===========================================  ==========================================
+``GET  /api/health``                         liveness + queue depth
+``GET  /api/campaigns``                      submitted campaign summaries
+``POST /api/campaigns``                      submit a campaign (its ``to_dict`` payload)
+``GET  /api/campaigns/<digest>``             status payload (``?points=0`` for counts only)
+``GET  /api/campaigns/<digest>/rows``        exported figure rows + rows digest
+``POST /api/campaigns/<digest>/requeue``     failed points back to pending
+``GET  /api/workers``                        worker liveness and current leases
+``POST /api/lease``                          claim a point  ``{"worker": ...}``
+``POST /api/heartbeat``                      extend a lease
+``POST /api/complete``                       persist result + runs, close the lease
+``POST /api/fail``                           close the lease as failed
+===========================================  ==========================================
+
+Request and response bodies are JSON objects.  Errors come back as
+``{"error": ...}`` with 400 (bad request), 404 (unknown campaign/route),
+or 500.  All routing lives in :meth:`ExperimentService.handle`, which is a
+plain ``(method, path, body) -> (status, payload)`` function — tests drive
+it without sockets, and the request handler stays a thin shell.
+
+The server persists results itself on ``complete`` (the artifacts travel
+in the request), so HTTP workers need no filesystem access to the store;
+see docs/SERVICE.md for the lease/heartbeat contract.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..api.campaign import Campaign, CampaignRunner
+from ..api.session import Session
+from .broker import Broker
+from .sqlite_store import SQLiteResultStore
+
+_DIGEST_RE = re.compile(r"^[0-9a-f]{6,64}$")
+
+JsonResponse = Tuple[int, Dict[str, object]]
+
+
+class ApiError(Exception):
+    """An error with an HTTP status, rendered as ``{"error": ...}``."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ExperimentService:
+    """The service's request dispatcher (transport-free, fully testable)."""
+
+    def __init__(
+        self,
+        store: SQLiteResultStore,
+        lease_seconds: float = 60.0,
+        on_event: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.store = store
+        self.broker = Broker(store, lease_seconds=lease_seconds)
+        self.on_event = on_event
+
+    def _log(self, message: str) -> None:
+        if self.on_event is not None:
+            self.on_event(message)
+
+    # -- dispatch ------------------------------------------------------------------------
+
+    def handle(
+        self, method: str, path: str, body: Optional[Dict[str, object]] = None
+    ) -> JsonResponse:
+        """Route one request; returns ``(status, payload)``."""
+        parsed = urlparse(path)
+        query = parse_qs(parsed.query)
+        parts = [part for part in parsed.path.split("/") if part]
+        try:
+            return self._route(method.upper(), parts, query, body or {})
+        except ApiError as error:
+            return error.status, {"error": str(error)}
+        except KeyError as error:
+            return 404, {"error": str(error).strip("'\"")}
+        except (TypeError, ValueError) as error:
+            return 400, {"error": str(error)}
+        except Exception as error:  # noqa: BLE001 - the server must answer
+            return 500, {"error": "%s: %s" % (type(error).__name__, error)}
+
+    def _route(
+        self,
+        method: str,
+        parts: list,
+        query: Dict[str, list],
+        body: Dict[str, object],
+    ) -> JsonResponse:
+        if parts[:1] != ["api"]:
+            raise ApiError(404, "unknown route")
+        route = parts[1:]
+
+        if route == ["health"] and method == "GET":
+            return 200, {
+                "ok": True,
+                "store": str(self.store.path),
+                "campaigns": len(self.broker.campaigns()),
+                "outstanding": self.broker.outstanding(),
+            }
+
+        if route == ["campaigns"]:
+            if method == "GET":
+                return 200, {"campaigns": self.broker.campaigns()}
+            if method == "POST":
+                campaign = Campaign.from_dict(body)
+                status = self.broker.submit(campaign)
+                self._log(
+                    "submitted %s (%s): %d points"
+                    % (campaign.name, str(status["digest"])[:12], status["total"])
+                )
+                return 200, status
+
+        if len(route) >= 2 and route[0] == "campaigns":
+            digest = self._digest(route[1])
+            rest = route[2:]
+            if not rest and method == "GET":
+                include_points = query.get("points", ["1"])[0] not in ("0", "false")
+                return 200, self.broker.status(digest, include_points=include_points)
+            if rest == ["rows"] and method == "GET":
+                return 200, self._rows(digest)
+            if rest == ["requeue"] and method == "POST":
+                return 200, {"requeued": self.broker.requeue_failed(digest)}
+
+        if route == ["workers"] and method == "GET":
+            return 200, {"workers": self.broker.workers()}
+
+        if route == ["lease"] and method == "POST":
+            lease = self.broker.lease(
+                self._field(body, "worker"), campaign=body.get("campaign")
+            )
+            return 200, {
+                "lease": lease.to_dict() if lease is not None else None,
+                "outstanding": self.broker.outstanding(body.get("campaign")),
+            }
+
+        if route == ["heartbeat"] and method == "POST":
+            return 200, {
+                "ok": self.broker.heartbeat(
+                    self._field(body, "worker"),
+                    self._field(body, "campaign"),
+                    int(self._field(body, "index")),
+                )
+            }
+
+        if route == ["complete"] and method == "POST":
+            return 200, {"ok": self._complete(body)}
+
+        if route == ["fail"] and method == "POST":
+            ok = self.broker.fail(
+                self._field(body, "worker"),
+                self._field(body, "campaign"),
+                int(self._field(body, "index")),
+                str(body.get("error") or "worker reported failure"),
+            )
+            return 200, {"ok": ok}
+
+        raise ApiError(404, "unknown route")
+
+    # -- handlers ------------------------------------------------------------------------
+
+    def _complete(self, body: Dict[str, object]) -> bool:
+        """Persist the shipped artifacts, then close the lease.
+
+        Artifacts are digest-keyed, so writes are idempotent and a stale
+        worker's duplicates are byte-identical; the broker still only
+        accepts the close from the current lease holder.
+        """
+        runs = body.get("runs") or {}
+        if not isinstance(runs, dict):
+            raise ApiError(400, "runs must map run digests to run payloads")
+        for run_digest, run in runs.items():
+            if not self.store.has("runs", run_digest):
+                self.store.save_json("runs", run_digest, [run])
+        point_digest = self._field(body, "digest")
+        result = body.get("result")
+        if result is not None and not self.store.has("result", point_digest):
+            self.store.save_json("result", point_digest, result)
+        return self.broker.complete(
+            self._field(body, "worker"),
+            self._field(body, "campaign"),
+            int(self._field(body, "index")),
+        )
+
+    def _rows(self, digest: str) -> Dict[str, object]:
+        campaign = self.broker.campaign(digest)
+        if campaign is None:
+            raise ApiError(404, "unknown campaign %r" % digest)
+        runner = CampaignRunner(Session(store=self.store))
+        try:
+            rows = runner.rows(campaign)
+        except LookupError as error:
+            raise ApiError(409, str(error))
+        from ..experiments.bench import digest_rows
+
+        return {
+            "digest": digest,
+            "exporter": campaign.exporter,
+            "rows": rows,
+            "rows_digest": digest_rows(rows),
+        }
+
+    # -- validation ----------------------------------------------------------------------
+
+    @staticmethod
+    def _field(body: Dict[str, object], name: str) -> str:
+        value = body.get(name)
+        if value is None or value == "":
+            raise ApiError(400, "missing required field %r" % name)
+        return value if isinstance(value, (int, float)) else str(value)
+
+    @staticmethod
+    def _digest(value: str) -> str:
+        if not _DIGEST_RE.match(value):
+            raise ApiError(400, "malformed campaign digest %r" % value)
+        return value
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin HTTP shell around :meth:`ExperimentService.handle`."""
+
+    server_version = "repro-experiments/1"
+    protocol_version = "HTTP/1.1"
+
+    def _respond(self, body: Optional[Dict[str, object]]) -> None:
+        status, payload = self.server.service.handle(  # type: ignore[attr-defined]
+            self.command, self.path, body
+        )
+        data = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._respond(None)
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        try:
+            body = json.loads(raw.decode("utf-8")) if raw else {}
+            if not isinstance(body, dict):
+                raise ValueError("request body must be a JSON object")
+        except ValueError as error:
+            data = json.dumps({"error": str(error)}).encode("utf-8")
+            self.send_response(400)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+            return
+        self._respond(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        service = getattr(self.server, "service", None)
+        if service is not None and service.on_event is not None:
+            service.on_event(
+                "%s - %s" % (self.address_string(), format % args)
+            )
+
+
+def make_server(
+    store: SQLiteResultStore,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    lease_seconds: float = 60.0,
+    on_event: Optional[Callable[[str], None]] = None,
+) -> ThreadingHTTPServer:
+    """Build (but do not start) the service's HTTP server.
+
+    The returned server carries its :class:`ExperimentService` as
+    ``server.service``; call ``serve_forever()`` to run it, or start it on
+    a daemon thread with :func:`start_server` (tests do the latter).
+    """
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.daemon_threads = True
+    server.service = ExperimentService(  # type: ignore[attr-defined]
+        store, lease_seconds=lease_seconds, on_event=on_event
+    )
+    return server
+
+
+def start_server(server: ThreadingHTTPServer) -> threading.Thread:
+    """Run ``server`` on a daemon thread; returns the thread."""
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return thread

@@ -1,0 +1,302 @@
+"""Work-stealing campaign workers.
+
+A :class:`Worker` drains a broker's queue: lease a point, run it through a
+:class:`~repro.api.session.Session` (which honors ``timeout`` / ``retries``
+/ ``record`` exactly as a single-process campaign would), report the result
+by content digest, repeat.  A background thread heartbeats the lease while
+the simulation runs, so a healthy worker can hold a point for much longer
+than ``lease_seconds`` — only a *dead* one forfeits it.
+
+Workers reach the broker through one of two transports:
+
+* :class:`LocalBrokerClient` — in-process :class:`~repro.service.broker.Broker`
+  over a shared SQLite store file; results are written to the store
+  directly (several worker processes on one machine, or machines mounting
+  one filesystem, drain one queue this way);
+* :class:`HttpBrokerClient` — the JSON API served by
+  ``repro-experiments serve``; results travel in the ``complete`` request
+  and the server persists them, so remote workers need no store at all.
+
+Either way the store artifacts are keyed by content digest, so two workers
+racing on a re-leased point write identical bytes and the campaign's row
+digests match a single-process run bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import Callable, Dict, Optional, Tuple
+
+from ..api.scenario import Scenario
+from ..api.session import ExperimentResult, Session
+from .broker import Broker, Lease
+
+
+def run_payloads(
+    scenario: Scenario, result: ExperimentResult
+) -> Dict[str, Dict[str, object]]:
+    """Per-seed run artifacts of one executed point, keyed by run digest.
+
+    These are exactly the ``runs-<digest>`` artifacts a store-attached
+    session would have persisted itself; a storeless (HTTP) worker ships
+    them to the server instead.
+    """
+    runs: Dict[str, Dict[str, object]] = {}
+    for seed, run in zip(scenario.seeds, result.attacked_runs):
+        runs[scenario.point_digest(seed, baseline=False)] = run.to_dict()
+    if scenario.adversary is not None:
+        for seed, run in zip(scenario.seeds, result.baseline_runs):
+            runs[scenario.point_digest(seed, baseline=True)] = run.to_dict()
+    return runs
+
+
+class LocalBrokerClient:
+    """Broker access for workers sharing the store's SQLite file."""
+
+    def __init__(self, broker: Broker) -> None:
+        self.broker = broker
+        self.store = broker.store
+
+    def lease(self, worker: str, campaign: Optional[str] = None) -> Tuple[Optional[Lease], int]:
+        lease = self.broker.lease(worker, campaign=campaign)
+        return lease, self.broker.outstanding(campaign)
+
+    def heartbeat(self, lease: Lease) -> bool:
+        return self.broker.heartbeat(lease.worker, lease.campaign, lease.index)
+
+    def complete(
+        self,
+        lease: Lease,
+        result: Dict[str, object],
+        runs: Dict[str, Dict[str, object]],
+    ) -> bool:
+        # A store-attached session has usually persisted these already;
+        # writing what is missing keeps storeless sessions correct too.
+        for digest, run in runs.items():
+            if not self.store.has("runs", digest):
+                self.store.save_json("runs", digest, [run])
+        if not self.store.has("result", lease.digest):
+            self.store.save_json("result", lease.digest, result)
+        return self.broker.complete(lease.worker, lease.campaign, lease.index)
+
+    def fail(self, lease: Lease, error: str) -> bool:
+        return self.broker.fail(lease.worker, lease.campaign, lease.index, error)
+
+
+class HttpBrokerClient:
+    """Broker access over the ``repro-experiments serve`` JSON API."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------------------
+
+    def request(
+        self, method: str, path: str, payload: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                detail = json.loads(error.read().decode("utf-8")).get("error", "")
+            except Exception:
+                detail = ""
+            raise RuntimeError(
+                "%s %s failed: HTTP %d %s" % (method, path, error.code, detail)
+            ) from error
+
+    # -- broker protocol -----------------------------------------------------------------
+
+    def submit(self, campaign_payload: Dict[str, object]) -> Dict[str, object]:
+        return self.request("POST", "/api/campaigns", campaign_payload)
+
+    def lease(self, worker: str, campaign: Optional[str] = None) -> Tuple[Optional[Lease], int]:
+        payload: Dict[str, object] = {"worker": worker}
+        if campaign is not None:
+            payload["campaign"] = campaign
+        response = self.request("POST", "/api/lease", payload)
+        lease = response.get("lease")
+        return (
+            Lease.from_dict(lease) if lease else None,
+            int(response.get("outstanding", 0)),
+        )
+
+    def heartbeat(self, lease: Lease) -> bool:
+        response = self.request(
+            "POST",
+            "/api/heartbeat",
+            {"worker": lease.worker, "campaign": lease.campaign, "index": lease.index},
+        )
+        return bool(response.get("ok"))
+
+    def complete(
+        self,
+        lease: Lease,
+        result: Dict[str, object],
+        runs: Dict[str, Dict[str, object]],
+    ) -> bool:
+        response = self.request(
+            "POST",
+            "/api/complete",
+            {
+                "worker": lease.worker,
+                "campaign": lease.campaign,
+                "index": lease.index,
+                "digest": lease.digest,
+                "result": result,
+                "runs": runs,
+            },
+        )
+        return bool(response.get("ok"))
+
+    def fail(self, lease: Lease, error: str) -> bool:
+        response = self.request(
+            "POST",
+            "/api/fail",
+            {
+                "worker": lease.worker,
+                "campaign": lease.campaign,
+                "index": lease.index,
+                "error": error,
+            },
+        )
+        return bool(response.get("ok"))
+
+
+def default_worker_id() -> str:
+    """``<host>-<pid>``: unique per process, readable in ``workers`` listings."""
+    return "%s-%d" % (socket.gethostname(), os.getpid())
+
+
+class Worker:
+    """The lease → run → report loop.
+
+    ``run()`` drains the queue: it exits once no point is claimable *and*
+    nothing is outstanding (every point complete or failed), so a fleet of
+    workers all terminate when the campaign does.  While another worker
+    still holds a lease the loop keeps polling — if that worker dies, its
+    lease expires and this one steals the point.
+
+    ``max_points`` bounds how many points this worker executes (the
+    deterministic stand-in for killing it); ``campaign`` restricts leasing
+    to one campaign digest.
+    """
+
+    def __init__(
+        self,
+        client,
+        session: Optional[Session] = None,
+        worker_id: Optional[str] = None,
+        campaign: Optional[str] = None,
+        poll_interval: float = 0.5,
+        max_points: Optional[int] = None,
+        on_event: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.client = client
+        self.session = session if session is not None else Session()
+        self.worker_id = worker_id if worker_id else default_worker_id()
+        self.campaign = campaign
+        self.poll_interval = poll_interval
+        self.max_points = max_points
+        self.on_event = on_event
+        self.completed = 0
+        self.failed = 0
+        self.stolen = 0
+
+    def _log(self, message: str) -> None:
+        if self.on_event is not None:
+            self.on_event("[%s] %s" % (self.worker_id, message))
+
+    # -- execution -----------------------------------------------------------------------
+
+    def run_point(self, lease: Lease) -> bool:
+        """Execute one leased point under a heartbeat; returns success."""
+        stop = threading.Event()
+        interval = max(0.1, lease.lease_seconds / 3.0)
+
+        def beat() -> None:
+            while not stop.wait(interval):
+                try:
+                    if not self.client.heartbeat(lease):
+                        # Lease lost (expired and re-leased).  Keep running:
+                        # the results are digest-keyed, so finishing wastes
+                        # nothing, and aborting mid-simulation gains nothing.
+                        self._log(
+                            "lease on point #%d lost; finishing anyway" % lease.index
+                        )
+                except Exception:
+                    pass  # transient broker trouble; the next beat retries
+
+        beater = threading.Thread(target=beat, daemon=True)
+        beater.start()
+        try:
+            result = self.session.run(lease.scenario)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as error:
+            stop.set()
+            beater.join()
+            self.client.fail(lease, str(error))
+            self.failed += 1
+            self._log("point #%d failed: %s" % (lease.index, error))
+            return False
+        stop.set()
+        beater.join()
+        accepted = self.client.complete(
+            lease, result.to_dict(), run_payloads(lease.scenario, result)
+        )
+        if accepted:
+            self.completed += 1
+            self._log("point #%d complete (%s)" % (lease.index, lease.digest[:12]))
+        else:
+            # Someone else re-leased and closed it first; the store holds
+            # one copy of the (identical) artifacts either way.
+            self.stolen += 1
+            self._log("point #%d was re-leased elsewhere" % lease.index)
+        return accepted
+
+    def run(self) -> Dict[str, int]:
+        """Lease and run points until the queue is drained (or ``max_points``)."""
+        while True:
+            if (
+                self.max_points is not None
+                and self.completed + self.failed + self.stolen >= self.max_points
+            ):
+                self._log("max points reached; exiting")
+                break
+            lease, outstanding = self.client.lease(self.worker_id, self.campaign)
+            if lease is None:
+                if outstanding == 0:
+                    self._log("queue drained; exiting")
+                    break
+                # Every remaining point is leased to a live worker; wait in
+                # case one of those leases expires.
+                time.sleep(self.poll_interval)
+                continue
+            self._log(
+                "leased point #%d of %s (%s)"
+                % (lease.index, lease.campaign[:12], lease.label)
+            )
+            self.run_point(lease)
+        return {
+            "worker": self.worker_id,
+            "completed": self.completed,
+            "failed": self.failed,
+            "stolen": self.stolen,
+        }

@@ -175,7 +175,7 @@ class TestStorePrune:
         (tmp_path / "runs-torn.json.abc123.tmp").write_text("{torn", encoding="utf-8")
 
         assert main(["store", "prune", "--store", str(tmp_path)]) == 0
-        assert "pruned 1 file(s)" in capsys.readouterr().out
+        assert "pruned 1 item(s)" in capsys.readouterr().out
         assert not list(tmp_path.glob("*.tmp"))
         assert store.load_json("runs", "d1") == []
 

@@ -1,0 +1,142 @@
+"""CLI coverage for the service-era subcommands: SQLite ``--store``
+references, ``campaign status --json``, ``store stats/clear/migrate``,
+``worker --store``, and the streaming report path."""
+
+import json
+
+import pytest
+
+from repro import units
+from repro.api import Campaign, ResultStore, Scenario
+from repro.cli import build_parser, main
+from repro.service.sqlite_store import SQLiteResultStore
+
+
+def campaign_file(tmp_path, points=2):
+    scenario = Scenario(
+        name="cli service",
+        base="smoke",
+        sim={"duration": units.months(2)},
+        seeds=(1,),
+    )
+    campaign = Campaign.from_grid(
+        "cli-service", scenario, {"sim.n_aus": list(range(1, points + 1))}
+    )
+    return campaign, campaign.save(tmp_path / "campaign.json")
+
+
+class TestParser:
+    def test_serve_requires_store(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_worker_options_parse(self):
+        args = build_parser().parse_args(
+            ["worker", "--connect", "http://localhost:8642", "--max-points", "3"]
+        )
+        assert args.connect == "http://localhost:8642"
+        assert args.max_points == 3
+
+    def test_submit_requires_connect(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "submit", "fig2_baseline"])
+
+    def test_worker_needs_exactly_one_transport(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["worker"])
+        with pytest.raises(SystemExit):
+            main(["worker", "--connect", "http://x", "--store", "y.db"])
+
+
+class TestSQLiteStoreFlag:
+    def test_campaign_run_into_sqlite_store(self, tmp_path, capsys):
+        _, path = campaign_file(tmp_path)
+        db = str(tmp_path / "results.db")
+        assert main(["campaign", "run", str(path), "--store", db]) == 0
+        assert "2 points complete" in capsys.readouterr().out
+        store = SQLiteResultStore(db)
+        assert store.stats()["result"]["count"] == 2
+
+    def test_report_streams_from_sqlite(self, tmp_path, capsys):
+        campaign, path = campaign_file(tmp_path)
+        db = str(tmp_path / "results.db")
+        main(["campaign", "run", str(path), "--store", db])
+        capsys.readouterr()
+        assert main(["campaign", "report", str(path), "--store", db]) == 0
+        assert "result digest:" in capsys.readouterr().out
+
+
+class TestStatusJson:
+    def test_status_json_payload(self, tmp_path, capsys):
+        _, path = campaign_file(tmp_path)
+        db = str(tmp_path / "results.db")
+        main(["campaign", "run", str(path), "--store", db, "--max-points", "1"])
+        capsys.readouterr()
+        assert main(["campaign", "status", str(path), "--store", db, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total"] == 2
+        assert payload["counts"] == {"complete": 1, "failed": 0, "pending": 1}
+        assert payload["complete"] is False
+        assert [p["state"] for p in payload["points"]] == ["complete", "pending"]
+
+
+class TestStoreSubcommands:
+    def test_stats_both_backends(self, tmp_path, capsys):
+        directory = tmp_path / "dir-store"
+        ResultStore(directory).save_json("runs", "d1", [1])
+        assert main(["store", "stats", "--store", str(directory)]) == 0
+        assert "directory backend" in capsys.readouterr().out
+
+        db = tmp_path / "s.db"
+        SQLiteResultStore(db).save_json("runs", "d1", [1])
+        assert main(["store", "stats", "--store", str(db), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"]["count"] == 1
+
+    def test_clear_requires_confirmation(self, tmp_path, capsys):
+        db = tmp_path / "s.db"
+        SQLiteResultStore(db).save_json("runs", "d1", [1])
+        assert main(["store", "clear", "--store", str(db)]) == 2
+        assert "--yes" in capsys.readouterr().out
+        assert main(["store", "clear", "--store", str(db), "--yes"]) == 0
+        assert SQLiteResultStore(db).stats() == {}
+
+    def test_prune_works_on_sqlite(self, tmp_path, capsys):
+        db = tmp_path / "s.db"
+        store = SQLiteResultStore(db)
+        store.save_json("runs", "d1", [1])
+        store.save_json("result", "d2", {})
+        assert main(["store", "prune", "--store", str(db), "--kind", "runs"]) == 0
+        capsys.readouterr()
+        fresh = SQLiteResultStore(db)
+        assert not fresh.has("runs", "d1")
+        assert fresh.has("result", "d2")
+
+    def test_migrate_directory_to_sqlite(self, tmp_path, capsys):
+        _, path = campaign_file(tmp_path)
+        directory = str(tmp_path / "dir-store")
+        main(["campaign", "run", str(path), "--store", directory])
+        capsys.readouterr()
+        db = str(tmp_path / "migrated.db")
+        assert main(["store", "migrate", directory, db]) == 0
+        assert "migrated" in capsys.readouterr().out
+        # The migrated store serves the same report.
+        assert main(["campaign", "report", str(path), "--store", db]) == 0
+        assert "result digest:" in capsys.readouterr().out
+
+
+class TestWorkerCommand:
+    def test_local_worker_drains_a_submitted_campaign(self, tmp_path, capsys):
+        campaign, path = campaign_file(tmp_path)
+        db = str(tmp_path / "svc.db")
+
+        from repro.service import Broker
+
+        Broker(SQLiteResultStore(db)).submit(campaign)
+        assert main(["worker", "--store", db, "--id", "cli-worker"]) == 0
+        output = capsys.readouterr().out
+        assert "2 completed" in output
+
+        assert main(["campaign", "status", str(path), "--store", db, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["complete"] is True

@@ -1,0 +1,188 @@
+"""HTTP service API: routing, submission, remote workers, and error paths.
+
+Routing tests drive :meth:`ExperimentService.handle` directly (no
+sockets); the end-to-end tests run a real ``ThreadingHTTPServer`` on an
+ephemeral port with :class:`HttpBrokerClient` workers — including an
+abandoned-lease steal over HTTP.
+"""
+
+import pytest
+
+from repro import units
+from repro.api import Campaign, CampaignRunner, Scenario, Session
+from repro.service import HttpBrokerClient, Worker, make_server
+from repro.service.http_api import ExperimentService
+from repro.service.sqlite_store import SQLiteResultStore
+
+
+def smoke_campaign(points=2, name="http-smoke"):
+    base = Scenario(
+        name="http test",
+        base="smoke",
+        sim={"duration": units.months(2)},
+        seeds=(1,),
+    )
+    return Campaign.from_grid(name, base, {"sim.n_aus": list(range(1, points + 1))})
+
+
+@pytest.fixture
+def store(tmp_path):
+    return SQLiteResultStore(tmp_path / "svc.db")
+
+
+@pytest.fixture
+def service(store):
+    return ExperimentService(store, lease_seconds=10.0)
+
+
+class TestRouting:
+    def test_health(self, service):
+        status, payload = service.handle("GET", "/api/health")
+        assert status == 200
+        assert payload["ok"] is True
+        assert payload["outstanding"] == 0
+
+    def test_submit_and_status(self, service):
+        status, payload = service.handle(
+            "POST", "/api/campaigns", smoke_campaign().to_dict()
+        )
+        assert status == 200
+        digest = payload["digest"]
+        assert payload["counts"]["pending"] == 2
+
+        status, listing = service.handle("GET", "/api/campaigns")
+        assert [c["digest"] for c in listing["campaigns"]] == [digest]
+
+        status, detail = service.handle("GET", "/api/campaigns/%s" % digest)
+        assert status == 200
+        assert len(detail["points"]) == 2
+
+        status, slim = service.handle(
+            "GET", "/api/campaigns/%s?points=0" % digest
+        )
+        assert status == 200
+        assert slim["points"] == []
+
+    def test_lease_heartbeat_fail_cycle(self, service):
+        _, submitted = service.handle(
+            "POST", "/api/campaigns", smoke_campaign(1).to_dict()
+        )
+        status, leased = service.handle("POST", "/api/lease", {"worker": "w1"})
+        assert status == 200
+        lease = leased["lease"]
+        assert lease["index"] == 0
+        assert leased["outstanding"] == 1
+
+        status, beat = service.handle(
+            "POST",
+            "/api/heartbeat",
+            {"worker": "w1", "campaign": lease["campaign"], "index": 0},
+        )
+        assert beat["ok"] is True
+
+        status, failed = service.handle(
+            "POST",
+            "/api/fail",
+            {"worker": "w1", "campaign": lease["campaign"], "index": 0, "error": "x"},
+        )
+        assert failed["ok"] is True
+
+        status, requeued = service.handle(
+            "POST", "/api/campaigns/%s/requeue" % lease["campaign"], {}
+        )
+        assert requeued["requeued"] == 1
+
+    def test_complete_persists_shipped_artifacts(self, service, store):
+        _, submitted = service.handle(
+            "POST", "/api/campaigns", smoke_campaign(1).to_dict()
+        )
+        _, leased = service.handle("POST", "/api/lease", {"worker": "w1"})
+        lease = leased["lease"]
+        status, done = service.handle(
+            "POST",
+            "/api/complete",
+            {
+                "worker": "w1",
+                "campaign": lease["campaign"],
+                "index": lease["index"],
+                "digest": lease["digest"],
+                "result": {"fake": True},
+                "runs": {"run-d1": {"fake_run": True}},
+            },
+        )
+        assert done["ok"] is True
+        assert store.load_json("result", lease["digest"]) == {"fake": True}
+        assert store.load_json("runs", "run-d1") == [{"fake_run": True}]
+
+    def test_error_paths(self, service):
+        assert service.handle("GET", "/nope")[0] == 404
+        assert service.handle("GET", "/api/nope")[0] == 404
+        assert service.handle("POST", "/api/lease", {})[0] == 400  # no worker
+        assert service.handle("GET", "/api/campaigns/NOT-A-DIGEST")[0] == 400
+        assert service.handle("GET", "/api/campaigns/%s" % ("ab" * 32))[0] == 404
+        # Rows for a submitted-but-unrun campaign: incomplete, not a crash.
+        _, submitted = service.handle(
+            "POST", "/api/campaigns", smoke_campaign(1).to_dict()
+        )
+        status, payload = service.handle(
+            "GET", "/api/campaigns/%s/rows" % submitted["digest"]
+        )
+        assert status == 409
+        assert "incomplete" in payload["error"]
+
+
+@pytest.fixture
+def server(store):
+    instance = make_server(store, port=0, lease_seconds=2.0)
+    import threading
+
+    threading.Thread(target=instance.serve_forever, daemon=True).start()
+    yield instance
+    instance.shutdown()
+    instance.server_close()
+
+
+@pytest.fixture
+def client(server):
+    return HttpBrokerClient("http://127.0.0.1:%d" % server.server_address[1])
+
+
+class TestEndToEnd:
+    def test_remote_worker_drains_the_queue(self, store, client):
+        campaign = smoke_campaign(2)
+        submitted = client.submit(campaign.to_dict())
+        digest = submitted["digest"]
+
+        stats = Worker(
+            client, session=Session(), worker_id="remote", poll_interval=0.05
+        ).run()
+        assert stats["completed"] == 2
+        assert stats["failed"] == 0
+
+        final = client.request("GET", "/api/campaigns/%s?points=0" % digest)
+        assert final["complete"] is True
+
+        # The server persisted the shipped artifacts: a store-side runner
+        # reproduces the rows (and their digest) from them.
+        rows_payload = client.request("GET", "/api/campaigns/%s/rows" % digest)
+        local_rows = CampaignRunner(Session(store=store)).rows(campaign)
+        assert rows_payload["rows"] == local_rows
+
+        workers = client.request("GET", "/api/workers")["workers"]
+        assert workers[0]["worker"] == "remote"
+        assert workers[0]["completed"] == 2
+
+    def test_abandoned_lease_is_stolen_over_http(self, client):
+        campaign = smoke_campaign(1)
+        client.submit(campaign.to_dict())
+
+        # A "crashed" worker: leases the only point and never comes back.
+        abandoned, outstanding = client.lease("ghost")
+        assert abandoned is not None
+        assert outstanding == 1
+
+        # A live worker polls until the 2s lease expires, then finishes it.
+        stats = Worker(
+            client, session=Session(), worker_id="live", poll_interval=0.1
+        ).run()
+        assert stats["completed"] == 1
