@@ -139,6 +139,70 @@ class ComposedAdversary(Adversary):
         else:
             self.simulator.schedule(0.0, self._begin_window)
 
+    def start_forked(self, fork_time: float) -> int:
+        """Start mid-timeline as if the adversary had been running since t=0.
+
+        Replays the window bookkeeping an idle (zero-intensity or
+        adaptive-suppressed) schedule prefix would have performed —
+        ``cycles_started``, ``window_log``, adaptive-policy state, the
+        window index — without touching any peer or drawing targeting RNG,
+        then schedules the next begin/end event at the exact simulation
+        time the uninterrupted run would fire it.  Returns how many
+        begin/end events the walk absorbed, so the caller can credit the
+        simulator's ``events_processed`` and keep metrics digests
+        bit-identical to a full run.
+
+        Raises :class:`ValueError` if the schedule is open-ended (it
+        engages at t=0, so there is no idle prefix to skip) or if any
+        pre-fork window would actually have engaged vectors — both mean
+        the fork point was chosen after the attack onset.
+        """
+        if self.schedule.open_ended:
+            raise ValueError(
+                "open-ended schedules engage at t=0 and cannot be fork-started"
+            )
+        self.active = True
+        time = 0.0
+        skipped = 0
+        while True:
+            if time >= fork_time:
+                # The next begin event is still in the future of the fork
+                # point; let it fire in the forked timeline.
+                self.simulator.schedule_at(time, self._begin_window)
+                return skipped
+            if time >= self.end_time:
+                # The full run's begin event fired here and bailed.
+                return skipped + 1
+            window = self.schedule.window(self._window_index)
+            if window is None:
+                # Non-repeating schedule exhausted: begin fired and bailed.
+                return skipped + 1
+            skipped += 1  # this begin event fired before the fork point
+            self.cycles_started += 1
+            selected = self.adaptive.select(
+                self._window_index, len(self.vectors), self._observed_deltas()
+            )
+            window_end = min(time + window.duration, self.end_time)
+            if window.intensity > 0 and selected:
+                raise ValueError(
+                    "adversary window %d engages at t=%g, before the fork "
+                    "point t=%g; the fork must branch at or before the "
+                    "attack onset" % (self._window_index, time, fork_time)
+                )
+            self.window_log.append([])
+            self._window_index += 1
+            self._pending_gap = window.gap
+            if window_end >= fork_time:
+                # The end event of the window straddling the fork point is
+                # still pending; schedule it exactly where the full run did.
+                self.simulator.schedule_at(window_end, self._end_window)
+                return skipped
+            skipped += 1  # the end event also fired before the fork point
+            if window_end >= self.end_time:
+                # The end event bailed at the horizon without rescheduling.
+                return skipped
+            time = window_end + window.gap
+
     def stop(self) -> None:
         super().stop()
         self._disengage_all()

@@ -47,8 +47,151 @@ from .scenario import (
     clone_point_scenario,
     split_axis_target,
 )
-from .session import ExperimentResult, PointExecutionError, Session, default_session
+from .session import (
+    ExperimentResult,
+    ForkGroup,
+    PointExecutionError,
+    Session,
+    default_session,
+)
 from .store import ResultStore
+
+
+def attack_onset(scenario: Scenario) -> float:
+    """Earliest simulation time (seconds) the point's adversary can act.
+
+    Walks the canonical composed-adversary schedule from t=0 until the
+    first window with positive intensity — the zero-intensity leading
+    phases of a piecewise schedule are exactly the idle prefix a fork can
+    skip.  Conservatively returns 0.0 whenever the onset cannot be proven
+    later (no composed spec, an open-ended schedule, an unregistered
+    kind), and the horizon duration when the schedule never engages at
+    all.  Fault plans do not constrain the onset: faults are environment,
+    part of the baseline prefix itself.
+    """
+    if scenario.adversary is None:
+        return 0.0
+    canonical = scenario._canonical_adversary() or {}
+    if canonical.get("kind") != "composed":
+        return 0.0
+    params = canonical.get("params") or {}
+    spec = params.get("schedule")
+    if not isinstance(spec, dict):
+        return 0.0
+    from ..adversary.components import SCHEDULE_REGISTRY
+
+    try:
+        schedule = SCHEDULE_REGISTRY.build(dict(spec))
+    except Exception:
+        return 0.0
+    if schedule.open_ended:
+        return 0.0
+    _, sim = scenario.resolve()
+    duration = float(sim.duration)
+    time = 0.0
+    index = 0
+    while time < duration:
+        window = schedule.window(index)
+        if window is None:
+            return duration
+        if window.intensity > 0:
+            return time
+        time = min(time + window.duration, duration) + window.gap
+        index += 1
+    return duration
+
+
+def prefix_key(scenario: Scenario) -> str:
+    """Stable identity of a point's baseline prefix across all its seeds.
+
+    Two points share a prefix key exactly when their baseline runs are
+    identical — same resolved protocol and sim configs, same fault plan,
+    same seeds — i.e. when only suffix axes (``adversary.*``, ``params.*``)
+    distinguish them.  The service broker stores this per point so its
+    lease ordering can keep one worker on one prefix group, maximizing
+    checkpoint reuse.
+    """
+    prefixes = [
+        scenario.point_digest(seed, baseline=True) for seed in scenario.seeds
+    ]
+    return hashlib.sha256(
+        canonical_json({"prefixes": prefixes}).encode("utf-8")
+    ).hexdigest()
+
+
+def plan_fork_groups(
+    points: Sequence[CampaignPoint],
+) -> List[ForkGroup]:
+    """Partition campaign points into shared-prefix fork groups.
+
+    Two (point, seed) runs share a group exactly when they share the
+    baseline point digest — i.e. when only suffix axes (``adversary.*``,
+    ``params.*``) distinguish them; any axis that touches the prefix
+    (``protocol.*``, ``sim.*``, ``faults.*``) changes the baseline digest
+    and therefore the group.  A group's fork time is the *earliest* attack
+    onset among its members, so the one checkpoint serves them all.
+
+    Points that cannot be forked fall back to full runs by simply not
+    appearing in any group: no adversary, a provably-zero (or unprovable)
+    onset, or an onset at/after the horizon.  A prefix with fewer than two
+    attacked members is dropped too — a checkpoint only one suffix would
+    fork from saves less than it costs to persist, and keeping single
+    points on the ordinary path preserves the "prefix-touching axes run
+    in full" contract.
+    """
+    buckets: Dict[tuple, Dict[str, object]] = {}
+    for point in points:
+        scenario = point.scenario
+        if scenario.adversary is None:
+            continue
+        onset = attack_onset(scenario)
+        _, sim = scenario.resolve()
+        if not 0.0 < onset < float(sim.duration):
+            continue
+        spec = scenario.adversary.to_dict()
+        for seed in scenario.seeds:
+            prefix = scenario.point_digest(seed, baseline=True)
+            bucket = buckets.setdefault(
+                (seed, prefix),
+                {
+                    "scenario": scenario,
+                    "seed": seed,
+                    "prefix": prefix,
+                    "fork_time": onset,
+                    "attacked": {},
+                },
+            )
+            bucket["fork_time"] = min(bucket["fork_time"], onset)
+            bucket["attacked"].setdefault(
+                scenario.point_digest(seed, baseline=False), spec
+            )
+    groups: List[ForkGroup] = []
+    for bucket in buckets.values():
+        attacked: Dict[str, Dict[str, object]] = bucket["attacked"]
+        if len(attacked) < 2:
+            continue
+        fork_time = float(bucket["fork_time"])
+        checkpoint_digest = hashlib.sha256(
+            canonical_json(
+                {
+                    "format": "prefix-checkpoint",
+                    "prefix": bucket["prefix"],
+                    "fork_time": fork_time,
+                }
+            ).encode("utf-8")
+        ).hexdigest()
+        members: List[tuple] = [(bucket["prefix"], None)]
+        members.extend(attacked.items())
+        groups.append(
+            ForkGroup(
+                scenario=bucket["scenario"],
+                seed=bucket["seed"],
+                fork_time=fork_time,
+                checkpoint_digest=checkpoint_digest,
+                members=members,
+            )
+        )
+    return groups
 
 
 @dataclass(frozen=True)
@@ -353,6 +496,7 @@ class CampaignRunner:
         store: Optional[ResultStore] = None,
         workers: int = 1,
         record: bool = False,
+        fork_prefixes: bool = False,
     ):
         if session is None:
             session = Session(workers=workers, store=store, record=record)
@@ -362,6 +506,12 @@ class CampaignRunner:
             if record:
                 session.record = True
         self.session = session
+        self.fork_prefixes = bool(fork_prefixes)
+        if self.fork_prefixes and self.session.record:
+            raise ValueError(
+                "record mode captures full-run traces; prefix-forked runs "
+                "cannot produce them — drop record or fork_prefixes"
+            )
 
     @property
     def store(self) -> Optional[ResultStore]:
@@ -448,13 +598,23 @@ class CampaignRunner:
 
         to_run = pending if max_points is None else pending[:max_points]
         chunk_size = max(1, self.session.workers)
+        fork_failures: Dict[str, PointExecutionError] = {}
         try:
+            if self.fork_prefixes and to_run:
+                fork_failures = self._run_fork_prefixes(points, to_run)
             for start in range(0, len(to_run), chunk_size):
                 chunk = to_run[start : start + chunk_size]
+                runnable: List[CampaignPoint] = []
+                for point in chunk:
+                    error = self._fork_failure_for(point, fork_failures)
+                    if error is not None:
+                        failed[point.index] = str(error)
+                    else:
+                        runnable.append(point)
                 executed = self.session.run_all(
-                    [point.scenario for point in chunk], on_error="return"
+                    [point.scenario for point in runnable], on_error="return"
                 )
-                for point, result in zip(chunk, executed):
+                for point, result in zip(runnable, executed):
                     if isinstance(result, PointExecutionError):
                         failed[point.index] = str(result)
                     else:
@@ -479,6 +639,68 @@ class CampaignRunner:
     def resume(self, campaign: Campaign) -> ResultSet:
         """Finish whatever ``run`` (or a killed invocation) left pending."""
         return self.run(campaign)
+
+    # -- prefix forking ----------------------------------------------------------------
+
+    def _run_fork_prefixes(
+        self,
+        points: Sequence[CampaignPoint],
+        to_run: Sequence[CampaignPoint],
+    ) -> Dict[str, PointExecutionError]:
+        """Execute the fork groups covering this call's pending points.
+
+        Groups (and each group's fork time) are planned over the *whole*
+        campaign, not just the pending slice, so an interrupted campaign
+        resumed later computes the identical checkpoint digests and reuses
+        the persisted prefix checkpoints instead of re-simulating them;
+        members are then restricted to the runs this call actually needs.
+        Completed runs land in the session cache/store, so the subsequent
+        ordinary execution pass assembles results without simulating.
+        """
+        needed = set()
+        for point in to_run:
+            scenario = point.scenario
+            for seed in scenario.seeds:
+                needed.add(scenario.point_digest(seed, baseline=False))
+                if scenario.adversary is not None:
+                    needed.add(scenario.point_digest(seed, baseline=True))
+        relevant: List[ForkGroup] = []
+        for group in plan_fork_groups(points):
+            members = [
+                (digest, spec) for digest, spec in group.members if digest in needed
+            ]
+            if any(spec is not None for _, spec in members):
+                relevant.append(
+                    ForkGroup(
+                        scenario=group.scenario,
+                        seed=group.seed,
+                        fork_time=group.fork_time,
+                        checkpoint_digest=group.checkpoint_digest,
+                        members=members,
+                    )
+                )
+        if not relevant:
+            return {}
+        _, failures = self.session.run_fork_groups(relevant)
+        return failures
+
+    @staticmethod
+    def _fork_failure_for(
+        point: CampaignPoint, failures: Mapping[str, PointExecutionError]
+    ) -> Optional[PointExecutionError]:
+        """The fork-group failure hitting one of the point's runs, if any."""
+        if not failures:
+            return None
+        scenario = point.scenario
+        for seed in scenario.seeds:
+            error = failures.get(scenario.point_digest(seed, baseline=False))
+            if error is not None:
+                return error
+            if scenario.adversary is not None:
+                error = failures.get(scenario.point_digest(seed, baseline=True))
+                if error is not None:
+                    return error
+        return None
 
     def iter_results(self, campaign: Campaign) -> "Iterator[PointResult]":
         """Stream the campaign's stored results one point at a time.
@@ -595,9 +817,13 @@ def run_campaign(
     campaign: Campaign,
     session: Optional[Session] = None,
     max_points: Optional[int] = None,
+    fork_prefixes: bool = False,
 ) -> ResultSet:
     """Run ``campaign`` through ``session`` (default: the shared session)."""
-    runner = CampaignRunner(session if session is not None else default_session())
+    runner = CampaignRunner(
+        session if session is not None else default_session(),
+        fork_prefixes=fork_prefixes,
+    )
     return runner.run(campaign, max_points=max_points)
 
 

@@ -16,9 +16,11 @@ session produces bit-identical metrics to a serial one.
 from __future__ import annotations
 
 import concurrent.futures
+import os
 import time
 import weakref
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..metrics.report import (
@@ -133,6 +135,103 @@ def _execute_payload(payload: Tuple[str, int, bool, Optional[str]]) -> RunMetric
     scenario_json, seed, baseline, trace_path = payload
     return execute_point(
         Scenario.from_json(scenario_json), seed, baseline=baseline, trace_path=trace_path
+    )
+
+
+@dataclass
+class ForkGroup:
+    """One shared-prefix fork unit: a baseline prefix plus attack suffixes.
+
+    ``scenario`` is any member point's scenario — only its baseline side
+    (protocol, sim, faults) is simulated, so every member must agree on it
+    (they share the baseline point digest by construction).  ``members``
+    pairs each wanted run digest with its raw adversary spec dict
+    (``{"kind": ..., "params": {...}}``), or ``None`` for the baseline run,
+    which is produced by simply continuing the prefix world to the horizon.
+    ``checkpoint_digest`` keys the persisted prefix checkpoint artifact;
+    it covers the baseline run digest *and* the fork time, so resumed and
+    worker campaigns only reuse a checkpoint captured at the same instant.
+    """
+
+    scenario: Scenario
+    seed: int
+    fork_time: float
+    checkpoint_digest: str
+    members: List[Tuple[str, Optional[Dict[str, object]]]]
+
+
+def execute_fork_group(
+    scenario: Scenario,
+    seed: int,
+    fork_time: float,
+    members: Sequence[Tuple[str, Optional[Dict[str, object]]]],
+    registry: Optional[AdversaryRegistry] = None,
+    checkpoint_path: Optional[str] = None,
+) -> Dict[str, RunMetrics]:
+    """Run one fork group; returns run metrics keyed by run digest.
+
+    Simulates the shared baseline prefix once up to ``fork_time`` (or loads
+    the persisted checkpoint at ``checkpoint_path`` and skips the prefix
+    entirely), captures it, then branches every attacked member from the
+    checkpoint with an origin-aligned adversary — so each forked run's
+    metrics are bit-identical to simulating that point from scratch.  The
+    baseline member (spec ``None``) is the prefix world continued to the
+    horizon.  A missing or unreadable checkpoint file is recaptured and
+    rewritten atomically; a version-drifted one is recaptured too (the
+    checkpoint is a pure cache — correctness comes from the run digests).
+    """
+    from ..replay.checkpoint import Checkpoint, CheckpointError
+    from ..replay.signature import SignatureMismatch
+
+    checkpoint = None
+    live_world = None
+    if checkpoint_path is not None and os.path.exists(checkpoint_path):
+        try:
+            checkpoint = Checkpoint.load(checkpoint_path)
+        except (CheckpointError, SignatureMismatch):
+            checkpoint = None
+    if checkpoint is None:
+        live_world = build_point_world(scenario, seed, baseline=True, registry=registry)
+        checkpoint = Checkpoint.capture_at(live_world, fork_time)
+        if checkpoint_path is not None:
+            # The ``.tmp`` suffix keeps orphans sweepable by ``store prune``.
+            target = Path(checkpoint_path)
+            temp = target.with_name(target.name + ".%d.tmp" % os.getpid())
+            checkpoint.save(temp)
+            os.replace(temp, target)
+    results: Dict[str, RunMetrics] = {}
+    for digest, spec in members:
+        if spec is not None:
+            continue
+        # The prefix continued to the horizon *is* the baseline run.
+        world = live_world if live_world is not None else checkpoint.restore()
+        live_world = None  # consumed; a second baseline member would restore
+        results[digest] = world.run()
+    for digest, spec in members:
+        if spec is None:
+            continue
+        world = checkpoint.fork(
+            adversary_spec=spec, registry=registry, align_origin=True
+        )
+        results[digest] = world.run()
+    return results
+
+
+def _execute_fork_payload(
+    payload: Tuple[str, int, float, Tuple, Optional[str]]
+) -> Dict[str, RunMetrics]:
+    """Process-pool entry point for one fork group.
+
+    Like :func:`_execute_payload`, worker processes resolve adversary kinds
+    against the default registry.
+    """
+    scenario_json, seed, fork_time, members, checkpoint_path = payload
+    return execute_fork_group(
+        Scenario.from_json(scenario_json),
+        seed,
+        fork_time,
+        list(members),
+        checkpoint_path=checkpoint_path,
     )
 
 
@@ -280,6 +379,151 @@ class Session:
     def sweep(self, scenario: Scenario) -> List[ExperimentResult]:
         """Expand a sweep scenario and run every point through one batch."""
         return self.run_all(scenario.expand())
+
+    def run_fork_groups(
+        self, groups: Sequence[ForkGroup]
+    ) -> Tuple[Dict[str, RunMetrics], Dict[str, PointExecutionError]]:
+        """Execute prefix-fork groups, warming the per-run digest cache.
+
+        Each group simulates its shared baseline prefix once (or loads the
+        persisted prefix checkpoint from the store) and forks every attack
+        suffix from it; all produced runs are cached and persisted exactly
+        as full runs would be, so a subsequent :meth:`run` / :meth:`run_all`
+        over the same scenarios assembles results without simulating.
+        Groups are the parallel unit: with ``workers > 1`` they execute on
+        the process pool.  Returns ``(results, failures)`` keyed by run
+        digest; a failed group fails all of its uncached members.
+        """
+        if self.record:
+            raise ValueError(
+                "record mode captures full-run traces; prefix-forked runs "
+                "cannot produce them — disable one of the two"
+            )
+        results: Dict[str, RunMetrics] = {}
+        failures: Dict[str, PointExecutionError] = {}
+        pending: List[ForkGroup] = []
+        for group in groups:
+            members = []
+            for digest, spec in group.members:
+                cached = self._lookup(digest)
+                if cached is not None:
+                    results[digest] = cached
+                else:
+                    members.append((digest, spec))
+            if any(spec is not None for _, spec in members):
+                pending.append(
+                    ForkGroup(
+                        scenario=group.scenario,
+                        seed=group.seed,
+                        fork_time=group.fork_time,
+                        checkpoint_digest=group.checkpoint_digest,
+                        members=members,
+                    )
+                )
+            elif members:
+                # Only the baseline run is missing: a full run costs the
+                # same as the prefix continuation, so leave it to the
+                # ordinary execution path rather than capture a checkpoint
+                # nothing will fork from.
+                pass
+        if not pending:
+            return results, failures
+
+        def checkpoint_target(group: ForkGroup) -> Optional[str]:
+            if self.store is None:
+                return None
+            return str(self.store.checkpoint_path(group.checkpoint_digest))
+
+        def record_outcome(group: ForkGroup, outcome: object) -> None:
+            if isinstance(outcome, dict):
+                for digest, run in outcome.items():
+                    results[digest] = run
+                    self._remember(digest, run)
+            else:
+                for digest, spec in group.members:
+                    failures[digest] = PointExecutionError(
+                        group.scenario.name,
+                        group.seed,
+                        spec is None,
+                        1,
+                        outcome,
+                    )
+
+        use_pool = (
+            self.workers > 1
+            and len(pending) > 1
+            and self.registry is DEFAULT_REGISTRY
+        )
+        if not use_pool:
+            for group in pending:
+                try:
+                    outcome: object = execute_fork_group(
+                        group.scenario,
+                        group.seed,
+                        group.fork_time,
+                        group.members,
+                        registry=self.registry,
+                        checkpoint_path=checkpoint_target(group),
+                    )
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception as exc:
+                    outcome = exc
+                record_outcome(group, outcome)
+            return results, failures
+
+        pool = self._executor()
+        submitted = [
+            (
+                group,
+                pool.submit(
+                    _execute_fork_payload,
+                    (
+                        group.scenario.to_json(indent=None),
+                        group.seed,
+                        group.fork_time,
+                        tuple(group.members),
+                        checkpoint_target(group),
+                    ),
+                ),
+            )
+            for group in pending
+        ]
+        abandon = False
+        for group, future in submitted:
+            if abandon and not future.done():
+                future.cancel()
+                record_outcome(
+                    group, concurrent.futures.CancelledError("pool abandoned")
+                )
+                continue
+            # A group runs its prefix plus every member suffix, so the
+            # per-run timeout scales with the group size.
+            timeout = (
+                self.timeout * (len(group.members) + 1)
+                if self.timeout is not None
+                else None
+            )
+            try:
+                record_outcome(group, future.result(timeout=timeout))
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except concurrent.futures.TimeoutError:
+                record_outcome(
+                    group,
+                    TimeoutError(
+                        "fork group exceeded the scaled session timeout"
+                    ),
+                )
+                abandon = True
+            except concurrent.futures.BrokenExecutor as exc:
+                record_outcome(group, exc)
+                abandon = True
+            except Exception as exc:
+                record_outcome(group, exc)
+        if abandon:
+            self._abandon_pool()
+        return results, failures
 
     # -- internals ---------------------------------------------------------------------
 

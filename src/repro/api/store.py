@@ -16,9 +16,13 @@ Two artifact kinds are used by the session layer:
 
 Record-mode sessions (see :mod:`repro.replay`) additionally persist one
 ``trace-<digest>.jsonl.gz`` per run — a gzipped replay trace keyed by the
-same per-run digest as its ``runs`` artifact.  Traces are binary artifacts
-handled by the replay subsystem; the store only names, lists, and prunes
-them.
+same per-run digest as its ``runs`` artifact.  Prefix-forked campaigns
+(see :mod:`repro.api.campaign`) persist one ``checkpoint-<digest>.ckpt.gz``
+per shared baseline prefix — a gzipped pickle written by
+:class:`~repro.replay.checkpoint.Checkpoint`, keyed by the prefix run
+digest and fork time, reused by resumed campaigns and service workers.
+Traces and checkpoints are binary artifacts handled by the replay
+subsystem; the store only names, lists, and prunes them.
 
 Writes are atomic (temp file + ``os.replace``); unreadable or corrupt
 artifacts are treated as cache misses rather than errors.  A file that
@@ -180,11 +184,40 @@ class ResultStore:
             return False
         return True
 
+    # -- prefix checkpoints -------------------------------------------------------------
+
+    def checkpoint_path(self, digest: str) -> Path:
+        """Where the prefix checkpoint for ``digest`` lives (may not exist).
+
+        Both backends keep checkpoints as gzip-pickle files next to the
+        replay traces (the SQLite store's ``root`` is its sidecar trace
+        directory), so one implementation serves the whole contract.
+        """
+        return self.root / ("checkpoint-%s.ckpt.gz" % digest)
+
+    def has_checkpoint(self, digest: str) -> bool:
+        return self.checkpoint_path(digest).exists()
+
+    def checkpoint_paths(self) -> List[Path]:
+        """All persisted prefix checkpoints in the store (sorted by name)."""
+        return sorted(self.root.glob("checkpoint-*.ckpt.gz"))
+
+    def checkpoint_digests(self) -> List[str]:
+        """Digests of every persisted prefix checkpoint in the store."""
+        prefix, suffix = "checkpoint-", ".ckpt.gz"
+        return [
+            path.name[len(prefix) : -len(suffix)] for path in self.checkpoint_paths()
+        ]
+
     # -- housekeeping -------------------------------------------------------------------
 
     def artifacts(self) -> List[Path]:
         """All artifact files currently in the store (sorted by name)."""
-        return sorted(self.root.glob("*-*.json")) + self.trace_paths()
+        return (
+            sorted(self.root.glob("*-*.json"))
+            + self.trace_paths()
+            + self.checkpoint_paths()
+        )
 
     def iter_artifacts(self):
         """Yield ``(kind, digest, payload)`` for every readable JSON artifact.
@@ -233,6 +266,11 @@ class ResultStore:
                 tally("trace", path.stat().st_size)
             except OSError:
                 continue
+        for path in self.checkpoint_paths():
+            try:
+                tally("checkpoint", path.stat().st_size)
+            except OSError:
+                continue
         for pattern, kind in (("*.corrupt", "quarantined"), ("*.tmp", "temp")):
             for path in self.root.glob(pattern):
                 try:
@@ -259,7 +297,8 @@ class ResultStore:
         (never under a final artifact name — writes are atomic, and trace
         writers stream to ``<name>.tmp`` until finalized); pruning removes
         them, along with any ``*.corrupt`` quarantine files.  With ``kind``
-        (e.g. ``"runs"``, ``"result"``, ``"campaign"``, ``"trace"``), every
+        (e.g. ``"runs"``, ``"result"``, ``"campaign"``, ``"trace"``,
+        ``"checkpoint"``), every
         artifact of that kind is removed too, which invalidates exactly that
         cache layer without touching the others.  Returns the number of
         files removed.
@@ -267,6 +306,8 @@ class ResultStore:
         targets = list(self.root.glob("*.tmp")) + list(self.root.glob("*.corrupt"))
         if kind == "trace":
             targets.extend(self.trace_paths())
+        elif kind == "checkpoint":
+            targets.extend(self.checkpoint_paths())
         elif kind is not None:
             # Validate the kind the same way path_for does.
             self.path_for(kind, "x")
@@ -351,4 +392,12 @@ def migrate_store(source: "ResultStore", dest: "ResultStore") -> Dict[str, int]:
         except OSError:
             continue
         copied["trace"] = copied.get("trace", 0) + 1
+    for digest in source.checkpoint_digests():
+        try:
+            shutil.copyfile(
+                source.checkpoint_path(digest), dest.checkpoint_path(digest)
+            )
+        except OSError:
+            continue
+        copied["checkpoint"] = copied.get("checkpoint", 0) + 1
     return copied

@@ -307,6 +307,37 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .experiments import bench as bench_module
 
     names = args.artifacts.split(",") if args.artifacts else None
+    if args.fork_compare:
+        report = bench_module.run_fork_comparison(names=names, quick=args.quick)
+        print(bench_module.format_fork_report(report))
+        out = args.out
+        if out == "BENCH_PR2.json":
+            out = "BENCH_PR9.json"
+        if out:
+            bench_module.write_report(report, Path(out))
+            print("fork-speedup report written to %s" % out)
+        failures = [
+            name
+            for name, record in report.get("artifacts", {}).items()
+            if not record["digest_match"]
+        ]
+        if failures:
+            print(
+                "PREFIX FORKING PERTURBED RESULTS — forked digests differ for: %s"
+                % ", ".join(failures)
+            )
+            return 1
+        if args.check:
+            baseline = bench_module.load_baseline(Path(args.baseline))
+            if baseline is not None:
+                problems = bench_module.check_digests(report, baseline)
+                if problems:
+                    print("RESULT DIGEST DRIFT — experiment results changed:")
+                    for problem in problems:
+                        print("  " + problem)
+                    return 1
+                print("all full-run digests match the committed baseline")
+        return 0
     if args.record_compare:
         report = bench_module.run_record_comparison(names=names, quick=args.quick)
         print(bench_module.format_record_report(report))
@@ -401,7 +432,10 @@ def _load_campaign(reference: str) -> Campaign:
 
 
 def _campaign_runner(args: argparse.Namespace) -> CampaignRunner:
-    return CampaignRunner(_session(args))
+    return CampaignRunner(
+        _session(args),
+        fork_prefixes=getattr(args, "fork_prefixes", False),
+    )
 
 
 def _print_campaign_rows(campaign: Campaign, results) -> None:
@@ -849,6 +883,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         poll_interval=args.poll_interval,
         max_points=args.max_points,
         on_event=print,
+        fork_prefixes=bool(args.fork_prefixes),
     )
     stats = worker.run()
     print(
@@ -1011,6 +1046,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="capture every computed run as a replay trace in the store "
         "(requires --store; see docs/REPLAY.md)",
     )
+    campaign_run.add_argument(
+        "--fork-prefixes", action="store_true",
+        help="simulate each shared (baseline, seed) prefix once and fork "
+        "the attack suffixes from its checkpoint — bit-identical results, "
+        "less wall-clock (see docs/CAMPAIGNS.md)",
+    )
     campaign_run.set_defaults(func=_cmd_campaign_run)
 
     campaign_status = campaign_sub.add_parser(
@@ -1049,6 +1090,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="capture every newly computed run as a replay trace in the "
         "store (requires --store; see docs/REPLAY.md)",
     )
+    campaign_resume.add_argument(
+        "--fork-prefixes", action="store_true",
+        help="finish the pending points via prefix forking, reusing any "
+        "prefix checkpoints a previous --fork-prefixes run persisted",
+    )
     campaign_resume.set_defaults(func=_cmd_campaign_resume)
 
     campaign_report = campaign_sub.add_parser(
@@ -1085,7 +1131,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--kind",
         default=None,
         help="also remove every artifact of this kind "
-        "(runs, result, campaign, trace)",
+        "(runs, result, campaign, trace, checkpoint)",
     )
     store_prune.set_defaults(func=_cmd_store_prune)
 
@@ -1277,6 +1323,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--record", action="store_true",
         help="with --store: capture computed runs as replay traces",
     )
+    worker_parser.add_argument(
+        "--fork-prefixes", action="store_true",
+        help="execute forkable points from shared prefix checkpoints "
+        "(ignored with --record; see docs/CAMPAIGNS.md)",
+    )
     worker_parser.set_defaults(func=_cmd_worker)
 
     list_parser = subparsers.add_parser(
@@ -1327,6 +1378,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="measure replay-trace recording overhead: run each artifact with "
         "tracing off and on, compare wall/events-per-sec/RSS and digests "
         "(report defaults to BENCH_PR6.json)",
+    )
+    bench_parser.add_argument(
+        "--fork-compare", action="store_true",
+        help="measure prefix-forking speedup: run each artifact's campaign "
+        "with forking off and on, compare wall clock and row digests "
+        "(report defaults to BENCH_PR9.json)",
     )
     bench_parser.set_defaults(func=_cmd_bench)
 

@@ -41,6 +41,7 @@ from .composed import (
     adaptive_attack_campaign,
     adversary_matrix_campaign,
     combined_attack_campaign,
+    delayed_attack_campaign,
 )
 from .effortful import effortful_campaign
 from .faults import churn_baseline_campaign, partition_attack_campaign
@@ -310,6 +311,21 @@ def _adversary_matrix_campaign() -> Campaign:
     )
 
 
+def _delayed_attack_campaign() -> Campaign:
+    # 18-month horizon with the strike at day 365: the adversary lurks for
+    # two thirds of the archive's history, so the shared quiescent prefix
+    # dominates and ``--fork-prefixes`` has real work to skip.
+    protocol, sim = bench_configs(duration=units.months(18))
+    return delayed_attack_campaign(
+        coverages=(0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0),
+        onset_day=365.0,
+        seeds=BENCH_SEEDS,
+        protocol_config=protocol,
+        sim_config=sim,
+        name="delayed_attack_sweep",
+    )
+
+
 def _churn_baseline_campaign() -> Campaign:
     protocol, sim = bench_configs()
     return churn_baseline_campaign(
@@ -373,6 +389,10 @@ ARTIFACTS: Dict[str, Tuple[str, Callable[[], Campaign]]] = {
     "adversary_matrix": (
         "Adversary matrix - 2x2 targeting x vector smoke grid",
         _adversary_matrix_campaign,
+    ),
+    "delayed_attack_sweep": (
+        "Delayed attack - coverage sweep behind a 365-day quiescent prefix",
+        _delayed_attack_campaign,
     ),
     "churn_baseline": (
         "Churn baseline - Poisson membership turnover, no adversary",
@@ -613,6 +633,165 @@ def format_record_report(report: Dict[str, object]) -> str:
             total.get("overhead_pct") or 0.0,
             "-",
             total.get("trace_bytes", 0),
+            "",
+        )
+    )
+    return "\n".join(lines)
+
+
+#: Artifacts measured by ``bench --fork-compare`` when none are named: the
+#: campaign families whose points share a baseline prefix.  The delayed
+#: sweep is the shape prefix forking targets; the others bound its cost on
+#: immediate-onset campaigns (forking falls back to full runs there).
+FORK_ARTIFACTS: Tuple[str, ...] = (
+    "delayed_attack_sweep",
+    "fig3_pipe_stoppage",
+    "combined_attack",
+)
+
+
+def _run_artifact_forked(name: str, fork: bool) -> Dict[str, object]:
+    """Run one artifact against a throwaway store, forked or fully.
+
+    Both sides go through identical store-attached sessions so the measured
+    delta is the prefix reuse itself, not result persistence.
+    """
+    import shutil
+    import tempfile
+
+    from ..api.store import ResultStore
+
+    title, factory = ARTIFACTS[name]
+    tmpdir = tempfile.mkdtemp(prefix="bench-%s-" % ("fork" if fork else "full"))
+    try:
+        store = ResultStore(tmpdir)
+        session = Session(store=store)
+        started = time.perf_counter()
+        campaign = factory()
+        results = CampaignRunner(session, fork_prefixes=fork).run(campaign)
+        rows = export_rows(campaign.exporter, results)
+        wall = time.perf_counter() - started
+        events = sum(
+            run.extras.get("events_processed", 0.0)
+            for run in session._run_cache.values()
+        )
+        return {
+            "title": title,
+            "wall_s": round(wall, 4),
+            "events": int(events),
+            "events_per_s": round(events / wall, 1) if wall > 0 else 0.0,
+            "rows": len(rows),
+            "digest": digest_rows(rows),
+            "peak_rss_kb": _peak_rss_kb(),
+            "checkpoints": len(store.checkpoint_paths()),
+        }
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
+def run_fork_comparison(
+    names: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Measure prefix-fork speedup: each artifact run fully and forked.
+
+    Runs are interleaved with alternating order (full/forked, then
+    forked/full) and each side keeps its best wall time, exactly like
+    :func:`run_record_comparison`, so host noise does not masquerade as (or
+    hide) the speedup.  The per-artifact ``digest`` is the full-run digest
+    (so :func:`check_digests` applies unchanged) and ``digest_match``
+    asserts the forked run produced bit-identical rows — the parity
+    contract prefix forking must uphold to be usable at all.
+    """
+    if names is None:
+        names = FORK_ARTIFACTS if not quick else FORK_ARTIFACTS[:1]
+    unknown = [name for name in names if name not in ARTIFACTS]
+    if unknown:
+        raise ValueError("unknown bench artifacts: %s" % ", ".join(unknown))
+    artifacts: Dict[str, Dict[str, object]] = {}
+    for name in names:
+        full = forked = None
+        for repeat in range(max(1, repeats)):
+            if repeat % 2 == 0:
+                full_run = _run_artifact_forked(name, fork=False)
+                fork_run = _run_artifact_forked(name, fork=True)
+            else:
+                fork_run = _run_artifact_forked(name, fork=True)
+                full_run = _run_artifact_forked(name, fork=False)
+            if full is None or full_run["wall_s"] < full["wall_s"]:
+                full = full_run
+            if forked is None or fork_run["wall_s"] < forked["wall_s"]:
+                forked = fork_run
+        speedup = (
+            round(full["wall_s"] / forked["wall_s"], 2)
+            if forked["wall_s"]
+            else None
+        )
+        artifacts[name] = {
+            "title": full["title"],
+            "digest": full["digest"],
+            "digest_match": full["digest"] == forked["digest"],
+            "full": {
+                key: full[key]
+                for key in ("wall_s", "events", "events_per_s", "peak_rss_kb")
+            },
+            "forked": {
+                key: forked[key]
+                for key in ("wall_s", "events", "events_per_s", "peak_rss_kb")
+            },
+            "speedup": speedup,
+            "checkpoints": forked["checkpoints"],
+        }
+    full_wall = sum(record["full"]["wall_s"] for record in artifacts.values())
+    forked_wall = sum(record["forked"]["wall_s"] for record in artifacts.values())
+    return {
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "nonce_stream_version": NONCE_STREAM_VERSION,
+        "mode": "fork-compare",
+        "cpus": os.cpu_count(),
+        "quick": quick,
+        "artifacts": artifacts,
+        "total": {
+            "full_wall_s": round(full_wall, 4),
+            "forked_wall_s": round(forked_wall, 4),
+            "speedup": (
+                round(full_wall / forked_wall, 2) if forked_wall else None
+            ),
+        },
+    }
+
+
+def format_fork_report(report: Dict[str, object]) -> str:
+    """Render a fork-speedup comparison as an aligned text table."""
+    lines = []
+    header = "%-24s %10s %10s %8s %6s %6s" % (
+        "artifact", "full_s", "forked_s", "speedup", "ckpts", "match"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, record in report.get("artifacts", {}).items():
+        lines.append(
+            "%-24s %10.3f %10.3f %7.2fx %6d %6s"
+            % (
+                name,
+                record["full"]["wall_s"],
+                record["forked"]["wall_s"],
+                record["speedup"] if record["speedup"] is not None else 0.0,
+                record["checkpoints"],
+                "yes" if record["digest_match"] else "NO",
+            )
+        )
+    total = report.get("total", {})
+    lines.append("-" * len(header))
+    lines.append(
+        "%-24s %10.3f %10.3f %7.2fx %6s %6s"
+        % (
+            "TOTAL",
+            total.get("full_wall_s", 0.0),
+            total.get("forked_wall_s", 0.0),
+            total.get("speedup") or 0.0,
+            "-",
             "",
         )
     )

@@ -17,8 +17,11 @@ not new adversary classes:
   vector) mini-grid used by the ``adversary-matrix`` CI smoke job: one axis
   swaps the targeting policy, the other swaps the attack vector, exercising
   per-component sweeps end to end.
+* :func:`delayed_attack_campaign` — a coverage sweep behind a long
+  zero-intensity lead phase (the adversary lurks, then strikes); the
+  benchmark shape for ``campaign run --fork-prefixes`` prefix reuse.
 
-All three are plain :class:`~repro.api.Campaign` objects over structured
+All of them are plain :class:`~repro.api.Campaign` objects over structured
 ``"composed"`` adversary specs, so they round-trip through JSON, run through
 the CLI (``repro-experiments campaign run ...``), resume from a store, and
 digest-check against ``benchmarks/bench_baseline.json``.
@@ -163,6 +166,58 @@ def adaptive_attack_campaign(
     )
     campaign = Campaign(name=name, scenario=scenario, exporter="composed_attack")
     campaign.add_axis(**{"adversary.adaptive.threshold": list(thresholds)})
+    return campaign
+
+
+def delayed_attack_campaign(
+    coverages: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
+    onset_day: float = 165.0,
+    attack_duration_days: float = 40.0,
+    recuperation_days: float = 20.0,
+    seeds: Sequence[int] = (1,),
+    protocol_config: Optional[ProtocolConfig] = None,
+    sim_config: Optional[SimulationConfig] = None,
+    name: str = "delayed_attack_sweep",
+) -> Campaign:
+    """A pipe-stoppage sweep whose attack only begins at ``onset_day``.
+
+    The leading zero-intensity ``piecewise`` phase models the paper's
+    strategic adversary who lurks through most of the archive's history
+    before striking.  Because every point shares the long quiescent prefix
+    (only the suffix axis ``adversary.targeting.coverage`` varies), this is
+    the campaign shape where ``--fork-prefixes`` pays best: the prefix is
+    simulated once per seed and every coverage forks from its checkpoint.
+    The default onset deliberately sits between sampling instants (day 165
+    with 2-day sampling) so fork-time event ordering is exercised off the
+    measurement grid.
+    """
+    scenario = composed_scenario(
+        name,
+        targeting={"kind": "random_subset", "coverage": 1.0},
+        schedule={
+            "kind": "piecewise",
+            "phases": [
+                {
+                    "duration_days": onset_day,
+                    "intensity": 0.0,
+                    "gap_days": 0.0,
+                },
+                {
+                    "duration_days": attack_duration_days,
+                    "intensity": 1.0,
+                    "gap_days": recuperation_days,
+                },
+            ],
+            "repeat": True,
+        },
+        vectors=[{"kind": "pipe_stoppage"}],
+        seeds=seeds,
+        protocol_config=protocol_config,
+        sim_config=sim_config,
+        node_id="delayed-adversary",
+    )
+    campaign = Campaign(name=name, scenario=scenario, exporter="composed_attack")
+    campaign.add_axis(**{"adversary.targeting.coverage": list(coverages)})
     return campaign
 
 

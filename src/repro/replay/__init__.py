@@ -29,7 +29,12 @@ from .trace import (
     filter_records,
     iter_records,
 )
-from .checkpoint import Checkpoint, CheckpointError
+from .checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    fault_fork_conflicts,
+    fault_onset,
+)
 from .replay import (
     ReplayDivergence,
     ReplayError,
@@ -56,6 +61,8 @@ __all__ = [
     "Tracer",
     "attach_tracer",
     "detach_tracer",
+    "fault_fork_conflicts",
+    "fault_onset",
     "filter_records",
     "first_divergence",
     "iter_records",

@@ -26,11 +26,12 @@ bit-identical row digests to a single-process ``CampaignRunner`` run.
 
 from __future__ import annotations
 
+import sqlite3
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-from ..api.campaign import Campaign, status_dict
+from ..api.campaign import Campaign, CampaignPoint, attack_onset, prefix_key, status_dict
 from ..api.scenario import Scenario
 from .sqlite_store import SQLiteResultStore
 
@@ -52,6 +53,9 @@ class Lease:
     worker: str
     deadline: float
     lease_seconds: float
+    #: Prefix-group key (see :func:`~repro.api.campaign.prefix_key`); None
+    #: for points that cannot share a prefix checkpoint.
+    prefix: Optional[str] = None
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -63,6 +67,7 @@ class Lease:
             "worker": self.worker,
             "deadline": self.deadline,
             "lease_seconds": self.lease_seconds,
+            "prefix": self.prefix,
         }
 
     @classmethod
@@ -76,6 +81,7 @@ class Lease:
             worker=str(payload.get("worker", "")),
             deadline=float(payload.get("deadline", 0.0)),
             lease_seconds=float(payload.get("lease_seconds", 0.0)),
+            prefix=payload.get("prefix") or None,
         )
 
 
@@ -113,14 +119,28 @@ class Broker:
             " digest TEXT NOT NULL, label TEXT NOT NULL, scenario TEXT NOT NULL,"
             " state TEXT NOT NULL, worker TEXT, lease_expires REAL,"
             " attempts INTEGER NOT NULL DEFAULT 0, error TEXT,"
+            " prefix TEXT,"
             " PRIMARY KEY (campaign, idx))"
         )
         store.execute(
             "CREATE TABLE IF NOT EXISTS broker_workers ("
             " worker TEXT PRIMARY KEY, started REAL NOT NULL,"
             " last_seen REAL NOT NULL, completed INTEGER NOT NULL DEFAULT 0,"
-            " failed INTEGER NOT NULL DEFAULT 0)"
+            " failed INTEGER NOT NULL DEFAULT 0,"
+            " last_prefix TEXT)"
         )
+        # Databases created before prefix-affinity leasing lack the two
+        # columns above (CREATE TABLE IF NOT EXISTS never alters); add them
+        # in place.  "duplicate column name" on a current schema is the
+        # expected no-op.
+        for table, column in (
+            ("broker_points", "prefix TEXT"),
+            ("broker_workers", "last_prefix TEXT"),
+        ):
+            try:
+                store.execute("ALTER TABLE %s ADD COLUMN %s" % (table, column))
+            except sqlite3.OperationalError:
+                pass
 
     # -- submission ----------------------------------------------------------------------
 
@@ -150,17 +170,26 @@ class Broker:
             )
             for point in points:
                 done = self.store.has("result", point.digest)
+                prefix = self._point_prefix(point)
                 conn.execute(
                     "INSERT OR IGNORE INTO broker_points"
-                    " (campaign, idx, digest, label, scenario, state)"
-                    " VALUES (?, ?, ?, ?, ?, 'pending')",
+                    " (campaign, idx, digest, label, scenario, state, prefix)"
+                    " VALUES (?, ?, ?, ?, ?, 'pending', ?)",
                     (
                         digest,
                         point.index,
                         point.digest,
                         point.label,
                         point.scenario.to_json(indent=None),
+                        prefix,
                     ),
+                )
+                # Resubmission from a pre-affinity database: the row exists
+                # without a prefix, so the INSERT above was ignored.
+                conn.execute(
+                    "UPDATE broker_points SET prefix=?"
+                    " WHERE campaign=? AND idx=? AND prefix IS NOT ?",
+                    (prefix, digest, point.index, prefix),
                 )
                 if done:
                     conn.execute(
@@ -209,39 +238,101 @@ class Broker:
 
     # -- leasing -------------------------------------------------------------------------
 
+    @staticmethod
+    def _point_prefix(point: CampaignPoint) -> Optional[str]:
+        """The point's prefix-group key, or None when forking cannot apply.
+
+        Mirrors :func:`~repro.api.campaign.plan_fork_groups` eligibility:
+        an adversary whose first engagement falls strictly inside the run.
+        Points without one get NULL and stay out of affinity ordering.
+        """
+        scenario = point.scenario
+        if scenario.adversary is None:
+            return None
+        onset = attack_onset(scenario)
+        duration = float(scenario.resolve()[1].duration)
+        if not 0.0 < onset < duration:
+            return None
+        return prefix_key(scenario)
+
     def lease(
         self, worker: str, campaign: Optional[str] = None
     ) -> Optional[Lease]:
-        """Atomically claim the first available point for ``worker``.
+        """Atomically claim the best available point for ``worker``.
 
         Available means ``pending``, or ``leased`` past its deadline (the
         previous worker died or stalled — this is the crash-safe
-        re-leasing).  Returns ``None`` when nothing is claimable right now;
-        check :meth:`outstanding` to distinguish "all done" from "all
-        leased to live workers".
+        re-leasing).  Among the available points the broker prefers, in
+        order:
+
+        1. a point in the **same prefix group** the worker last leased —
+           the worker keeps draining a group whose shared checkpoint it has
+           already paid for (``--fork-prefixes`` reuses it from the store);
+        2. a point whose prefix group no *other* live worker is currently
+           inside, so each group is drained by one worker instead of every
+           worker re-deriving the same checkpoint;
+        3. anything, in the usual deterministic ``(campaign, idx)`` order.
+
+        Returns ``None`` when nothing is claimable right now; check
+        :meth:`outstanding` to distinguish "all done" from "all leased to
+        live workers".
         """
         now = self.clock()
         with self.store.transaction() as conn:
             self._touch_worker(conn, worker, now)
-            sql = (
-                "SELECT campaign, idx, digest, label, scenario FROM broker_points"
+            last_row = conn.execute(
+                "SELECT last_prefix FROM broker_workers WHERE worker=?",
+                (worker,),
+            ).fetchone()
+            last_prefix = last_row[0] if last_row else None
+
+            base = (
+                "SELECT campaign, idx, digest, label, scenario, prefix"
+                " FROM broker_points"
                 " WHERE (state='pending' OR (state='leased' AND lease_expires < ?))"
             )
-            params: List[object] = [now]
+            base_params: List[object] = [now]
             if campaign is not None:
-                sql += " AND campaign=?"
-                params.append(campaign)
-            sql += " ORDER BY campaign, idx LIMIT 1"
-            row = conn.execute(sql, tuple(params)).fetchone()
+                base += " AND campaign=?"
+                base_params.append(campaign)
+
+            tiers: List[Tuple[str, List[object]]] = []
+            if last_prefix:
+                tiers.append((" AND prefix=?", [last_prefix]))
+            # NULL-prefix points pass the NOT EXISTS (NULL = NULL is not
+            # true), so tier 2 also covers points outside any group.
+            tiers.append(
+                (
+                    " AND NOT EXISTS (SELECT 1 FROM broker_points q"
+                    "  WHERE q.state='leased' AND q.lease_expires >= ?"
+                    "  AND q.worker != ? AND q.campaign = broker_points.campaign"
+                    "  AND q.prefix = broker_points.prefix)",
+                    [now, worker],
+                )
+            )
+            tiers.append(("", []))
+
+            row = None
+            for clause, extra in tiers:
+                row = conn.execute(
+                    base + clause + " ORDER BY campaign, idx LIMIT 1",
+                    tuple(base_params + extra),
+                ).fetchone()
+                if row is not None:
+                    break
             if row is None:
                 return None
-            campaign_digest, index, digest, label, scenario_json = row
+            campaign_digest, index, digest, label, scenario_json, prefix = row
             deadline = now + self.lease_seconds
             conn.execute(
                 "UPDATE broker_points SET state='leased', worker=?,"
                 " lease_expires=?, attempts=attempts+1"
                 " WHERE campaign=? AND idx=?",
                 (worker, deadline, campaign_digest, index),
+            )
+            conn.execute(
+                "UPDATE broker_workers SET last_prefix=? WHERE worker=?",
+                (prefix, worker),
             )
         return Lease(
             campaign=campaign_digest,
@@ -252,6 +343,7 @@ class Broker:
             worker=worker,
             deadline=deadline,
             lease_seconds=self.lease_seconds,
+            prefix=prefix,
         )
 
     def heartbeat(self, worker: str, campaign: str, index: int) -> bool:

@@ -11,6 +11,7 @@ rows, and drive workers (``repro-experiments worker --connect``):
 ``GET  /api/campaigns``                      submitted campaign summaries
 ``POST /api/campaigns``                      submit a campaign (its ``to_dict`` payload)
 ``GET  /api/campaigns/<digest>``             status payload (``?points=0`` for counts only)
+``GET  /api/campaigns/<digest>/spec``        the submitted campaign's ``to_dict`` payload
 ``GET  /api/campaigns/<digest>/rows``        exported figure rows + rows digest
 ``POST /api/campaigns/<digest>/requeue``     failed points back to pending
 ``GET  /api/workers``                        worker liveness and current leases
@@ -132,6 +133,11 @@ class ExperimentService:
             if not rest and method == "GET":
                 include_points = query.get("points", ["1"])[0] not in ("0", "false")
                 return 200, self.broker.status(digest, include_points=include_points)
+            if rest == ["spec"] and method == "GET":
+                campaign = self.broker.campaign(digest)
+                if campaign is None:
+                    raise ApiError(404, "unknown campaign %r" % digest)
+                return 200, {"digest": digest, "campaign": campaign.to_dict()}
             if rest == ["rows"] and method == "GET":
                 return 200, self._rows(digest)
             if rest == ["requeue"] and method == "POST":

@@ -220,6 +220,14 @@ class SQLiteResultStore(ResultStore):
             record = totals.setdefault("trace", {"count": 0, "bytes": 0})
             record["count"] += 1
             record["bytes"] += size
+        for path in self.checkpoint_paths():
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            record = totals.setdefault("checkpoint", {"count": 0, "bytes": 0})
+            record["count"] += 1
+            record["bytes"] += size
         with self._lock:
             count, size = self._conn.execute(
                 "SELECT COUNT(*), COALESCE(SUM(LENGTH(COALESCE(payload, ''))), 0)"
@@ -241,13 +249,13 @@ class SQLiteResultStore(ResultStore):
     # -- housekeeping --------------------------------------------------------------------
 
     def clear(self) -> int:
-        """Delete every artifact row and trace file; returns the number removed."""
+        """Delete every artifact row and trace/checkpoint file; returns the count."""
         removed = 0
         for kind in self.kinds():
             cursor = self.execute('DELETE FROM "%s"' % self._table(kind))
             removed += cursor.rowcount
         removed += self.execute("DELETE FROM quarantine").rowcount
-        for path in self.trace_paths():
+        for path in self.trace_paths() + self.checkpoint_paths():
             try:
                 path.unlink()
                 removed += 1
@@ -267,6 +275,10 @@ class SQLiteResultStore(ResultStore):
         targets = list(self.root.glob("*.tmp")) + list(self.root.glob("*.corrupt"))
         if kind == "trace":
             targets.extend(self.trace_paths())
+        elif kind == "checkpoint":
+            # Checkpoints are files beside the traces, never artifact rows;
+            # the generic branch would create a junk table for them.
+            targets.extend(self.checkpoint_paths())
         elif kind is not None:
             removed += self.execute('DELETE FROM "%s"' % self._ensure_table(kind)).rowcount
         for path in targets:

@@ -31,10 +31,11 @@ import threading
 import time
 import urllib.error
 import urllib.request
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from ..api.campaign import Campaign, plan_fork_groups
 from ..api.scenario import Scenario
-from ..api.session import ExperimentResult, Session
+from ..api.session import ExperimentResult, ForkGroup, Session
 from .broker import Broker, Lease
 
 
@@ -66,6 +67,9 @@ class LocalBrokerClient:
     def lease(self, worker: str, campaign: Optional[str] = None) -> Tuple[Optional[Lease], int]:
         lease = self.broker.lease(worker, campaign=campaign)
         return lease, self.broker.outstanding(campaign)
+
+    def get_campaign(self, digest: str) -> Optional[Campaign]:
+        return self.broker.campaign(digest)
 
     def heartbeat(self, lease: Lease) -> bool:
         return self.broker.heartbeat(lease.worker, lease.campaign, lease.index)
@@ -137,6 +141,14 @@ class HttpBrokerClient:
             int(response.get("outstanding", 0)),
         )
 
+    def get_campaign(self, digest: str) -> Optional[Campaign]:
+        try:
+            response = self.request("GET", "/api/campaigns/%s/spec" % digest)
+        except (RuntimeError, OSError, ValueError):
+            return None  # older server without the spec route, or transport trouble
+        payload = response.get("campaign")
+        return Campaign.from_dict(payload) if payload else None
+
     def heartbeat(self, lease: Lease) -> bool:
         response = self.request(
             "POST",
@@ -196,6 +208,14 @@ class Worker:
     ``max_points`` bounds how many points this worker executes (the
     deterministic stand-in for killing it); ``campaign`` restricts leasing
     to one campaign digest.
+
+    With ``fork_prefixes`` the worker executes forkable points through the
+    prefix-checkpoint machinery (see docs/CAMPAIGNS.md): the first point of
+    a prefix group captures the shared baseline checkpoint into the store,
+    and — because the broker's lease ordering keeps a worker on the prefix
+    group it last touched — the rest of the group loads it back and forks,
+    skipping the pre-onset simulation entirely.  Results stay bit-identical
+    to full runs; this is an execution strategy, not a different campaign.
     """
 
     def __init__(
@@ -207,6 +227,7 @@ class Worker:
         poll_interval: float = 0.5,
         max_points: Optional[int] = None,
         on_event: Optional[Callable[[str], None]] = None,
+        fork_prefixes: bool = False,
     ) -> None:
         self.client = client
         self.session = session if session is not None else Session()
@@ -215,13 +236,89 @@ class Worker:
         self.poll_interval = poll_interval
         self.max_points = max_points
         self.on_event = on_event
+        self.fork_prefixes = fork_prefixes and not self.session.record
         self.completed = 0
         self.failed = 0
         self.stolen = 0
+        #: campaign digest -> point digest -> that point's per-seed groups
+        self._fork_plans: Dict[str, Dict[str, List[ForkGroup]]] = {}
 
     def _log(self, message: str) -> None:
         if self.on_event is not None:
             self.on_event("[%s] %s" % (self.worker_id, message))
+
+    # -- prefix forking ------------------------------------------------------------------
+
+    def _point_fork_groups(self, campaign_digest: str) -> Dict[str, List[ForkGroup]]:
+        """Per-point fork groups for a campaign, planned once and cached.
+
+        Planning runs over the campaign's *full* point set — the same call
+        :class:`~repro.api.campaign.CampaignRunner` makes — so fork times
+        and checkpoint digests match a single-process ``--fork-prefixes``
+        run exactly, and every worker in the fleet agrees on them.  Each
+        group is then split into per-point slices (one attacked member per
+        seed, plus the shared baseline) because a lease covers one point.
+        """
+        cached = self._fork_plans.get(campaign_digest)
+        if cached is not None:
+            return cached
+        plans: Dict[str, List[ForkGroup]] = {}
+        try:
+            campaign = self.client.get_campaign(campaign_digest)
+        except Exception:
+            campaign = None
+        if campaign is not None:
+            points = campaign.expand()
+            member_group: Dict[str, ForkGroup] = {}
+            member_spec: Dict[str, Dict[str, object]] = {}
+            for group in plan_fork_groups(points):
+                for digest, spec in group.members:
+                    if spec is not None:
+                        member_group[digest] = group
+                        member_spec[digest] = spec
+            for point in points:
+                scenario = point.scenario
+                if scenario.adversary is None:
+                    continue
+                for seed in scenario.seeds:
+                    attacked = scenario.point_digest(seed, baseline=False)
+                    group = member_group.get(attacked)
+                    if group is None:
+                        continue
+                    baseline = scenario.point_digest(seed, baseline=True)
+                    plans.setdefault(point.digest, []).append(
+                        ForkGroup(
+                            scenario=scenario,
+                            seed=seed,
+                            fork_time=group.fork_time,
+                            checkpoint_digest=group.checkpoint_digest,
+                            members=[
+                                (baseline, None),
+                                (attacked, member_spec[attacked]),
+                            ],
+                        )
+                    )
+        self._fork_plans[campaign_digest] = plans
+        return plans
+
+    def _fork_point(self, lease: Lease) -> None:
+        """Warm the session cache for a forkable point before the full run.
+
+        Failures here are deliberately swallowed: the subsequent
+        ``session.run`` simulates whatever the fork pass did not cache, so
+        the point still completes (just without the speedup).
+        """
+        groups = self._point_fork_groups(lease.campaign).get(lease.digest)
+        if not groups:
+            return
+        self._log(
+            "point #%d: forking %d run(s) from prefix checkpoint %s"
+            % (lease.index, len(groups), groups[0].checkpoint_digest[:12])
+        )
+        try:
+            self.session.run_fork_groups(groups)
+        except Exception as error:
+            self._log("point #%d: prefix fork failed (%s); running fully" % (lease.index, error))
 
     # -- execution -----------------------------------------------------------------------
 
@@ -246,6 +343,8 @@ class Worker:
         beater = threading.Thread(target=beat, daemon=True)
         beater.start()
         try:
+            if self.fork_prefixes and lease.prefix:
+                self._fork_point(lease)
             result = self.session.run(lease.scenario)
         except (KeyboardInterrupt, SystemExit):
             raise
