@@ -599,6 +599,8 @@ class CampaignRunner:
         to_run = pending if max_points is None else pending[:max_points]
         chunk_size = max(1, self.session.workers)
         fork_failures: Dict[str, PointExecutionError] = {}
+        digest = Campaign.digest_of(points)
+        self._publish_progress(campaign, digest, points, results, failed)
         try:
             if self.fork_prefixes and to_run:
                 fork_failures = self._run_fork_prefixes(points, to_run)
@@ -620,6 +622,7 @@ class CampaignRunner:
                     else:
                         results[point.index] = result
                 self._write_manifest(campaign, points, results, failed)
+                self._publish_progress(campaign, digest, points, results, failed)
         except KeyboardInterrupt:
             # Flush per-point state before propagating: whatever completed
             # is already checkpointed in the store, and the manifest now
@@ -639,6 +642,31 @@ class CampaignRunner:
     def resume(self, campaign: Campaign) -> ResultSet:
         """Finish whatever ``run`` (or a killed invocation) left pending."""
         return self.run(campaign)
+
+    def _publish_progress(
+        self,
+        campaign: Campaign,
+        digest: str,
+        points: Sequence[CampaignPoint],
+        results: Mapping[int, ExperimentResult],
+        failed: Mapping[int, str],
+    ) -> None:
+        """Publish a ``campaign_progress`` event on the session's bus, if any."""
+        bus = self.session.telemetry
+        if bus is None:
+            return
+        from ..telemetry.stream import publish_campaign_progress
+
+        complete = len(results)
+        failures = sum(1 for index in failed if index not in results)
+        counts = {
+            "complete": complete,
+            "failed": failures,
+            "pending": max(0, len(points) - complete - failures),
+        }
+        publish_campaign_progress(
+            bus, status_dict(campaign.name, digest, len(points), counts)
+        )
 
     # -- prefix forking ----------------------------------------------------------------
 

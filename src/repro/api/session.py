@@ -107,6 +107,9 @@ def execute_point(
     baseline: bool = False,
     registry: Optional[AdversaryRegistry] = None,
     trace_path: Optional[str] = None,
+    bus: Optional[object] = None,
+    control: Optional[object] = None,
+    run_id: Optional[str] = None,
 ) -> RunMetrics:
     """Build and run one world for ``scenario`` at ``seed``.
 
@@ -114,6 +117,14 @@ def execute_point(
     matching no-attack run the paper's ratio metrics are defined against.
     With ``trace_path`` the run is captured as a replay trace (see
     :mod:`repro.replay`); recording never perturbs the metrics.
+
+    ``bus`` (a :class:`~repro.telemetry.bus.EventBus`) attaches the
+    telemetry taps to the world before it runs, publishing poll /
+    admission / damage / window / fault events scoped to ``run_id``;
+    ``control`` gates execution for pause/step debugging.  Neither
+    perturbs the run.  Record mode owns the single per-site tracer
+    attribute, so a recorded run publishes no in-simulation events (its
+    lifecycle events still flow from the session).
     """
     if trace_path is not None:
         from ..replay import record_run
@@ -122,7 +133,16 @@ def execute_point(
             scenario, seed, trace_path, baseline=baseline, registry=registry
         )
     world = build_point_world(scenario, seed, baseline=baseline, registry=registry)
-    return world.run()
+    if bus is None:
+        return world.run(control=control)
+    from ..telemetry.stream import attach_world_bus
+
+    tracer = attach_world_bus(world, bus, run=run_id)
+    metrics = world.run(control=control)
+    # Dense topics batch inside the tracer; push the partial batches so
+    # subscribers see the run's tail.
+    tracer.flush()
+    return metrics
 
 
 def _execute_payload(payload: Tuple[str, int, bool, Optional[str]]) -> RunMetrics:
@@ -287,6 +307,18 @@ class Session:
     times with exponential backoff starting at ``retry_backoff`` seconds;
     a run that still fails surfaces as :class:`PointExecutionError` instead
     of hanging or poisoning the whole batch.
+
+    ``telemetry`` (an :class:`~repro.telemetry.bus.EventBus`) publishes
+    ``run_lifecycle`` events for every computed run, and — on the serial
+    path — attaches the in-simulation taps so poll/admission/damage/window/
+    fault events stream live.  Pool runs publish lifecycle events only
+    (worker processes cannot reach the parent's bus), and record mode owns
+    the tracer tap sites, so recorded runs skip the in-simulation topics
+    too.  ``control`` (a :class:`~repro.telemetry.stream.RunControl`)
+    gates serial runs for pause/step debugging; while a run is in flight
+    it is registered in :data:`~repro.telemetry.stream.RUN_CONTROLS` under
+    its run digest.  Neither perturbs results: observed runs are digest-
+    identical to unobserved ones.
     """
 
     workers: int = 1
@@ -295,6 +327,8 @@ class Session:
     timeout: Optional[float] = None
     retries: int = 1
     retry_backoff: float = 0.5
+    telemetry: Optional[object] = field(default=None, repr=False)
+    control: Optional[object] = field(default=None, repr=False)
     registry: AdversaryRegistry = field(default=DEFAULT_REGISTRY, repr=False)
     _run_cache: Dict[str, RunMetrics] = field(default_factory=dict, repr=False)
     _pool: Optional[concurrent.futures.ProcessPoolExecutor] = field(
@@ -624,13 +658,31 @@ class Session:
         KeyboardInterrupt and SystemExit always propagate.
         """
         outcomes: Dict[str, object] = {}
+        bus = self.telemetry
         use_pool = (
             self.workers > 1
             and len(round_tasks) > 1
             and self.registry is DEFAULT_REGISTRY
         )
         if not use_pool:
+            control = self.control
+            # Telemetry kwargs are passed only when live, so bus-less
+            # sessions call execute_point with its classic signature (which
+            # tests and instrumentation are free to monkeypatch).
+            extra: Dict[str, object] = {}
+            if bus is not None:
+                extra["bus"] = bus
+            if control is not None:
+                extra["control"] = control
             for task in round_tasks:
+                started = time.perf_counter()
+                self._publish_run(bus, task, "started")
+                if control is not None:
+                    from ..telemetry.stream import RUN_CONTROLS
+
+                    RUN_CONTROLS.register(task.digest, control)
+                if bus is not None:
+                    extra["run_id"] = task.digest
                 try:
                     outcomes[task.digest] = execute_point(
                         task.scenario,
@@ -638,11 +690,20 @@ class Session:
                         baseline=task.baseline,
                         registry=self.registry,
                         trace_path=trace_paths.get(task.digest),
+                        **extra,
                     )
                 except (KeyboardInterrupt, SystemExit):
                     raise
                 except Exception as exc:
                     outcomes[task.digest] = exc
+                finally:
+                    if control is not None:
+                        from ..telemetry.stream import RUN_CONTROLS
+
+                        RUN_CONTROLS.unregister(task.digest)
+                self._publish_run_outcome(
+                    bus, task, outcomes[task.digest], time.perf_counter() - started
+                )
             return outcomes
 
         pool = self._executor()
@@ -661,6 +722,9 @@ class Session:
             )
             for task in round_tasks
         ]
+        if bus is not None:
+            for task in round_tasks:
+                self._publish_run(bus, task, "started")
         abandon = False
         for task, future in submitted:
             if abandon:
@@ -688,9 +752,61 @@ class Session:
                 abandon = True
             except Exception as exc:
                 outcomes[task.digest] = exc
+            self._publish_run_outcome(bus, task, outcomes[task.digest], None)
         if abandon:
             self._abandon_pool()
         return outcomes
+
+    def _publish_run(self, bus: Optional[object], task: _Task, state: str) -> None:
+        if bus is None:
+            return
+        from ..telemetry.stream import publish_run_event
+
+        publish_run_event(
+            bus, state, task.digest, task.scenario.name, task.seed, task.baseline
+        )
+
+    def _publish_run_outcome(
+        self,
+        bus: Optional[object],
+        task: _Task,
+        outcome: object,
+        wall_s: Optional[float],
+    ) -> None:
+        """Publish the closing ``run_lifecycle`` event for one attempted run.
+
+        A cancelled pool run publishes nothing — it never consumed its time
+        budget and will re-announce itself when the retry round restarts it.
+        Pool runs carry no ``wall_s`` (futures resolve in submission order,
+        so per-run wall time is not observable from the parent); the worker
+        fleet reports point wall times through heartbeats instead.
+        """
+        if bus is None:
+            return
+        from ..telemetry.stream import publish_run_event
+
+        if isinstance(outcome, RunMetrics):
+            publish_run_event(
+                bus,
+                "finished",
+                task.digest,
+                task.scenario.name,
+                task.seed,
+                task.baseline,
+                wall_s=wall_s,
+                events=outcome.extras.get("events_processed"),
+            )
+        elif not isinstance(outcome, concurrent.futures.CancelledError):
+            publish_run_event(
+                bus,
+                "failed",
+                task.digest,
+                task.scenario.name,
+                task.seed,
+                task.baseline,
+                wall_s=wall_s,
+                error=str(outcome),
+            )
 
     def _abandon_pool(self) -> None:
         """Tear down the process pool, terminating hung workers."""

@@ -286,6 +286,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.seeds is not None:
         scenario.seeds = tuple(args.seeds)
     session = _session(args)
+    aggregator = None
+    if getattr(args, "metrics", False):
+        from .telemetry import EventBus, MetricsAggregator
+
+        session.telemetry = EventBus()
+        aggregator = MetricsAggregator(session.telemetry)
     if scenario.is_sweep:
         results = session.sweep(scenario)
     else:
@@ -298,6 +304,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     _print_rows(rows, list(RESULT_COLUMNS) + parameter_columns)
     if args.store:
         print("Results persisted under %s (digest-keyed JSON)." % args.store)
+    if aggregator is not None:
+        aggregator.pump()
+        print()
+        print(aggregator.registry.exposition(), end="")
     return 0
 
 
@@ -337,6 +347,51 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                         print("  " + problem)
                     return 1
                 print("all full-run digests match the committed baseline")
+        return 0
+    if args.telemetry_compare:
+        report = bench_module.run_telemetry_comparison(
+            names=names, quick=args.quick, repeats=args.repeats
+        )
+        print(bench_module.format_telemetry_report(report))
+        out = args.out
+        if out == "BENCH_PR2.json":
+            out = "BENCH_PR10.json"
+        if out:
+            bench_module.write_report(report, Path(out))
+            print("telemetry-overhead report written to %s" % out)
+        failures = [
+            name
+            for name, record in report.get("artifacts", {}).items()
+            if not record["digest_match"]
+        ]
+        if failures:
+            print(
+                "TELEMETRY PERTURBED RESULTS — bus-attached digests differ for: %s"
+                % ", ".join(failures)
+            )
+            return 1
+        max_overhead = getattr(args, "max_overhead", None)
+        total_overhead = report.get("total", {}).get("overhead_pct")
+        if (
+            max_overhead is not None
+            and total_overhead is not None
+            and total_overhead > max_overhead
+        ):
+            print(
+                "TELEMETRY OVERHEAD %.1f%% exceeds the %.1f%% budget"
+                % (total_overhead, max_overhead)
+            )
+            return 1
+        if args.check:
+            baseline = bench_module.load_baseline(Path(args.baseline))
+            if baseline is not None:
+                problems = bench_module.check_digests(report, baseline)
+                if problems:
+                    print("RESULT DIGEST DRIFT — experiment results changed:")
+                    for problem in problems:
+                        print("  " + problem)
+                    return 1
+                print("all bus-off digests match the committed baseline")
         return 0
     if args.record_compare:
         report = bench_module.run_record_comparison(names=names, quick=args.quick)
@@ -473,35 +528,110 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_campaign_status(args: argparse.Namespace) -> int:
-    campaign = _load_campaign(args.campaign)
-    runner = _campaign_runner(args)
-    status = runner.status(campaign)
-    if args.json:
-        import json as json_module
+def _render_status(payload: Dict[str, object]) -> str:
+    """Render one campaign status payload (the :func:`status_dict` schema).
 
-        print(json_module.dumps(status.to_dict(), indent=2, sort_keys=True))
-        return 0
-    print(status.summary())
-    done = {point.index for point in status.completed}
-    rows = []
-    for point in campaign.expand():
-        if point.index in done:
-            state = "complete"
-        elif point.index in status.failed:
-            state = "failed"
-        else:
-            state = "pending"
-        rows.append(
+    The one renderer behind ``campaign status``, ``--watch``, and
+    ``--connect`` — local manifests and the service's endpoint share the
+    payload schema, so they share the drawing too.
+    """
+    counts = payload.get("counts", {}) or {}
+    header = "%s: %d/%d points complete (campaign digest %s)" % (
+        payload.get("name", "?"),
+        counts.get("complete", 0),
+        payload.get("total", 0),
+        str(payload.get("digest", ""))[:12],
+    )
+    if counts.get("failed"):
+        header += ", %d failed" % counts["failed"]
+    if counts.get("leased"):
+        header += ", %d leased" % counts["leased"]
+    lines = [header]
+    points = payload.get("points") or []
+    if points:
+        columns = ["index", "state", "digest", "label"]
+        if any(point.get("worker") for point in points):
+            columns.append("worker")
+        rows = [
             {
-                "index": point.index,
-                "state": state,
-                "digest": point.digest[:12],
-                "label": point.label,
+                "index": point.get("index"),
+                "state": point.get("state"),
+                "digest": str(point.get("digest", ""))[:12],
+                "label": point.get("label", ""),
+                "worker": point.get("worker", ""),
             }
+            for point in points
+        ]
+        lines.append(
+            format_table(columns, [[row.get(col) for col in columns] for row in rows])
         )
-    _print_rows(rows, ["index", "state", "digest", "label"])
-    return 0
+    return "\n".join(lines)
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    campaign = _load_campaign(args.campaign)
+    connect = getattr(args, "connect", None)
+    if connect:
+        from .service.worker import HttpBrokerClient
+
+        client = HttpBrokerClient(connect)
+        digest = campaign.digest
+
+        def fetch() -> Dict[str, object]:
+            return client.request("GET", "/api/campaigns/%s" % digest)
+
+    else:
+        runner = _campaign_runner(args)
+
+        def fetch() -> Dict[str, object]:
+            return runner.status(campaign).to_dict()
+
+    payload = fetch()
+    if not getattr(args, "watch", False):
+        if args.json:
+            print(json_module.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(_render_status(payload))
+        return 0
+
+    # --watch: redraw until the campaign completes.  Locally (and as the
+    # remote fallback) this polls at --interval; against a service it also
+    # consumes the SSE stream, so a finishing point redraws immediately.
+    import threading
+
+    interval = max(0.2, float(getattr(args, "interval", 2.0)))
+    wake = threading.Event()
+    if connect:
+
+        def consume_sse() -> None:
+            import urllib.request
+
+            url = connect.rstrip("/") + "/api/events?topics=campaign_progress"
+            while True:
+                try:
+                    with urllib.request.urlopen(url, timeout=60) as response:
+                        for line in response:
+                            if line.startswith(b"data:"):
+                                wake.set()
+                except Exception:
+                    # Server gone or SSE unsupported; interval polling
+                    # still drives the redraw.
+                    return
+
+        threading.Thread(target=consume_sse, daemon=True).start()
+    try:
+        while True:
+            print("\x1b[2J\x1b[H", end="")
+            print(_render_status(payload))
+            if payload.get("complete"):
+                return 0
+            wake.wait(interval)
+            wake.clear()
+            payload = fetch()
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_campaign_resume(args: argparse.Namespace) -> int:
@@ -823,12 +953,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         lease_seconds=args.lease_seconds,
         on_event=print if args.verbose else None,
+        dashboard=bool(getattr(args, "dashboard", False)),
     )
     host, port = server.server_address[:2]
     print(
         "campaign execution service on http://%s:%d (store %s, lease %.0fs)"
         % (host, port, args.store, args.lease_seconds)
     )
+    if getattr(args, "dashboard", False):
+        print("dashboard: http://%s:%d/dashboard" % (host, port))
     print("submit:  repro-experiments campaign submit <campaign> --connect http://%s:%d" % (host, port))
     print("workers: repro-experiments worker --connect http://%s:%d" % (host, port))
     try:
@@ -1012,6 +1145,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="capture every computed run as a replay trace in the store "
         "(requires --store; see docs/REPLAY.md)",
     )
+    run_parser.add_argument(
+        "--metrics", action="store_true",
+        help="attach a telemetry bus to the run and print the aggregated "
+        "metrics exposition afterwards (see docs/TELEMETRY.md)",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     campaign_parser = subparsers.add_parser(
@@ -1063,6 +1201,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the machine-readable status payload (same schema as the "
         "service's status endpoint)",
+    )
+    campaign_status.add_argument(
+        "--watch",
+        action="store_true",
+        help="redraw the status table live until the campaign completes "
+        "(Ctrl-C exits)",
+    )
+    campaign_status.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh interval for --watch (default: 2s)",
+    )
+    campaign_status.add_argument(
+        "--connect",
+        default=None,
+        metavar="URL",
+        help="read status from a running execution service instead of a "
+        "local store; with --watch, its SSE stream triggers immediate "
+        "redraws",
     )
     campaign_status.set_defaults(func=_cmd_campaign_status)
 
@@ -1274,6 +1433,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--verbose", action="store_true", help="log requests and submissions"
     )
+    serve_parser.add_argument(
+        "--dashboard", action="store_true",
+        help="serve the live telemetry dashboard at /dashboard "
+        "(see docs/TELEMETRY.md)",
+    )
     serve_parser.set_defaults(func=_cmd_serve)
 
     worker_parser = subparsers.add_parser(
@@ -1378,6 +1542,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="measure replay-trace recording overhead: run each artifact with "
         "tracing off and on, compare wall/events-per-sec/RSS and digests "
         "(report defaults to BENCH_PR6.json)",
+    )
+    bench_parser.add_argument(
+        "--telemetry-compare", action="store_true",
+        help="measure live-telemetry overhead: run each artifact with the "
+        "event bus off and on (with a live subscriber), compare "
+        "wall/events-per-sec/digests (report defaults to BENCH_PR10.json)",
+    )
+    bench_parser.add_argument(
+        "--max-overhead", type=float, default=None, metavar="PCT",
+        help="with --telemetry-compare: fail if the total wall-clock "
+        "overhead exceeds this percentage",
+    )
+    bench_parser.add_argument(
+        "--repeats", type=int, default=5, metavar="N",
+        help="with --telemetry-compare: interleaved off/on passes per "
+        "artifact; the best wall per side is kept, so more repeats "
+        "squeeze host noise out of the overhead estimate",
     )
     bench_parser.add_argument(
         "--fork-compare", action="store_true",

@@ -349,11 +349,11 @@ class Peer(Node):
         admitted = result.admitted
         tracer = self.tracer
         if tracer is not None:
-            # Inlined "adm" record build (grammar: repro.replay.trace) —
-            # flood traffic runs through here, so it skips the
-            # Tracer.admission hop.
-            tracer.sink(
-                ["adm", now, self.peer_id, invitation.poller_id, result.decision.value]
+            # No record built here: flood traffic runs through this site,
+            # and the telemetry tracer aggregates instead of recording —
+            # only the replay Tracer.admission materializes the "adm" list.
+            tracer.admission(
+                now, self.peer_id, invitation.poller_id, result.decision.value
             )
         # charge_account directly (not self.charge): this path runs once per
         # considered invitation, flood traffic included.

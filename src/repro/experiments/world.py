@@ -99,12 +99,26 @@ class World:
         if self.fault_engine is not None:
             self.fault_engine.start()
 
-    def run(self, until: Optional[float] = None) -> RunMetrics:
-        """Run the world to ``until`` (default: the configured duration)."""
+    def run(
+        self, until: Optional[float] = None, control: Optional[object] = None
+    ) -> RunMetrics:
+        """Run the world to ``until`` (default: the configured duration).
+
+        ``control`` (a :class:`~repro.telemetry.stream.RunControl`, or any
+        object with a ``gate() -> int`` method) executes the run in bounded
+        event slices gated by the control — pause/step debugging.  Without
+        one, the uncontrolled hot loop runs the whole horizon; either way
+        events process in the identical order, so the metrics are
+        bit-identical.
+        """
         if not self.started:
             self.start()
         horizon = self.sim_config.duration if until is None else until
-        self.simulator.run(until=horizon)
+        if control is None:
+            self.simulator.run(until=horizon)
+        else:
+            while not self.simulator.run_slice(horizon, control.gate()):
+                pass
         self.completed = True
         return self.metrics(observation_window=horizon)
 

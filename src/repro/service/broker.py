@@ -26,6 +26,7 @@ bit-identical row digests to a single-process ``CampaignRunner`` run.
 
 from __future__ import annotations
 
+import json
 import sqlite3
 import time
 from dataclasses import dataclass
@@ -129,13 +130,19 @@ class Broker:
             " failed INTEGER NOT NULL DEFAULT 0,"
             " last_prefix TEXT)"
         )
-        # Databases created before prefix-affinity leasing lack the two
-        # columns above (CREATE TABLE IF NOT EXISTS never alters); add them
-        # in place.  "duplicate column name" on a current schema is the
-        # expected no-op.
+        store.execute(
+            "CREATE TABLE IF NOT EXISTS broker_controls ("
+            " digest TEXT PRIMARY KEY, paused INTEGER NOT NULL DEFAULT 0,"
+            " steps INTEGER NOT NULL DEFAULT 0, updated REAL NOT NULL)"
+        )
+        # Databases created before prefix-affinity leasing (or before
+        # worker telemetry) lack the columns above (CREATE TABLE IF NOT
+        # EXISTS never alters); add them in place.  "duplicate column name"
+        # on a current schema is the expected no-op.
         for table, column in (
             ("broker_points", "prefix TEXT"),
             ("broker_workers", "last_prefix TEXT"),
+            ("broker_workers", "telemetry TEXT"),
         ):
             try:
                 store.execute("ALTER TABLE %s ADD COLUMN %s" % (table, column))
@@ -346,11 +353,28 @@ class Broker:
             prefix=prefix,
         )
 
-    def heartbeat(self, worker: str, campaign: str, index: int) -> bool:
-        """Extend a live lease; ``False`` means the lease was lost."""
+    def heartbeat(
+        self,
+        worker: str,
+        campaign: str,
+        index: int,
+        telemetry: Optional[Dict[str, object]] = None,
+    ) -> bool:
+        """Extend a live lease; ``False`` means the lease was lost.
+
+        ``telemetry`` is an optional sampled-stats dict the worker forwards
+        with the beat (points completed, mean point wall time, consecutive
+        heartbeat failures, ...); it is persisted as-is on the worker row
+        and surfaced by :meth:`workers`.
+        """
         now = self.clock()
         with self.store.transaction() as conn:
             self._touch_worker(conn, worker, now)
+            if telemetry is not None:
+                conn.execute(
+                    "UPDATE broker_workers SET telemetry=? WHERE worker=?",
+                    (json.dumps(telemetry, sort_keys=True), worker),
+                )
             cursor = conn.execute(
                 "UPDATE broker_points SET lease_expires=?"
                 " WHERE campaign=? AND idx=? AND state='leased' AND worker=?"
@@ -358,6 +382,61 @@ class Broker:
                 (now + self.lease_seconds, campaign, index, worker, now),
             )
             return cursor.rowcount == 1
+
+    # -- run control ---------------------------------------------------------------------
+
+    def set_control(self, digest: str, action: str, events: int = 1) -> Dict[str, object]:
+        """Record a pause/resume/step request for the point ``digest``.
+
+        Controls are addressed by point (scenario) digest — the one name a
+        run has that is stable across lease stealing.  Workers pick the
+        state up in their heartbeat responses and apply it to the running
+        session's :class:`~repro.telemetry.stream.RunControl`.  ``step``
+        accumulates: the ``steps`` column is a monotone grant counter and
+        the worker executes the delta it has not yet honoured.
+        """
+        if action not in ("pause", "resume", "step"):
+            raise ValueError("unknown control action %r" % action)
+        now = self.clock()
+        with self.store.transaction() as conn:
+            conn.execute(
+                "INSERT INTO broker_controls (digest, paused, steps, updated)"
+                " VALUES (?, 0, 0, ?)"
+                " ON CONFLICT(digest) DO UPDATE SET updated=excluded.updated",
+                (digest, now),
+            )
+            if action == "pause":
+                conn.execute(
+                    "UPDATE broker_controls SET paused=1 WHERE digest=?", (digest,)
+                )
+            elif action == "resume":
+                conn.execute(
+                    "UPDATE broker_controls SET paused=0, steps=0 WHERE digest=?",
+                    (digest,),
+                )
+            else:
+                conn.execute(
+                    "UPDATE broker_controls SET paused=1, steps=steps+?"
+                    " WHERE digest=?",
+                    (max(1, int(events)), digest),
+                )
+        return self.control_for(digest) or {}
+
+    def control_for(self, digest: str) -> Optional[Dict[str, object]]:
+        """The control row for a point digest, or None when never touched."""
+        row = self.store.execute(
+            "SELECT paused, steps, updated FROM broker_controls WHERE digest=?",
+            (digest,),
+        ).fetchone()
+        if row is None:
+            return None
+        paused, steps, updated = row
+        return {
+            "digest": digest,
+            "paused": bool(paused),
+            "steps": int(steps),
+            "updated": updated,
+        }
 
     def complete(self, worker: str, campaign: str, index: int) -> bool:
         """Mark a leased point complete (current lease holder only).
@@ -492,10 +571,19 @@ class Broker:
         return payload
 
     def workers(self) -> List[Dict[str, object]]:
-        """Every worker the broker has seen, with lease and liveness info."""
+        """Every worker the broker has seen, with lease, liveness, and
+        throughput info.
+
+        ``heartbeat_age`` is seconds since the worker last talked to the
+        broker at all (lease, beat, or completion).  The throughput fields
+        — ``points_completed``, ``mean_point_wall_s``,
+        ``consecutive_heartbeat_failures`` — come from the sampled
+        telemetry dict the worker forwards in its heartbeats; they are
+        absent for workers that never sent one (pre-telemetry clients).
+        """
         now = self.clock()
         rows = self.store.execute(
-            "SELECT worker, started, last_seen, completed, failed"
+            "SELECT worker, started, last_seen, completed, failed, telemetry"
             " FROM broker_workers ORDER BY worker"
         ).fetchall()
         leases = {
@@ -506,15 +594,31 @@ class Broker:
             ).fetchall()
         }
         output = []
-        for worker, started, last_seen, completed, failed in rows:
+        for worker, started, last_seen, completed, failed, telemetry in rows:
             record: Dict[str, object] = {
                 "worker": worker,
                 "started": started,
                 "last_seen": last_seen,
                 "idle_seconds": max(0.0, now - last_seen),
+                "heartbeat_age": max(0.0, now - last_seen),
                 "completed": completed,
                 "failed": failed,
             }
+            if telemetry:
+                try:
+                    sample = json.loads(telemetry)
+                except ValueError:
+                    sample = None
+                if isinstance(sample, dict):
+                    for key in (
+                        "points_completed",
+                        "points_failed",
+                        "mean_point_wall_s",
+                        "last_point_wall_s",
+                        "consecutive_heartbeat_failures",
+                    ):
+                        if key in sample:
+                            record[key] = sample[key]
             lease = leases.get(worker)
             if lease is not None:
                 record["lease"] = {

@@ -14,12 +14,25 @@ rows, and drive workers (``repro-experiments worker --connect``):
 ``GET  /api/campaigns/<digest>/spec``        the submitted campaign's ``to_dict`` payload
 ``GET  /api/campaigns/<digest>/rows``        exported figure rows + rows digest
 ``POST /api/campaigns/<digest>/requeue``     failed points back to pending
-``GET  /api/workers``                        worker liveness and current leases
+``GET  /api/workers``                        worker liveness, leases, and throughput
 ``POST /api/lease``                          claim a point  ``{"worker": ...}``
-``POST /api/heartbeat``                      extend a lease
+``POST /api/heartbeat``                      extend a lease (optionally with telemetry)
 ``POST /api/complete``                       persist result + runs, close the lease
 ``POST /api/fail``                           close the lease as failed
+``POST /api/runs/<digest>/pause``            pause the run for a point digest
+``POST /api/runs/<digest>/resume``           resume it
+``POST /api/runs/<digest>/step``             grant N events  ``{"events": N}``
+``GET  /api/metrics``                        Prometheus-style text exposition
+``GET  /api/events``                         live event stream (Server-Sent Events)
+``GET  /dashboard``                          static live dashboard (``--dashboard``)
 ===========================================  ==========================================
+
+The last three are not JSON routes: ``/api/metrics`` is ``text/plain``,
+``/api/events`` holds the connection open and writes ``text/event-stream``
+frames from the service's in-process :class:`~repro.telemetry.EventBus`
+(``?topics=a,b`` filters, ``?limit=N`` closes after N events — used by CI
+and ``campaign status --connect``), and ``/dashboard`` serves the static
+HTML page.  See docs/TELEMETRY.md for the SSE contract.
 
 Request and response bodies are JSON objects.  Errors come back as
 ``{"error": ...}`` with 400 (bad request), 404 (unknown campaign/route),
@@ -37,12 +50,15 @@ from __future__ import annotations
 import json
 import re
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from ..api.campaign import Campaign, CampaignRunner
 from ..api.session import Session
+from ..telemetry import EventBus, MetricsAggregator, dashboard_html
+from ..telemetry.stream import RUN_CONTROLS, publish_campaign_progress
 from .broker import Broker
 from .sqlite_store import SQLiteResultStore
 
@@ -67,14 +83,49 @@ class ExperimentService:
         store: SQLiteResultStore,
         lease_seconds: float = 60.0,
         on_event: Optional[Callable[[str], None]] = None,
+        dashboard: bool = False,
     ) -> None:
         self.store = store
         self.broker = Broker(store, lease_seconds=lease_seconds)
         self.on_event = on_event
+        self.dashboard = dashboard
+        #: the service's live telemetry: every broker-visible state change
+        #: is published here, ``/api/events`` streams it, and the
+        #: aggregator folds it into ``/api/metrics``.
+        self.bus = EventBus()
+        self.aggregator = MetricsAggregator(self.bus)
+        self._lease_latency = self.aggregator.registry.histogram(
+            "repro_worker_lease_latency_seconds",
+            "Wall seconds a worker's lease claim spent inside the broker",
+        )
 
     def _log(self, message: str) -> None:
         if self.on_event is not None:
             self.on_event(message)
+
+    # -- telemetry -----------------------------------------------------------------------
+
+    def metrics_text(self) -> str:
+        """Current ``/api/metrics`` body (pumps the aggregator first)."""
+        self.aggregator.pump()
+        return self.aggregator.registry.exposition()
+
+    def _publish_progress(self, digest: str) -> None:
+        if not self.bus.has_subscribers("campaign_progress"):
+            return
+        try:
+            status = self.broker.status(digest, include_points=False)
+        except KeyError:
+            return
+        publish_campaign_progress(self.bus, status)
+
+    def _publish_worker(
+        self, worker: str, event: str, telemetry: Optional[Dict[str, object]] = None
+    ) -> None:
+        payload: Dict[str, object] = {"worker": worker, "event": event}
+        if isinstance(telemetry, dict):
+            payload["telemetry"] = telemetry
+        self.bus.publish("worker_liveness", payload)
 
     # -- dispatch ------------------------------------------------------------------------
 
@@ -125,6 +176,7 @@ class ExperimentService:
                     "submitted %s (%s): %d points"
                     % (campaign.name, str(status["digest"])[:12], status["total"])
                 )
+                publish_campaign_progress(self.bus, status)
                 return 200, status
 
         if len(route) >= 2 and route[0] == "campaigns":
@@ -147,25 +199,41 @@ class ExperimentService:
             return 200, {"workers": self.broker.workers()}
 
         if route == ["lease"] and method == "POST":
-            lease = self.broker.lease(
-                self._field(body, "worker"), campaign=body.get("campaign")
-            )
+            worker = self._field(body, "worker")
+            started = time.perf_counter()
+            lease = self.broker.lease(worker, campaign=body.get("campaign"))
+            self._lease_latency.observe(time.perf_counter() - started)
+            self._publish_worker(worker, "lease")
+            if lease is not None:
+                self._publish_progress(lease.campaign)
             return 200, {
                 "lease": lease.to_dict() if lease is not None else None,
                 "outstanding": self.broker.outstanding(body.get("campaign")),
             }
 
         if route == ["heartbeat"] and method == "POST":
-            return 200, {
-                "ok": self.broker.heartbeat(
-                    self._field(body, "worker"),
-                    self._field(body, "campaign"),
-                    int(self._field(body, "index")),
-                )
-            }
+            worker = self._field(body, "worker")
+            telemetry = body.get("telemetry")
+            if telemetry is not None and not isinstance(telemetry, dict):
+                raise ApiError(400, "telemetry must be a JSON object")
+            ok = self.broker.heartbeat(
+                worker,
+                self._field(body, "campaign"),
+                int(self._field(body, "index")),
+                telemetry=telemetry,
+            )
+            self._publish_worker(worker, "heartbeat", telemetry)
+            response: Dict[str, object] = {"ok": ok}
+            digest = body.get("digest")
+            if digest:
+                response["control"] = self.broker.control_for(str(digest))
+            return 200, response
 
         if route == ["complete"] and method == "POST":
-            return 200, {"ok": self._complete(body)}
+            ok = self._complete(body)
+            self._publish_worker(self._field(body, "worker"), "complete")
+            self._publish_progress(self._field(body, "campaign"))
+            return 200, {"ok": ok}
 
         if route == ["fail"] and method == "POST":
             ok = self.broker.fail(
@@ -174,9 +242,38 @@ class ExperimentService:
                 int(self._field(body, "index")),
                 str(body.get("error") or "worker reported failure"),
             )
+            self._publish_worker(self._field(body, "worker"), "fail")
+            self._publish_progress(self._field(body, "campaign"))
             return 200, {"ok": ok}
 
+        if len(route) == 3 and route[0] == "runs" and method == "POST":
+            return 200, self._control(self._digest(route[1]), route[2], body)
+
         raise ApiError(404, "unknown route")
+
+    def _control(
+        self, digest: str, action: str, body: Dict[str, object]
+    ) -> Dict[str, object]:
+        """Pause/resume/step the run for a point digest.
+
+        Two delivery paths, applied together: a session running *in this
+        process* (registered in :data:`~repro.telemetry.stream.RUN_CONTROLS`)
+        is acted on directly; the broker's control table carries the request
+        to fleet workers in their next heartbeat response.
+        """
+        if action not in ("pause", "resume", "step"):
+            raise ApiError(404, "unknown run action %r" % action)
+        events = int(body.get("events", 1) or 1)
+        local = RUN_CONTROLS.get(digest)
+        if local is not None:
+            if action == "pause":
+                local.pause()
+            elif action == "resume":
+                local.resume()
+            else:
+                local.step(events)
+        control = self.broker.set_control(digest, action, events=events)
+        return {"digest": digest, "action": action, "control": control, "local": local is not None}
 
     # -- handlers ------------------------------------------------------------------------
 
@@ -254,8 +351,102 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
+    def _respond_raw(self, status: int, content_type: str, data: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        parsed = urlparse(self.path)
+        service = self.server.service  # type: ignore[attr-defined]
+        if parsed.path == "/api/metrics":
+            self._respond_raw(
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                service.metrics_text().encode("utf-8"),
+            )
+            return
+        if parsed.path == "/api/events":
+            self._stream_events(service, parse_qs(parsed.query))
+            return
+        if parsed.path in ("/dashboard", "/dashboard/"):
+            if not service.dashboard:
+                self._respond_raw(
+                    404,
+                    "application/json",
+                    b'{"error": "dashboard disabled; restart serve with --dashboard"}',
+                )
+            else:
+                self._respond_raw(
+                    200,
+                    "text/html; charset=utf-8",
+                    dashboard_html().encode("utf-8"),
+                )
+            return
         self._respond(None)
+
+    def _stream_events(self, service: ExperimentService, query: Dict[str, list]) -> None:
+        """``GET /api/events``: Server-Sent Events from the service bus.
+
+        The connection stays open (``Connection: close``, no
+        Content-Length) and each bus event becomes one ``id``/``event``/
+        ``data`` frame; a comment keepalive goes out during quiet spells so
+        proxies and clients see a live stream.  ``?limit=N`` ends the
+        stream after N events (tests and CI), ``?topics=a,b`` subscribes to
+        a subset.
+        """
+        topics_raw = query.get("topics", [""])[0]
+        topic_list = [t for t in topics_raw.split(",") if t] or None
+        try:
+            limit = int(query.get("limit", ["0"])[0] or 0)
+        except ValueError:
+            limit = 0
+        try:
+            subscription = service.bus.subscribe(topics=topic_list)
+        except ValueError as error:
+            data = json.dumps({"error": str(error)}).encode("utf-8")
+            self._respond_raw(400, "application/json", data)
+            return
+        self.close_connection = True
+        try:
+            self.send_response(200)
+            self.send_header("Content-Type", "text/event-stream")
+            self.send_header("Cache-Control", "no-cache")
+            self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(b": stream open\n\n")
+            self.wfile.flush()
+            sent = 0
+            quiet = 0.0
+            while True:
+                events = subscription.drain()
+                if not events:
+                    time.sleep(0.2)
+                    quiet += 0.2
+                    if quiet >= 10.0:
+                        self.wfile.write(b": keepalive\n\n")
+                        self.wfile.flush()
+                        quiet = 0.0
+                    continue
+                quiet = 0.0
+                for event in events:
+                    frame = "id: %d\nevent: %s\ndata: %s\n\n" % (
+                        event["seq"],
+                        event["topic"],
+                        json.dumps(event, sort_keys=True),
+                    )
+                    self.wfile.write(frame.encode("utf-8"))
+                    sent += 1
+                    if limit and sent >= limit:
+                        self.wfile.flush()
+                        return
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; normal end of an SSE stream
+        finally:
+            subscription.close()
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         length = int(self.headers.get("Content-Length") or 0)
@@ -288,17 +479,19 @@ def make_server(
     port: int = 8642,
     lease_seconds: float = 60.0,
     on_event: Optional[Callable[[str], None]] = None,
+    dashboard: bool = False,
 ) -> ThreadingHTTPServer:
     """Build (but do not start) the service's HTTP server.
 
     The returned server carries its :class:`ExperimentService` as
     ``server.service``; call ``serve_forever()`` to run it, or start it on
     a daemon thread with :func:`start_server` (tests do the latter).
+    ``dashboard`` enables the static ``/dashboard`` page.
     """
     server = ThreadingHTTPServer((host, port), _Handler)
     server.daemon_threads = True
     server.service = ExperimentService(  # type: ignore[attr-defined]
-        store, lease_seconds=lease_seconds, on_event=on_event
+        store, lease_seconds=lease_seconds, on_event=on_event, dashboard=dashboard
     )
     return server
 

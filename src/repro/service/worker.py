@@ -25,6 +25,7 @@ digests match a single-process run bit for bit.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import socket
 import threading
@@ -32,6 +33,8 @@ import time
 import urllib.error
 import urllib.request
 from typing import Callable, Dict, List, Optional, Tuple
+
+LOGGER = logging.getLogger(__name__)
 
 from ..api.campaign import Campaign, plan_fork_groups
 from ..api.scenario import Scenario
@@ -71,8 +74,13 @@ class LocalBrokerClient:
     def get_campaign(self, digest: str) -> Optional[Campaign]:
         return self.broker.campaign(digest)
 
-    def heartbeat(self, lease: Lease) -> bool:
-        return self.broker.heartbeat(lease.worker, lease.campaign, lease.index)
+    def heartbeat(
+        self, lease: Lease, telemetry: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        ok = self.broker.heartbeat(
+            lease.worker, lease.campaign, lease.index, telemetry=telemetry
+        )
+        return {"ok": ok, "control": self.broker.control_for(lease.digest)}
 
     def complete(
         self,
@@ -149,13 +157,18 @@ class HttpBrokerClient:
         payload = response.get("campaign")
         return Campaign.from_dict(payload) if payload else None
 
-    def heartbeat(self, lease: Lease) -> bool:
-        response = self.request(
-            "POST",
-            "/api/heartbeat",
-            {"worker": lease.worker, "campaign": lease.campaign, "index": lease.index},
-        )
-        return bool(response.get("ok"))
+    def heartbeat(
+        self, lease: Lease, telemetry: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "worker": lease.worker,
+            "campaign": lease.campaign,
+            "index": lease.index,
+            "digest": lease.digest,
+        }
+        if telemetry is not None:
+            payload["telemetry"] = telemetry
+        return self.request("POST", "/api/heartbeat", payload)
 
     def complete(
         self,
@@ -240,6 +253,22 @@ class Worker:
         self.completed = 0
         self.failed = 0
         self.stolen = 0
+        #: total and consecutive heartbeat delivery failures (satellite of
+        #: the telemetry PR: the beat thread used to swallow these silently)
+        self.heartbeat_failures = 0
+        self.consecutive_heartbeat_failures = 0
+        #: wall-clock seconds of completed point runs, for throughput stats
+        self._point_walls: List[float] = []
+        #: cumulative ``steps`` grants from the broker already honoured
+        self._control_steps_applied = 0
+        # Workers always run under a RunControl so a pause/step request
+        # arriving mid-run (via heartbeat responses) can take effect.  The
+        # controlled slice loop processes events in the identical order, so
+        # result digests are unchanged.
+        if self.session.control is None:
+            from ..telemetry.stream import RunControl
+
+            self.session.control = RunControl()
         #: campaign digest -> point digest -> that point's per-seed groups
         self._fork_plans: Dict[str, Dict[str, List[ForkGroup]]] = {}
 
@@ -320,6 +349,49 @@ class Worker:
         except Exception as error:
             self._log("point #%d: prefix fork failed (%s); running fully" % (lease.index, error))
 
+    # -- telemetry and control -----------------------------------------------------------
+
+    def telemetry_sample(self) -> Dict[str, object]:
+        """The sampled stats dict forwarded with every heartbeat.
+
+        The broker persists it on the worker row, so ``/api/workers`` (and
+        the dashboard's fleet table) can show per-worker throughput without
+        a second reporting channel.
+        """
+        sample: Dict[str, object] = {
+            "points_completed": self.completed,
+            "points_failed": self.failed,
+            "consecutive_heartbeat_failures": self.consecutive_heartbeat_failures,
+        }
+        if self._point_walls:
+            sample["mean_point_wall_s"] = sum(self._point_walls) / len(
+                self._point_walls
+            )
+            sample["last_point_wall_s"] = self._point_walls[-1]
+        return sample
+
+    def _apply_control(self, control: object) -> None:
+        """Honour a broker control row against the running session.
+
+        ``steps`` is a monotone grant counter; the worker executes only the
+        delta it has not yet honoured, so repeated heartbeats carrying the
+        same row are no-ops.  A ``resume`` (paused false) resets the
+        counter on both sides.
+        """
+        ctl = self.session.control
+        if ctl is None or not isinstance(control, dict):
+            return
+        if control.get("paused"):
+            steps = int(control.get("steps", 0))
+            delta = steps - self._control_steps_applied
+            ctl.pause()
+            if delta > 0:
+                self._control_steps_applied = steps
+                ctl.step(delta)
+        else:
+            self._control_steps_applied = 0
+            ctl.resume()
+
     # -- execution -----------------------------------------------------------------------
 
     def run_point(self, lease: Lease) -> bool:
@@ -330,18 +402,42 @@ class Worker:
         def beat() -> None:
             while not stop.wait(interval):
                 try:
-                    if not self.client.heartbeat(lease):
-                        # Lease lost (expired and re-leased).  Keep running:
-                        # the results are digest-keyed, so finishing wastes
-                        # nothing, and aborting mid-simulation gains nothing.
-                        self._log(
-                            "lease on point #%d lost; finishing anyway" % lease.index
-                        )
-                except Exception:
-                    pass  # transient broker trouble; the next beat retries
+                    response = self.client.heartbeat(
+                        lease, telemetry=self.telemetry_sample()
+                    )
+                except Exception as error:
+                    # Transient broker trouble; the next beat retries.  But
+                    # never silently: a worker that cannot reach its broker
+                    # is about to lose the lease, and the operator should
+                    # see that coming.
+                    self.heartbeat_failures += 1
+                    self.consecutive_heartbeat_failures += 1
+                    LOGGER.warning(
+                        "worker %s: heartbeat for point #%d failed"
+                        " (%s; consecutive failures: %d)",
+                        self.worker_id,
+                        lease.index,
+                        error,
+                        self.consecutive_heartbeat_failures,
+                    )
+                    self._log(
+                        "heartbeat failed (%s); consecutive failures: %d"
+                        % (error, self.consecutive_heartbeat_failures)
+                    )
+                    continue
+                self.consecutive_heartbeat_failures = 0
+                if not response.get("ok"):
+                    # Lease lost (expired and re-leased).  Keep running:
+                    # the results are digest-keyed, so finishing wastes
+                    # nothing, and aborting mid-simulation gains nothing.
+                    self._log(
+                        "lease on point #%d lost; finishing anyway" % lease.index
+                    )
+                self._apply_control(response.get("control"))
 
         beater = threading.Thread(target=beat, daemon=True)
         beater.start()
+        started = time.perf_counter()
         try:
             if self.fork_prefixes and lease.prefix:
                 self._fork_point(lease)
@@ -357,10 +453,12 @@ class Worker:
             return False
         stop.set()
         beater.join()
+        wall = time.perf_counter() - started
         accepted = self.client.complete(
             lease, result.to_dict(), run_payloads(lease.scenario, result)
         )
         if accepted:
+            self._point_walls.append(wall)
             self.completed += 1
             self._log("point #%d complete (%s)" % (lease.index, lease.digest[:12]))
         else:

@@ -402,6 +402,64 @@ class Simulator:
             self._running = False
             self.events_processed += processed
 
+    def run_slice(self, until: float, max_events: int) -> bool:
+        """Process at most ``max_events`` due events; True when the horizon is done.
+
+        The sliced loop is a separate method (not a parameter on
+        :meth:`run`) so the uncontrolled hot loop stays branch-free.  It
+        processes the identical event sequence in the identical order —
+        only the return points differ — so a run driven entirely through
+        slices (the pause/step path, see :mod:`repro.telemetry.stream`)
+        produces bit-identical metrics to one :meth:`run` call.  A
+        cancelled entry at the head does not count against the budget; if
+        the budget expires on one, the next slice consumes it, so progress
+        is always made.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        if until < self._now:
+            raise SimulationError("cannot run backwards in time")
+        self._running = True
+        self._stopped = False
+        queue = self._queue
+        heappop = heapq.heappop
+        processed = 0
+        budget = max(1, int(max_events))
+        try:
+            while queue and not self._stopped:
+                entry = queue[0]
+                if entry[_TIME] > until:
+                    break
+                heappop(queue)
+                callback = entry[_CALLBACK]
+                if callback is None:
+                    self._cancelled_in_queue -= 1
+                    handle = entry[_HANDLE]
+                    if handle is not None:
+                        handle._entry = None
+                    continue
+                self._now = entry[_TIME]
+                handle = entry[_HANDLE]
+                if handle is not None:
+                    args = entry[_ARGS]
+                    entry[_CALLBACK] = None
+                    entry[_ARGS] = ()
+                    handle._entry = None
+                    processed += 1
+                    callback(*args)
+                else:
+                    processed += 1
+                    callback(*entry[_ARGS])
+                if processed >= budget:
+                    break
+            done = self._stopped or not queue or queue[0][_TIME] > until
+            if done:
+                self._now = max(self._now, until)
+            return done
+        finally:
+            self._running = False
+            self.events_processed += processed
+
     def step(self) -> bool:
         """Process a single pending event.  Returns False if none remain."""
         queue = self._queue

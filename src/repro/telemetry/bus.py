@@ -1,0 +1,204 @@
+"""In-process event bus: typed topics, bounded rings, accounted drops.
+
+The bus is the spine of the live-observability layer (docs/TELEMETRY.md).
+Publishers — simulation tap sites, :class:`~repro.api.session.Session`,
+:class:`~repro.api.campaign.CampaignRunner`, and the execution service —
+push JSON-native payloads onto one of the :data:`TOPICS`; subscribers pull
+them out of per-subscription ring buffers at their own pace.
+
+Two disciplines keep the bus safe to wire into the simulation hot path:
+
+* **Near-zero cost when idle.**  ``publish`` on a topic nobody subscribes
+  to is a dict lookup and a falsy check — no event object is built, no
+  lock is taken.  The world-side tap sites themselves stay the PR 6
+  ``None``-guarded attribute loads (see :mod:`repro.telemetry.stream`), so
+  an unobserved run pays nothing at all.
+* **Lossy but accounted backpressure.**  A subscription's ring is bounded;
+  when a slow consumer falls behind, the *oldest* events are dropped and
+  the subscription's ``dropped`` counter says exactly how many.  Publishing
+  never blocks and never slows a faster subscriber — each subscription has
+  its own ring and its own lock.
+
+Events are dicts — ``{"seq", "topic", "data"}`` plus ``"run"`` when the
+publisher scoped the event to a run digest — built exclusively from
+JSON-native values so they serialize straight onto the SSE wire.
+Internally the rings hold ``(seq, topic, run, data)`` tuples and
+:meth:`Subscription.drain` materializes the dicts, so an event a slow
+consumer drops never pays for dict construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+#: The typed topic catalog.  Publishing or subscribing outside it raises —
+#: a misspelled topic should fail loudly, not silently drop telemetry.
+TOPICS: Tuple[str, ...] = (
+    "poll",
+    "admission",
+    "damage",
+    "adversary_window",
+    "fault",
+    "run_lifecycle",
+    "campaign_progress",
+    "worker_liveness",
+)
+
+_TOPIC_SET = frozenset(TOPICS)
+
+#: Default ring capacity per subscription.
+DEFAULT_CAPACITY = 4096
+
+
+class Subscription:
+    """One subscriber's bounded ring buffer over a set of topics.
+
+    ``dropped`` counts events evicted because the consumer fell behind
+    (drop-oldest); ``delivered`` counts every event pushed, dropped or not,
+    so ``delivered - dropped - pending()`` is what :meth:`drain` has handed
+    out.  The ring is a ``deque(maxlen=capacity)`` — appends are atomic in
+    CPython and evict the oldest entry themselves — so the publish path
+    takes **no lock**; a publisher touching a slow subscription never waits
+    on its consumer.  The per-subscription lock only serializes consumers
+    (:meth:`drain`).
+    """
+
+    __slots__ = ("topics", "capacity", "delivered", "closed", "_ring", "_drained", "_lock", "_bus")
+
+    def __init__(self, bus: "EventBus", topics: Iterable[str], capacity: int) -> None:
+        self.topics = frozenset(topics)
+        self.capacity = max(1, int(capacity))
+        self.delivered = 0
+        self.closed = False
+        self._ring: Deque[Tuple[int, str, Optional[str], object]] = deque(
+            maxlen=self.capacity
+        )
+        self._drained = 0
+        self._lock = threading.Lock()
+        self._bus = bus
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted because this consumer fell behind (drop-oldest)."""
+        return max(0, self.delivered - self._drained - len(self._ring))
+
+    def pending(self) -> int:
+        """Events currently waiting in the ring."""
+        return len(self._ring)
+
+    def drain(self, max_events: Optional[int] = None) -> List[Dict[str, object]]:
+        """Pop up to ``max_events`` (default: all) buffered events, oldest first."""
+        raw: List[Tuple[int, str, Optional[str], object]] = []
+        with self._lock:
+            ring = self._ring
+            limit = len(ring) if max_events is None else max(0, int(max_events))
+            while limit > 0 and ring:
+                raw.append(ring.popleft())
+                limit -= 1
+            self._drained += len(raw)
+        events: List[Dict[str, object]] = []
+        for sequence, topic, run, data in raw:
+            event: Dict[str, object] = {"seq": sequence, "topic": topic, "data": data}
+            if run is not None:
+                event["run"] = run
+            events.append(event)
+        return events
+
+    def close(self) -> None:
+        """Detach from the bus; buffered events remain drainable."""
+        self._bus.unsubscribe(self)
+
+
+class EventBus:
+    """Publish/subscribe hub over the typed :data:`TOPICS`.
+
+    Thread-safe: the subscriber index is swapped atomically (copy-on-write
+    tuples) so ``publish`` reads it without the bus lock, and each ring has
+    its own lock.  Sequence numbers are global to the bus, so an SSE
+    consumer can detect gaps across topics.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: topic -> tuple of subscriptions; tuples are replaced, never
+        #: mutated, so publish can iterate a stale-but-consistent snapshot.
+        self._subscribers: Dict[str, Tuple[Subscription, ...]] = {}
+        #: Atomic sequence source (itertools.count.__next__ holds the GIL
+        #: for the whole increment) — publish takes no lock.
+        self._counter = itertools.count(1)
+
+    @property
+    def published(self) -> int:
+        """Events assigned a sequence number (delivered to >=1 ring).
+
+        Derived by peeking the sequence counter (``__reduce__`` exposes the
+        next value without consuming it), so the hot publish paths carry no
+        separate stats increment.
+        """
+        return self._counter.__reduce__()[1][0] - 1
+
+    @staticmethod
+    def _check_topics(topics: Iterable[str]) -> Tuple[str, ...]:
+        selected = tuple(topics)
+        unknown = [topic for topic in selected if topic not in _TOPIC_SET]
+        if unknown:
+            raise ValueError(
+                "unknown topic(s) %s (known: %s)"
+                % (", ".join(sorted(unknown)), ", ".join(TOPICS))
+            )
+        return selected
+
+    def subscribe(
+        self,
+        topics: Optional[Iterable[str]] = None,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> Subscription:
+        """Attach a ring-buffered subscription to ``topics`` (default: all)."""
+        selected = TOPICS if topics is None else self._check_topics(topics)
+        subscription = Subscription(self, selected, capacity)
+        with self._lock:
+            for topic in selected:
+                self._subscribers[topic] = self._subscribers.get(topic, ()) + (
+                    subscription,
+                )
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        with self._lock:
+            if subscription.closed:
+                return
+            subscription.closed = True
+            for topic in subscription.topics:
+                current = self._subscribers.get(topic, ())
+                remaining = tuple(sub for sub in current if sub is not subscription)
+                if remaining:
+                    self._subscribers[topic] = remaining
+                else:
+                    self._subscribers.pop(topic, None)
+
+    def has_subscribers(self, topic: str) -> bool:
+        return bool(self._subscribers.get(topic))
+
+    def publish(
+        self, topic: str, data: object, run: Optional[str] = None
+    ) -> int:
+        """Deliver one event; returns how many subscriptions received it.
+
+        With no subscribers on ``topic`` this is a dict lookup and a falsy
+        check — the idle-bus fast path the simulation taps rely on.
+        """
+        subscribers = self._subscribers.get(topic)
+        if not subscribers:
+            if topic not in _TOPIC_SET:
+                raise ValueError(
+                    "unknown topic %r (known: %s)" % (topic, ", ".join(TOPICS))
+                )
+            return 0
+        event = (next(self._counter), topic, run, data)
+        for subscription in subscribers:
+            subscription._ring.append(event)
+            subscription.delivered += 1
+        return len(subscribers)

@@ -1,0 +1,101 @@
+"""Event-bus semantics: typed topics, ring backpressure, accounted drops."""
+
+import pytest
+
+from repro.telemetry import DEFAULT_CAPACITY, TOPICS, EventBus
+
+
+class TestTopics:
+    def test_catalog_is_the_documented_eight(self):
+        assert TOPICS == (
+            "poll",
+            "admission",
+            "damage",
+            "adversary_window",
+            "fault",
+            "run_lifecycle",
+            "campaign_progress",
+            "worker_liveness",
+        )
+
+    def test_subscribe_unknown_topic_raises(self):
+        with pytest.raises(ValueError, match="unknown topic"):
+            EventBus().subscribe(topics=["polls"])
+
+    def test_publish_unknown_topic_raises(self):
+        with pytest.raises(ValueError, match="unknown topic"):
+            EventBus().publish("no_such_topic", {})
+
+    def test_publish_without_subscribers_is_a_cheap_no_op(self):
+        bus = EventBus()
+        assert bus.publish("poll", ["poll", 0.0]) == 0
+        assert bus.published == 0  # the fast path never built an event
+
+
+class TestDelivery:
+    def test_events_carry_seq_topic_data_and_optional_run(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        bus.publish("poll", ["poll", 1.0], run="abc123")
+        bus.publish("fault", ["fault", 2.0, "peer-0001", "crash"])
+        first, second = sub.drain()
+        assert first == {"seq": 1, "topic": "poll", "data": ["poll", 1.0], "run": "abc123"}
+        assert second["seq"] == 2
+        assert "run" not in second
+
+    def test_topic_filter_only_delivers_selected_topics(self):
+        bus = EventBus()
+        sub = bus.subscribe(topics=["fault"])
+        bus.publish("fault", ["fault", 0.0, "x", "crash"])
+        bus.publish("run_lifecycle", {"state": "started"})
+        events = sub.drain()
+        assert [event["topic"] for event in events] == ["fault"]
+
+    def test_drain_max_events_pops_oldest_first(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        for index in range(5):
+            bus.publish("damage", ["dmg", float(index)])
+        first = sub.drain(max_events=2)
+        assert [event["seq"] for event in first] == [1, 2]
+        assert sub.pending() == 3
+
+    def test_close_detaches_subscription(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        sub.close()
+        assert bus.publish("poll", ["poll"]) == 0
+        assert not bus.has_subscribers("poll")
+        sub.close()  # idempotent
+
+
+class TestBackpressure:
+    def test_slow_subscriber_overflows_ring_and_counts_drops(self):
+        bus = EventBus()
+        slow = bus.subscribe(capacity=4)
+        for index in range(10):
+            bus.publish("damage", ["dmg", float(index)])
+        assert slow.dropped == 6
+        assert slow.delivered == 10
+        # Drop-oldest: the survivors are the newest four.
+        assert [event["seq"] for event in slow.drain()] == [7, 8, 9, 10]
+
+    def test_fast_subscriber_is_unaffected_by_a_slow_one(self):
+        bus = EventBus()
+        slow = bus.subscribe(capacity=2)
+        fast = bus.subscribe(capacity=1024)
+        for index in range(50):
+            bus.publish("damage", ["dmg", float(index)])
+        assert slow.dropped == 48
+        assert fast.dropped == 0
+        assert len(fast.drain()) == 50
+
+    def test_publisher_never_blocks_on_a_full_ring(self):
+        bus = EventBus()
+        sub = bus.subscribe(capacity=1)
+        for index in range(100):
+            assert bus.publish("poll", ["poll", float(index)]) == 1
+        assert sub.dropped == 99
+
+    def test_default_capacity(self):
+        assert EventBus().subscribe().capacity == DEFAULT_CAPACITY

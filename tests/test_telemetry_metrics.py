@@ -1,0 +1,179 @@
+"""Metric primitives, text exposition, and bus-fed aggregation."""
+
+import pytest
+
+from repro.telemetry import (
+    Counter,
+    EventBus,
+    Histogram,
+    MetricsAggregator,
+    MetricsRegistry,
+)
+
+
+class TestPrimitives:
+    def test_counter_goes_up_and_rejects_negatives(self):
+        counter = Counter("c_total")
+        counter.inc()
+        counter.inc(2.0, kind="x")
+        assert counter.value() == 1.0
+        assert counter.value(kind="x") == 2.0
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_gauge_sets_and_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(5.0)
+        gauge.inc(-2.0)
+        assert gauge.value() == 3.0
+
+    def test_histogram_buckets_sum_count(self):
+        histogram = Histogram("h_seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.count() == 4
+        assert histogram.sum() == pytest.approx(55.55)
+        lines = histogram.exposition()
+        assert 'h_seconds_bucket{le="0.1"} 1' in lines
+        assert 'h_seconds_bucket{le="1"} 2' in lines
+        assert 'h_seconds_bucket{le="10"} 3' in lines
+        assert 'h_seconds_bucket{le="+Inf"} 4' in lines
+        assert "h_seconds_count 4" in lines
+
+    def test_registry_get_or_create_and_kind_conflicts(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x_total") is registry.counter("x_total")
+        with pytest.raises(TypeError):
+            registry.gauge("x_total")
+
+    def test_exposition_is_prometheus_text(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "things").inc(3, kind="x")
+        text = registry.exposition()
+        assert "# HELP a_total things" in text
+        assert "# TYPE a_total counter" in text
+        assert 'a_total{kind="x"} 3' in text
+        assert text.endswith("\n")
+
+    def test_snapshot_is_json_native(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc()
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        json.dumps(registry.snapshot())  # must not raise
+
+
+class TestAggregator:
+    def _agg(self):
+        bus = EventBus()
+        return bus, MetricsAggregator(bus)
+
+    def test_polls_by_outcome(self):
+        bus, agg = self._agg()
+        bus.publish("poll", ["poll", 1.0, "p", "au", "conclude", True, False])
+        bus.publish("poll", ["poll", 2.0, "p", "au", "conclude", False, True])
+        agg.pump()
+        assert agg.registry.counter("repro_polls_concluded_total").value(outcome="success") == 1
+        assert agg.registry.counter("repro_polls_concluded_total").value(outcome="failure") == 1
+
+    def test_admission_decisions_and_accept_rate(self):
+        bus, agg = self._agg()
+        bus.publish("admission", ["adm", 1.0, "v", "p", "admitted"])
+        bus.publish("admission", ["adm", 2.0, "v", "p", "admitted_introduced"])
+        bus.publish("admission", ["adm", 3.0, "v", "p", "dropped_refractory"])
+        bus.publish("admission", ["adm", 4.0, "v", "p", "dropped_random"])
+        agg.pump()
+        rate = agg.registry.gauge("repro_admission_accept_rate").value()
+        assert rate == pytest.approx(0.5)
+
+    def test_admission_summary_folds_decision_counts(self):
+        bus, agg = self._agg()
+        bus.publish(
+            "admission",
+            ["admsum", 1.0, 9.0, 300, {"admitted": 100, "dropped_refractory": 200}],
+        )
+        agg.pump()
+        decisions = agg.registry.counter("repro_admission_decisions_total")
+        assert decisions.value(decision="admitted") == 100
+        assert decisions.value(decision="dropped_refractory") == 200
+        rate = agg.registry.gauge("repro_admission_accept_rate").value()
+        assert rate == pytest.approx(100 / 300)
+
+    def test_damage_summary_counts_all_records(self):
+        bus, agg = self._agg()
+        bus.publish(
+            "damage",
+            ["dmgsum", 1.0, 2.0, 7, [["peer-1", "au-1", 4], ["peer-2", "au-1", 3]]],
+        )
+        bus.publish("damage", ["dmg", 3.0, "peer-1", "au-2", 9])
+        agg.pump()
+        assert agg.registry.counter("repro_damage_blocks_total").value() == 8
+
+    def test_fault_downtime_pairs_crash_with_restart(self):
+        bus, agg = self._agg()
+        bus.publish("fault", ["fault", 10.0, "peer-0001", "crash"])
+        bus.publish("fault", ["fault", 25.0, "peer-0001", "restart"])
+        bus.publish("fault", ["fault", 5.0, "net", "partition_start"])
+        agg.pump()
+        downtime = agg.registry.counter("repro_fault_downtime_sim_seconds_total")
+        assert downtime.value() == pytest.approx(15.0)
+        transitions = agg.registry.counter("repro_fault_transitions_total")
+        assert transitions.value(event="crash") == 1
+
+    def test_run_lifecycle_counts_and_wall_histogram(self):
+        bus, agg = self._agg()
+        bus.publish("run_lifecycle", {"state": "started", "digest": "d"})
+        bus.publish("run_lifecycle", {"state": "finished", "digest": "d", "wall_s": 0.2})
+        agg.pump()
+        runs = agg.registry.counter("repro_runs_total")
+        assert runs.value(state="started") == 1
+        assert runs.value(state="finished") == 1
+        assert agg.registry.histogram("repro_run_wall_seconds").count() == 1
+
+    def test_campaign_progress_sets_point_gauges(self):
+        bus, agg = self._agg()
+        bus.publish(
+            "campaign_progress",
+            {"digest": "f" * 64, "counts": {"complete": 3, "pending": 2}},
+        )
+        agg.pump()
+        gauge = agg.registry.gauge("repro_campaign_points")
+        assert gauge.value(campaign="f" * 12, state="complete") == 3
+
+    def test_worker_liveness_telemetry_gauges(self):
+        bus, agg = self._agg()
+        bus.publish(
+            "worker_liveness",
+            {
+                "worker": "w1",
+                "event": "heartbeat",
+                "telemetry": {
+                    "points_completed": 4,
+                    "mean_point_wall_s": 1.5,
+                    "consecutive_heartbeat_failures": 2,
+                },
+            },
+        )
+        agg.pump()
+        reg = agg.registry
+        assert reg.gauge("repro_worker_points_completed").value(worker="w1") == 4
+        assert reg.gauge("repro_worker_mean_point_wall_seconds").value(worker="w1") == 1.5
+        assert reg.gauge("repro_worker_consecutive_heartbeat_failures").value(worker="w1") == 2
+
+    def test_malformed_events_never_break_the_pump(self):
+        bus, agg = self._agg()
+        bus.publish("poll", "not a list")
+        bus.publish("fault", ["fault"])
+        bus.publish("run_lifecycle", None)
+        assert agg.pump() == 3
+        assert agg.registry.counter("repro_bus_events_total").value() == 3
+
+    def test_ring_overflow_is_surfaced_as_dropped_gauge(self):
+        bus = EventBus()
+        agg = MetricsAggregator(bus, capacity=8)
+        for index in range(20):
+            bus.publish("damage", ["dmg", float(index)])
+        agg.pump()
+        assert agg.registry.gauge("repro_bus_dropped_events_total").value() == 12

@@ -1,0 +1,226 @@
+"""Bus-attached execution: digest identity, world taps, and run control.
+
+The load-bearing property: attaching an :class:`EventBus` (with a live
+subscriber) to a session, or running under a :class:`RunControl`, must
+leave every result bit-identical to an unobserved, uncontrolled run.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro import units
+from repro.api import AdversarySpec, Scenario, Session
+from repro.api.session import build_point_world
+from repro.telemetry import EventBus, RunControl, RUN_CONTROLS, attach_world_bus
+from repro.telemetry.stream import DENSE_FLUSH, _BusTracer
+
+
+def smoke_scenario(**overrides):
+    fields = dict(
+        name="telemetry stream test",
+        base="smoke",
+        sim={"duration": units.months(2)},
+        adversary=AdversarySpec(
+            "pipe_stoppage",
+            {"attack_duration_days": 20.0, "coverage": 1.0, "recuperation_days": 10.0},
+        ),
+        seeds=(1, 2),
+    )
+    fields.update(overrides)
+    return Scenario(**fields)
+
+
+def result_payload(result):
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+class TestDigestIdentity:
+    def test_bus_attached_serial_run_is_bit_identical(self):
+        scenario = smoke_scenario()
+        plain = Session().run(scenario)
+        bus = EventBus()
+        subscriber = bus.subscribe()
+        observed = Session(telemetry=bus).run(scenario)
+        assert result_payload(plain) == result_payload(observed)
+        # ...and the observation was real, not a disabled tap.
+        topics = {event["topic"] for event in subscriber.drain()}
+        assert "run_lifecycle" in topics
+        assert topics & {"poll", "admission", "damage"}
+
+    def test_bus_attached_pool_run_matches_serial(self):
+        scenario = smoke_scenario()
+        serial = Session().run(scenario)
+        bus = EventBus()
+        subscriber = bus.subscribe()
+        pooled = Session(workers=2, telemetry=bus).run(scenario)
+        assert result_payload(serial) == result_payload(pooled)
+        # Pool runs publish lifecycle only (children cannot reach the
+        # parent's bus); every per-seed run announces start and finish.
+        events = subscriber.drain()
+        states = [event["data"]["state"] for event in events]
+        assert states.count("started") == len(scenario.seeds) * 2  # attacked + baseline
+        assert states.count("finished") == len(scenario.seeds) * 2
+
+    def test_controlled_world_run_is_bit_identical(self):
+        scenario = smoke_scenario(seeds=(3,))
+        free = build_point_world(scenario, 3).run()
+        controlled = build_point_world(scenario, 3).run(control=RunControl(slice_events=97))
+        assert free.to_dict() == controlled.to_dict()
+
+    def test_world_taps_do_not_change_metrics(self):
+        scenario = smoke_scenario(seeds=(4,))
+        plain = build_point_world(scenario, 4).run()
+        world = build_point_world(scenario, 4)
+        bus = EventBus()
+        subscriber = bus.subscribe()
+        attach_world_bus(world, bus, run="test-run")
+        observed = world.run()
+        assert plain.to_dict() == observed.to_dict()
+        events = subscriber.drain()
+        assert events, "taps published nothing"
+        assert all(event["run"] == "test-run" for event in events)
+
+    def test_network_send_tap_stays_unattached(self):
+        world = build_point_world(smoke_scenario(seeds=(5,)), 5)
+        attach_world_bus(world, EventBus())
+        assert getattr(world.network, "tracer", None) is None
+
+
+class _StubSim:
+    _now = 42.0
+
+
+class TestDenseAggregation:
+    """Admission/damage fold into summaries instead of per-record events."""
+
+    def _tracer(self):
+        bus = EventBus()
+        subscription = bus.subscribe(topics=["admission", "damage"])
+        tracer = _BusTracer(_StubSim(), bus, run="r1")
+        return tracer, subscription
+
+    def test_admission_summary_counts_and_window(self):
+        tracer, subscription = self._tracer()
+        tracer.admission(1.0, "v1", "p1", "admitted")
+        tracer.admission(2.0, "v2", "p1", "dropped_refractory")
+        tracer.admission(3.0, "v3", "p2", "admitted")
+        assert subscription.pending() == 0  # nothing published until flush
+        tracer.flush()
+        (event,) = subscription.drain()
+        kind, t_first, t_last, records, counts = event["data"]
+        assert kind == "admsum"
+        assert (t_first, t_last, records) == (1.0, 3.0, 3)
+        assert counts == {"admitted": 2, "dropped_refractory": 1}
+        assert event["run"] == "r1"
+
+    def test_damage_summary_aggregates_cells(self):
+        tracer, subscription = self._tracer()
+        for _ in range(3):
+            tracer.damage("peer-1", "au-1", 7)
+        tracer.damage("peer-2", "au-1", 9)
+        tracer.flush()
+        (event,) = subscription.drain()
+        kind, _, _, records, cells = event["data"]
+        assert kind == "dmgsum"
+        assert records == 4
+        assert sorted(cells) == [("peer-1", "au-1", 3), ("peer-2", "au-1", 1)]
+
+    def test_dense_flush_threshold_emits_mid_run(self):
+        tracer, subscription = self._tracer()
+        for index in range(DENSE_FLUSH + 1):
+            tracer.admission(float(index), "v", "p", "admitted")
+        events = subscription.drain()
+        assert len(events) == 1  # the threshold flush; one record still pending
+        assert events[0]["data"][3] == DENSE_FLUSH
+        tracer.flush()
+        (tail,) = subscription.drain()
+        assert tail["data"][3] == 1
+        tracer.flush()
+        assert subscription.drain() == []  # empty aggregates publish nothing
+
+    def test_sink_records_route_into_aggregates(self):
+        tracer, subscription = self._tracer()
+        tracer.sink(["adm", 5.0, "v", "p", "admitted"])
+        tracer.sink(["dmg", 6.0, "peer-1", "au-1", 3])
+        tracer.sink(["send", 7.0, "a", "b", "Poll", 100])  # unbridged: dropped
+        tracer.flush()
+        events = subscription.drain()
+        assert sorted(event["data"][0] for event in events) == ["admsum", "dmgsum"]
+
+
+class TestRunControl:
+    def test_gate_grants_slices_while_live(self):
+        control = RunControl(slice_events=123)
+        assert control.gate() == 123
+        assert not control.paused
+
+    def test_pause_blocks_and_step_grants(self):
+        control = RunControl()
+        control.pause()
+        grants = []
+
+        def gated():
+            grants.append(control.gate())
+
+        thread = threading.Thread(target=gated)
+        thread.start()
+        thread.join(timeout=0.2)
+        assert thread.is_alive(), "gate returned while paused"
+        control.step(7)
+        thread.join(timeout=2.0)
+        assert grants == [7]
+        control.resume()
+
+    def test_resume_unblocks_and_clears_grants(self):
+        control = RunControl(slice_events=50)
+        control.pause()
+        control.step(3)
+        control.resume()
+        assert control.gate() == 50  # stale step grant was cleared
+        assert control.stepped == 3  # but stays counted
+
+    def test_paused_world_makes_no_progress_until_stepped(self):
+        scenario = smoke_scenario(seeds=(6,))
+        world = build_point_world(scenario, 6)
+        control = RunControl(slice_events=256)
+        control.pause()
+        done = threading.Event()
+
+        def run():
+            world.run(control=control)
+            done.set()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        time.sleep(0.3)
+        paused_at = world.simulator.events_processed
+        assert not done.is_set()
+        control.step(10)
+        deadline = time.time() + 2.0
+        while world.simulator.events_processed < paused_at + 10 and time.time() < deadline:
+            time.sleep(0.01)
+        assert world.simulator.events_processed >= paused_at + 10
+        assert not done.is_set()
+        control.resume()
+        assert done.wait(timeout=30.0)
+
+    def test_session_registers_run_controls_while_executing(self):
+        seen = {}
+        real_gate = RunControl.gate
+        control = RunControl()
+
+        def spying_gate(self):
+            seen.update(RUN_CONTROLS.active())
+            return real_gate(self)
+
+        scenario = smoke_scenario(seeds=(7,), adversary=None)
+        try:
+            RunControl.gate = spying_gate
+            Session(control=control).run(scenario)
+        finally:
+            RunControl.gate = real_gate
+        assert control in seen.values()
+        assert not RUN_CONTROLS.active()  # unregistered after the run
